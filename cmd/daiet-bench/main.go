@@ -1,0 +1,202 @@
+// daiet-bench regenerates every figure in the paper's evaluation section
+// and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	daiet-bench -experiment all            # everything (default)
+//	daiet-bench -experiment fig1a          # Figure 1(a): SGD overlap
+//	daiet-bench -experiment fig1b          # Figure 1(b): Adam overlap
+//	daiet-bench -experiment fig1-workers   # 2..5 workers side experiment
+//	daiet-bench -experiment fig1c          # Figure 1(c): graph analytics
+//	daiet-bench -experiment fig3           # Figure 3: WordCount panels
+//	daiet-bench -experiment ablations      # design-choice ablations
+//
+// Flags -seed and -scale control reproducibility and problem size; -steps
+// shortens the ML runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/daiet/daiet/internal/experiments"
+	"github.com/daiet/daiet/internal/stats"
+)
+
+var (
+	experiment = flag.String("experiment", "all", "which experiment to run (fig1a|fig1b|fig1-workers|fig1c|fig3|ablations|all)")
+	seed       = flag.Uint64("seed", 7, "experiment seed (same seed, same results)")
+	scale      = flag.Float64("scale", 1.0, "problem-size multiplier for Figure 3")
+	steps      = flag.Int("steps", 200, "training steps for Figures 1(a)/1(b)")
+	graphScale = flag.Int("graph-scale", 16, "log2 vertices for Figure 1(c) (LiveJournal ~ 23)")
+)
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	run := func(name string, fn func() error) {
+		switch *experiment {
+		case "all", name:
+			if err := fn(); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+	ran := false
+	mark := func(fn func() error) func() error {
+		return func() error { ran = true; return fn() }
+	}
+	run("fig1a", mark(fig1a))
+	run("fig1b", mark(fig1b))
+	run("fig1-workers", mark(fig1Workers))
+	run("fig1c", mark(fig1c))
+	run("fig3", mark(fig3))
+	run("ablations", mark(ablations))
+	run("multirack", mark(multirack))
+	if !ran {
+		log.Fatalf("unknown experiment %q", *experiment)
+	}
+}
+
+func multirack() error {
+	header("Extension: hierarchical aggregation on a leaf-spine fabric (paper §1 clusters/racks)")
+	res, err := experiments.MultiRack(experiments.MultiRackConfig{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fabric: %d leaves x %d spines, %d hosts/leaf\n",
+		res.Leaves, res.Spines, res.HostsPerLeaf)
+	fmt.Printf("%-26s %14s %14s %10s\n", "", "baseline", "DAIET", "reduction")
+	fmt.Printf("%-26s %14d %14d %9.1f%%\n", "core (leaf-spine) bytes",
+		res.CoreBytesBaseline, res.CoreBytesDAIET, res.CoreReductionPct)
+	fmt.Printf("%-26s %14d %14d %9.1f%%\n", "edge (host-leaf) bytes",
+		res.EdgeBytesBaseline, res.EdgeBytesDAIET, res.EdgeReductionPct)
+	fmt.Printf("reducer pairs: %d -> %d\n", res.ReducerPairsBaseline, res.ReducerPairsDAIET)
+	return nil
+}
+
+func header(title string) {
+	fmt.Printf("\n==== %s ====\n", title)
+}
+
+func overlap(fig *experiments.OverlapFigure, paperMean string) {
+	fmt.Printf("mean overlap %.1f%% (paper: %s); range [%.1f%%, %.1f%%]\n",
+		fig.Summary.Mean, paperMean, fig.Summary.Min, fig.Summary.Max)
+	fmt.Printf("training loss %.3f -> %.3f, holdout accuracy %.2f\n",
+		fig.FirstLoss, fig.LastLoss, fig.FinalAccuracy)
+	// Decimated series: every 10th step, like reading the figure.
+	fmt.Printf("%-8s %s\n", "step", "overlap%")
+	for i := 0; i < fig.Series.Len(); i += 10 {
+		fmt.Printf("%-8.0f %.1f\n", fig.Series.X[i], fig.Series.Y[i])
+	}
+}
+
+func fig1a() error {
+	header("Figure 1(a): SGD (mini-batch 3, 5 workers) tensor-update overlap")
+	fig, err := experiments.Figure1a(*seed, *steps)
+	if err != nil {
+		return err
+	}
+	overlap(fig, "~42.5%, band 34-50%")
+	return nil
+}
+
+func fig1b() error {
+	header("Figure 1(b): Adam (mini-batch 100, 5 workers) tensor-update overlap")
+	fig, err := experiments.Figure1b(*seed, *steps)
+	if err != nil {
+		return err
+	}
+	overlap(fig, "~66.5%, band 62-72%")
+	return nil
+}
+
+func fig1Workers() error {
+	header("Figure 1 side experiment: overlap vs worker count (paper: increases)")
+	pts, err := experiments.Figure1WorkerSweep(*seed, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %s\n", "workers", "overlap%")
+	for _, p := range pts {
+		fmt.Printf("%-10d %.1f\n", p.Workers, p.OverlapPct)
+	}
+	return nil
+}
+
+func fig1c() error {
+	header("Figure 1(c): graph analytics potential traffic reduction (paper band 0.48-0.93)")
+	fig, err := experiments.Figure1c(experiments.Figure1cConfig{
+		Seed: *seed, Scale: *graphScale,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("R-MAT graph: %d vertices, %d edges (LiveJournal stand-in)\n\n",
+		fig.Vertices, fig.Edges)
+	stats.Table(os.Stdout, "iteration", fig.PageRank, fig.SSSP, fig.WCC)
+	return nil
+}
+
+func fig3() error {
+	header("Figure 3: WordCount, 24 mappers / 12 reducers, 16K register pairs")
+	res, err := experiments.Figure3(experiments.Figure3Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d words, %d unique (mean multiplicity %.1f); spilled pairs: %d\n\n",
+		res.TotalWords, res.UniqueWords,
+		float64(res.TotalWords)/float64(res.UniqueWords), res.PairsSpilled)
+	panel := func(name, paper string, s stats.Summary) {
+		fmt.Printf("%-28s %s   (paper: %s)\n", name, s.String(), paper)
+		fmt.Printf("%-28s [%s]\n", "", stats.AsciiBox(s, 0, 100, 40))
+	}
+	panel("data volume reduction %", "86.9-89.3, median ~88", res.DataReduction)
+	panel("reduce time reduction %", "median 83.6", res.ReduceTimeReduction)
+	panel("packets vs UDP baseline %", "88.1-90.5, median 90.5", res.PacketsVsUDP)
+	panel("packets vs TCP baseline %", "median 42", res.PacketsVsTCP)
+	return nil
+}
+
+func ablations() error {
+	header("Ablation: register table size (paper §5: fewer cells, more unaggregated pairs)")
+	pts, err := experiments.AblationRegisterSize(*seed, []int{64, 256, 1024, 4096, 16384})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %14s %14s %14s\n", "table size", "data red. %", "pkt red. %", "spilled pairs")
+	for _, p := range pts {
+		fmt.Printf("%-14.0f %14.1f %14.1f %14d\n", p.X, p.DataReductionPct, p.PacketReductionPct, p.SpilledPairs)
+	}
+
+	header("Ablation: pairs per packet (paper: 10 from the 200-300B parse budget)")
+	pts, err = experiments.AblationPairsPerPacket(*seed, []int{2, 5, 10, 12})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %14s %14s\n", "pairs/packet", "data red. %", "pkt red. %")
+	for _, p := range pts {
+		fmt.Printf("%-14.0f %14.1f %14.1f\n", p.X, p.DataReductionPct, p.PacketReductionPct)
+	}
+
+	header("Ablation: fixed key width (paper §5: 16B keys waste bytes for short words)")
+	pts, err = experiments.AblationKeyWidth(*seed, []int{8, 16, 32})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %14s %14s\n", "key width", "data red. %", "reducer pairs")
+	for _, p := range pts {
+		fmt.Printf("%-14.0f %14.1f %14d\n", p.X, p.DataReductionPct, p.ReducerPairs)
+	}
+
+	header("Ablation: worker-level combiner vs in-network aggregation (paper §1)")
+	wc, err := experiments.AblationWorkerCombiner(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker-level combining alone: %.1f%% pair reduction\n", wc.WorkerLevelReductionPct)
+	fmt.Printf("plus in-network aggregation:  %.1f%% pair reduction\n", wc.InNetworkReductionPct)
+	return nil
+}

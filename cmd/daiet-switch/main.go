@@ -1,0 +1,144 @@
+// daiet-switch runs a DAIET software switch agent on a real UDP socket —
+// the role bmv2 plays in the paper's testbed. Workers and reducers connect
+// as UDP peers (registering automatically via the client library or the
+// -peer flag), and the agent aggregates DAIET streams inside the same
+// metered RMT pipeline the simulator uses.
+//
+// Usage:
+//
+//	daiet-switch -listen 0.0.0.0:5201 \
+//	  -tree 100:3:sum:16384:100 \
+//	  -peer 100=10.0.0.5:7000
+//
+// Tree spec format: treeID:children:agg:tableSize:nextHopNodeID.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/daiet/daiet/internal/core"
+	"github.com/daiet/daiet/internal/udprt"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+var aggNames = map[string]core.AggFuncID{
+	"sum":   core.AggSum,
+	"min":   core.AggMin,
+	"max":   core.AggMax,
+	"count": core.AggCount,
+	"or":    core.AggBitOr,
+	"and":   core.AggBitAnd,
+}
+
+func parseTree(spec string) (udprt.TreeSpec, error) {
+	var t udprt.TreeSpec
+	parts := strings.Split(spec, ":")
+	if len(parts) != 5 {
+		return t, fmt.Errorf("tree spec %q: want treeID:children:agg:tableSize:nextHop", spec)
+	}
+	id, err := strconv.ParseUint(parts[0], 10, 32)
+	if err != nil {
+		return t, fmt.Errorf("tree id: %w", err)
+	}
+	children, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return t, fmt.Errorf("children: %w", err)
+	}
+	agg, ok := aggNames[strings.ToLower(parts[2])]
+	if !ok {
+		return t, fmt.Errorf("unknown aggregation %q", parts[2])
+	}
+	tableSize, err := strconv.Atoi(parts[3])
+	if err != nil {
+		return t, fmt.Errorf("table size: %w", err)
+	}
+	next, err := strconv.ParseUint(parts[4], 10, 32)
+	if err != nil {
+		return t, fmt.Errorf("next hop: %w", err)
+	}
+	t = udprt.TreeSpec{
+		TreeID: uint32(id), Children: children, Agg: agg,
+		TableSize: tableSize, NextHop: uint32(next),
+	}
+	return t, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		listen    = flag.String("listen", "127.0.0.1:5201", "UDP address to bind")
+		treeSpecs multiFlag
+		peerSpecs multiFlag
+		statsSec  = flag.Int("stats", 10, "seconds between stats lines (0 disables)")
+	)
+	flag.Var(&treeSpecs, "tree", "tree spec treeID:children:agg:tableSize:nextHop (repeatable)")
+	flag.Var(&peerSpecs, "peer", "static peer nodeID=udpAddr (repeatable)")
+	flag.Parse()
+
+	cfg := udprt.AgentConfig{ListenAddr: *listen, Peers: map[uint32]string{}}
+	for _, spec := range treeSpecs {
+		t, err := parseTree(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Trees = append(cfg.Trees, t)
+	}
+	for _, spec := range peerSpecs {
+		id, addr, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("peer spec %q: want nodeID=addr", spec)
+		}
+		n, err := strconv.ParseUint(id, 10, 32)
+		if err != nil {
+			log.Fatalf("peer id %q: %v", id, err)
+		}
+		cfg.Peers[uint32(n)] = addr
+	}
+
+	agent, err := udprt.NewAgent(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+	log.Printf("daiet-switch listening on %s (%d trees configured)", agent.Addr(), len(cfg.Trees))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var tick <-chan time.Time
+	if *statsSec > 0 {
+		t := time.NewTicker(time.Duration(*statsSec) * time.Second)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-stop:
+			log.Println("shutting down")
+			return
+		case <-tick:
+			for _, spec := range cfg.Trees {
+				if st, ok := agent.TreeStats(spec.TreeID); ok {
+					log.Printf("tree %d: pairs in=%d stored=%d combined=%d spilled=%d flushed=%d ends in/out=%d/%d",
+						spec.TreeID, st.PairsIn, st.PairsStored, st.PairsCombined,
+						st.PairsSpilled, st.PairsFlushed, st.EndPacketsIn, st.EndPacketsOut)
+				}
+			}
+		}
+	}
+}

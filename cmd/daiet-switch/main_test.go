@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/daiet/daiet/internal/core"
+)
+
+func TestParseTree(t *testing.T) {
+	spec, err := parseTree("100:3:sum:16384:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TreeID != 100 || spec.Children != 3 || spec.Agg != core.AggSum ||
+		spec.TableSize != 16384 || spec.NextHop != 100 {
+		t.Fatalf("spec %+v", spec)
+	}
+	if spec, err = parseTree("7:1:MAX:64:9"); err != nil || spec.Agg != core.AggMax {
+		t.Fatalf("case-insensitive agg: %+v %v", spec, err)
+	}
+}
+
+func TestParseTreeErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"1:2:sum:64",         // too few fields
+		"x:2:sum:64:1",       // bad id
+		"1:x:sum:64:1",       // bad children
+		"1:2:median:64:1",    // unknown agg
+		"1:2:sum:many:1",     // bad table size
+		"1:2:sum:64:x",       // bad next hop
+		"1:2:sum:64:1:extra", // too many fields
+	} {
+		if _, err := parseTree(bad); err == nil {
+			t.Fatalf("spec %q must fail", bad)
+		}
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	_ = m.Set("a")
+	_ = m.Set("b")
+	if m.String() != "a,b" || len(m) != 2 {
+		t.Fatalf("multiflag %v", m)
+	}
+}

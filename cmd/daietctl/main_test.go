@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/daiet/daiet/internal/wire"
+)
+
+func TestParseIndices(t *testing.T) {
+	got, err := parseIndices("0,3,5-7, 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 5, 6, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if out, err := parseIndices(""); err != nil || len(out) != 0 {
+		t.Fatalf("empty: %v %v", out, err)
+	}
+}
+
+func TestParseIndicesErrors(t *testing.T) {
+	for _, bad := range []string{"x", "1-x", "x-1", "5-2"} {
+		if _, err := parseIndices(bad); err == nil {
+			t.Fatalf("%q must fail", bad)
+		}
+	}
+}
+
+func TestTreeSRAMMatchesPaperEstimate(t *testing.T) {
+	// The paper sizes 16K pairs of 16B keys + 4B values at ~10 MB SRAM for
+	// the whole table set; one tree's registers must be well under that.
+	got := treeSRAM(wire.PairGeometry{KeyWidth: 16}, 16384)
+	if got < 300<<10 || got > 500<<10 {
+		t.Fatalf("per-tree SRAM %d outside ~400 KiB band", got)
+	}
+	// 12 trees (the paper's reducer count) must fit 10 MB.
+	if 12*got > 10<<20 {
+		t.Fatalf("12 trees need %d bytes, exceeding the 10 MB budget", 12*got)
+	}
+}

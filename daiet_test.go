@@ -1,0 +1,272 @@
+package daiet_test
+
+import (
+	"fmt"
+	"testing"
+
+	daiet "github.com/daiet/daiet"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	net, err := daiet.NewSingleSwitch(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := net.Hosts()
+	reducer, mappers := hosts[4], hosts[:4]
+	tree, err := net.InstallTree(reducer, mappers, daiet.TreeOptions{TableSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := net.NewCollector(reducer, daiet.AggSum, tree.RootChildren())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mappers {
+		s, err := net.NewSender(m, reducer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := s.Send([]byte(fmt.Sprintf("k%d", i)), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.End()
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !col.Complete() {
+		t.Fatal("incomplete")
+	}
+	res := col.Result()
+	if len(res) != 10 {
+		t.Fatalf("keys %d", len(res))
+	}
+	for k, v := range res {
+		if v != 4 {
+			t.Fatalf("%s = %d want 4", k, v)
+		}
+	}
+	st := net.TreeStatsFor(tree.TreeID)
+	if st.PairsIn != 40 || st.FlushesCompleted != 1 {
+		t.Fatalf("tree stats %+v", st)
+	}
+}
+
+func TestFacadeLeafSpineAndFatTree(t *testing.T) {
+	ls, err := daiet.NewLeafSpine(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Hosts()) != 4 {
+		t.Fatalf("leaf-spine hosts %d", len(ls.Hosts()))
+	}
+	ft, err := daiet.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Hosts()) != 16 {
+		t.Fatalf("fat-tree hosts %d", len(ft.Hosts()))
+	}
+	if _, err := daiet.NewFatTree(3); err == nil {
+		t.Fatal("odd k must fail")
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	net, err := daiet.NewSingleSwitch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := net.Hosts()
+	if _, err := net.NewSender(daiet.NodeID(0xFFFF), hosts[0]); err == nil {
+		t.Fatal("unknown sender host must fail")
+	}
+	if _, err := net.NewCollector(daiet.NodeID(0xFFFF), daiet.AggSum, 1); err == nil {
+		t.Fatal("unknown reducer host must fail")
+	}
+	if _, err := net.NewCollector(hosts[0], daiet.AggFuncID(99), 1); err == nil {
+		t.Fatal("bad agg must fail")
+	}
+	if _, err := net.InstallTree(hosts[0], nil, daiet.TreeOptions{}); err == nil {
+		t.Fatal("no mappers must fail")
+	}
+}
+
+func TestFacadeUninstall(t *testing.T) {
+	net, err := daiet.NewSingleSwitch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := net.Hosts()
+	tree, err := net.InstallTree(hosts[2], hosts[:2], daiet.TreeOptions{TableSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.UninstallTree(tree)
+	if st := net.TreeStatsFor(tree.TreeID); st.PairsIn != 0 {
+		t.Fatalf("stats after uninstall %+v", st)
+	}
+	// Reinstall works.
+	if _, err := net.InstallTree(hosts[2], hosts[:2], daiet.TreeOptions{TableSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeReliableTreeUnderLoss(t *testing.T) {
+	net, err := daiet.NewSingleSwitch(4, daiet.Config{
+		Seed: 3,
+		Link: daiet.LinkConfig{LossProb: 0.08},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := net.Hosts()
+	reducer, mappers := hosts[3], hosts[:3]
+	tree, err := net.InstallReliableTree(reducer, mappers, daiet.TreeOptions{TableSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := net.NewCollector(reducer, daiet.AggSum, tree.RootChildren())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mappers {
+		s, err := net.NewReliableSender(m, reducer, daiet.ReliableConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if err := s.Send([]byte(fmt.Sprintf("k%02d", i)), 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.End()
+	}
+	// Loss also affects the reducer's link here (facade applies one link
+	// config fabric-wide): flush packets may be lost, so the collector may
+	// come up short — but the switch-side aggregation must be exact.
+	if err := net.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	st := net.TreeStatsFor(tree.TreeID)
+	if st.PairsIn != 150 {
+		t.Fatalf("switch saw %d pairs want 150 (dups filtered)", st.PairsIn)
+	}
+	if st.DupsDropped == 0 && st.GapsDropped == 0 {
+		t.Fatal("no retransmission filtering at 8% loss")
+	}
+	_ = col
+}
+
+func TestFacadeDrainTree(t *testing.T) {
+	net, err := daiet.NewSingleSwitch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := net.Hosts()
+	tree, err := net.InstallTree(hosts[2], hosts[:2], daiet.TreeOptions{TableSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range hosts[:2] {
+		s, _ := net.NewSender(m, hosts[2])
+		_ = s.Send([]byte("orphan"), 21)
+		s.Flush() // no End: the round never completes
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := net.DrainTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 1 || kvs[0].Key != "orphan" || kvs[0].Value != 42 {
+		t.Fatalf("drained %+v", kvs)
+	}
+}
+
+func TestFacadeTracing(t *testing.T) {
+	net, err := daiet.NewSingleSwitch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rings := net.EnableTracing(32)
+	if len(rings) != 1 {
+		t.Fatalf("rings %d", len(rings))
+	}
+	hosts := net.Hosts()
+	tree, err := net.InstallTree(hosts[1], hosts[:1], daiet.TreeOptions{TableSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tree
+	s, _ := net.NewSender(hosts[0], hosts[1])
+	_ = s.Send([]byte("x"), 1)
+	s.End()
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ring := range rings {
+		if ring.Total() == 0 {
+			t.Fatal("no events traced")
+		}
+	}
+}
+
+func TestFacadeReliableTreeMultiLevel(t *testing.T) {
+	// Reliable trees on a multi-switch fabric: aggregation-level switches
+	// must accept their child switches' sequenced flush streams through the
+	// in-order gate (regression: child-switch traffic must not be dropped
+	// as "unknown sender").
+	net, err := daiet.NewLeafSpine(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := net.Hosts()
+	mappers := hosts[:4] // leaves 0 and 1
+	reducer := hosts[4]  // leaf 2
+	tree, err := net.InstallReliableTree(reducer, mappers, daiet.TreeOptions{TableSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.SwitchNodes) < 3 {
+		t.Fatalf("tree only spans %d switches", len(tree.SwitchNodes))
+	}
+	col, err := net.NewCollector(reducer, daiet.AggSum, tree.RootChildren())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mappers {
+		s, err := net.NewReliableSender(m, reducer, daiet.ReliableConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			if err := s.Send([]byte(fmt.Sprintf("k%02d", i)), 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.End()
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !col.Complete() {
+		t.Fatalf("multi-level reliable tree incomplete: %+v", col.Stats)
+	}
+	for i := 0; i < 40; i++ {
+		if got := col.Result()[fmt.Sprintf("k%02d", i)]; got != 12 {
+			t.Fatalf("k%02d = %d want 12", i, got)
+		}
+	}
+	st := net.TreeStatsFor(tree.TreeID)
+	if st.UnknownSender != 0 {
+		t.Fatalf("switch-child traffic dropped as unknown: %+v", st)
+	}
+	if st.AcksOut == 0 {
+		t.Fatal("no ACKs emitted")
+	}
+}

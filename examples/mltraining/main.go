@@ -1,0 +1,128 @@
+// ML training with in-network gradient aggregation: the scenario Figures
+// 1(a)/1(b) motivate. Five workers train a softmax model; every step, each
+// worker quantizes its sparse gradient update into fixed-point int32 pairs
+// keyed by tensor index and streams them through a DAIET tree rooted at
+// the parameter server. The switch sums overlapping coordinates in-flight
+// (uint32 wraparound addition is exactly two's-complement int32 addition),
+// so the PS receives one pair per distinct coordinate.
+//
+// Run with:
+//
+//	go run ./examples/mltraining
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	daiet "github.com/daiet/daiet"
+	"github.com/daiet/daiet/internal/mlps"
+)
+
+const (
+	workers    = 5
+	batchSize  = 3
+	steps      = 25
+	quantScale = 1 << 16 // fixed-point scale for float32 gradients
+	lr         = 0.5
+	tableSize  = 16384
+)
+
+func main() {
+	ds := mlps.SyntheticMNIST(1, 2000)
+	model := mlps.NewModel()
+	opt := mlps.NewSGD(lr)
+
+	net, err := daiet.NewSingleSwitch(workers + 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hosts := net.Hosts()
+	ps, workerHosts := hosts[workers], hosts[:workers]
+	tree, err := net.InstallTree(ps, workerHosts, daiet.TreeOptions{
+		Agg: daiet.AggSum, TableSize: tableSize,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	grads := make([]*mlps.Grad, workers)
+	for w := range grads {
+		grads[w] = mlps.NewGrad()
+	}
+	shards := make([][]int, workers)
+	for i := 0; i < ds.Len(); i++ {
+		shards[i%workers] = append(shards[i%workers], i)
+	}
+
+	var totalSent, totalRecv uint64
+	fmt.Printf("%-6s %-10s %-12s %-12s %-10s\n", "step", "loss", "pairs-sent", "pairs-recv", "saved")
+	for step := 0; step < steps; step++ {
+		col, err := net.NewCollector(ps, daiet.AggSum, tree.RootChildren())
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var loss float64
+		var sent uint64
+		for w := 0; w < workers; w++ {
+			batch := make([]int, batchSize)
+			for i := range batch {
+				batch[i] = shards[w][(step*batchSize+i)%len(shards[w])]
+			}
+			loss += model.Gradient(ds, batch, grads[w])
+
+			s, err := net.NewSender(workerHosts[w], ps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var key [4]byte
+			for _, idx := range grads[w].UpdatedIndices(0, nil) {
+				q := int32(grads[w].W[idx] * quantScale)
+				if q == 0 {
+					continue
+				}
+				binary.BigEndian.PutUint32(key[:], uint32(idx))
+				if err := s.Send(key[:], uint32(q)); err != nil {
+					log.Fatal(err)
+				}
+				sent++
+			}
+			s.End()
+		}
+		if err := net.Run(); err != nil {
+			log.Fatal(err)
+		}
+		if !col.Complete() {
+			log.Fatalf("step %d: aggregation incomplete", step)
+		}
+
+		// Apply the aggregated (summed) gradient at the PS.
+		agg := mlps.NewGrad()
+		for k, v := range col.Result() {
+			idx := binary.BigEndian.Uint32(pad4(k))
+			agg.W[idx] = float32(int32(v)) / quantScale
+		}
+		agg.Scale(1.0 / workers)
+		opt.Step(model, agg)
+
+		totalSent += sent
+		totalRecv += col.Stats.PairsReceived
+		if step%5 == 0 || step == steps-1 {
+			fmt.Printf("%-6d %-10.4f %-12d %-12d %.1f%%\n",
+				step, loss/workers, sent, col.Stats.PairsReceived,
+				100*(1-float64(col.Stats.PairsReceived)/float64(sent)))
+		}
+	}
+	fmt.Printf("\ntotal gradient pairs sent: %d, received after in-network sum: %d (%.1f%% saved)\n",
+		totalSent, totalRecv, 100*(1-float64(totalRecv)/float64(totalSent)))
+}
+
+// pad4 restores the 4-byte key from the collector's trimmed string form
+// (trailing zero bytes are stripped on the wire).
+func pad4(k string) []byte {
+	b := make([]byte, 4)
+	copy(b, k)
+	return b
+}

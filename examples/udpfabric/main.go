@@ -1,0 +1,100 @@
+// udpfabric: the DAIET protocol over a real network path. A switch agent
+// (the same pipeline program the simulator runs, served over net.UDPConn —
+// the role bmv2 plays in the paper's testbed) binds a loopback socket;
+// three workers and a reducer connect as real UDP peers. Pairs are
+// aggregated inside the agent's metered RMT pipeline and flushed to the
+// reducer's socket.
+//
+// Run with:
+//
+//	go run ./examples/udpfabric
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/daiet/daiet/internal/core"
+	"github.com/daiet/daiet/internal/udprt"
+	"github.com/daiet/daiet/internal/wire"
+)
+
+const (
+	reducerID = 100
+	nWorkers  = 3
+	tableSize = 1024
+	keysEach  = 50
+)
+
+func main() {
+	agent, err := udprt.NewAgent(udprt.AgentConfig{
+		ListenAddr: "127.0.0.1:0",
+		Trees: []udprt.TreeSpec{{
+			TreeID:    reducerID,
+			Children:  nWorkers,
+			Agg:       core.AggSum,
+			TableSize: tableSize,
+			NextHop:   reducerID,
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+	addr := agent.Addr().String()
+	fmt.Printf("switch agent listening on %s\n", addr)
+
+	// Reducer peer.
+	reducer, err := udprt.Dial(addr, reducerID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reducer.Close()
+	sum, _ := core.FuncByID(core.AggSum)
+	col := core.NewCollector(reducerID, sum, wire.DefaultGeometry, 1)
+
+	// Worker peers: overlapping keys, like map tasks sharing a vocabulary.
+	var sent int
+	for w := 0; w < nWorkers; w++ {
+		client, err := udprt.Dial(addr, uint32(w+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sender, err := core.NewSender(client, reducerID, reducerID, wire.DefaultGeometry, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k := 0; k < keysEach; k++ {
+			key := fmt.Sprintf("metric-%03d", k)
+			if err := sender.Send([]byte(key), uint32(w*1000+k)); err != nil {
+				log.Fatal(err)
+			}
+			sent++
+		}
+		sender.End()
+		client.Close()
+		fmt.Printf("worker %d sent %d pairs over real UDP\n", w+1, keysEach)
+	}
+
+	// Drain the reducer socket until the END arrives.
+	buf := make([]byte, 65536)
+	deadline := time.Now().Add(5 * time.Second)
+	for !col.Complete() {
+		n, err := reducer.ReadPayload(buf, deadline)
+		if err != nil {
+			log.Fatalf("reducer read: %v (stats %+v)", err, col.Stats)
+		}
+		col.Ingest(buf[:n])
+	}
+
+	st, _ := agent.TreeStats(reducerID)
+	fmt.Printf("\nagent pipeline: %d pairs in, %d combined, %d flushed downstream\n",
+		st.PairsIn, st.PairsCombined, st.PairsFlushed)
+	fmt.Printf("reducer received %d aggregated pairs for %d sent (%.1f%% reduction)\n",
+		col.Stats.PairsReceived, sent,
+		100*(1-float64(col.Stats.PairsReceived)/float64(sent)))
+	for _, kv := range col.SortedResult()[:3] {
+		fmt.Printf("  sample: %-12s = %d\n", kv.Key, kv.Value)
+	}
+}

@@ -1,0 +1,191 @@
+// Package controller is the SDN control plane of the reproduction: given a
+// job's mapper/reducer placement, it computes one aggregation tree per
+// reducer (Figure 2 of the paper — a spanning tree covering all paths from
+// the mappers to that reducer) and configures the switches: tree ID, output
+// port toward the next tree node, the aggregation function, and the number
+// of children each device must hear an END from before flushing.
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/daiet/daiet/internal/core"
+	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/topology"
+)
+
+// Controller owns the mapping from switch node IDs to their programs.
+type Controller struct {
+	fab      *topology.Fabric
+	programs map[netsim.NodeID]*core.Program
+}
+
+// New creates a controller for a realized fabric. programs maps every
+// switch node ID to the DAIET program running on it.
+func New(fab *topology.Fabric, programs map[netsim.NodeID]*core.Program) *Controller {
+	return &Controller{fab: fab, programs: programs}
+}
+
+// InstallRouting installs plain IPv4 forwarding entries on every switch for
+// every host, so baseline (non-aggregated) traffic flows.
+func (c *Controller) InstallRouting() error {
+	for swID, prog := range c.programs {
+		for _, h := range c.fab.Plan.Hosts {
+			nh, ok := c.fab.NextHop(swID, h)
+			if !ok {
+				return fmt.Errorf("controller: switch %d cannot reach host %d", swID, h)
+			}
+			port := c.fab.PortTo(swID, nh)
+			if port < 0 {
+				return fmt.Errorf("controller: switch %d has no port to %d", swID, nh)
+			}
+			if err := prog.InstallRoute(uint32(h), port); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TreePlan describes one aggregation tree: parent pointers toward the root
+// (the reducer) for every participating node, and per-node child counts.
+type TreePlan struct {
+	TreeID  uint32
+	Root    netsim.NodeID
+	Mappers []netsim.NodeID
+	// Parent maps each non-root tree node to the next node toward the root.
+	Parent map[netsim.NodeID]netsim.NodeID
+	// Children counts each tree node's distinct children.
+	Children map[netsim.NodeID]int
+	// SwitchNodes lists the switches participating, in deterministic order.
+	SwitchNodes []netsim.NodeID
+}
+
+// RootChildren returns the number of tree children of the reducer itself:
+// the number of END packets the collector should expect.
+func (p *TreePlan) RootChildren() int { return p.Children[p.Root] }
+
+// Depth returns the maximum number of hops from any mapper to the root.
+func (p *TreePlan) Depth() int {
+	depth := 0
+	for _, m := range p.Mappers {
+		d := 0
+		for cur := m; cur != p.Root; cur = p.Parent[cur] {
+			d++
+		}
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// PlanTree computes the aggregation tree for one reducer as the union of
+// shortest paths from every mapper. Because next hops are deterministic per
+// destination, the union is cycle-free and forms a tree rooted at the
+// reducer.
+func (c *Controller) PlanTree(reducer netsim.NodeID, mappers []netsim.NodeID) (*TreePlan, error) {
+	if len(mappers) == 0 {
+		return nil, fmt.Errorf("controller: tree for reducer %d has no mappers", reducer)
+	}
+	plan := &TreePlan{
+		TreeID:   uint32(reducer),
+		Root:     reducer,
+		Mappers:  append([]netsim.NodeID(nil), mappers...),
+		Parent:   make(map[netsim.NodeID]netsim.NodeID),
+		Children: make(map[netsim.NodeID]int),
+	}
+	seenChild := make(map[[2]netsim.NodeID]bool)
+	switches := make(map[netsim.NodeID]bool)
+	for _, m := range mappers {
+		if m == reducer {
+			return nil, fmt.Errorf("controller: mapper and reducer are the same node %d", m)
+		}
+		path := c.fab.Path(m, reducer)
+		if path == nil {
+			return nil, fmt.Errorf("controller: no path from mapper %d to reducer %d", m, reducer)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			child, parent := path[i], path[i+1]
+			if prev, ok := plan.Parent[child]; ok && prev != parent {
+				return nil, fmt.Errorf("controller: inconsistent next hop at %d: %d vs %d",
+					child, prev, parent)
+			}
+			plan.Parent[child] = parent
+			edge := [2]netsim.NodeID{child, parent}
+			if !seenChild[edge] {
+				seenChild[edge] = true
+				plan.Children[parent]++
+			}
+			if topology.IsSwitchID(child) {
+				switches[child] = true
+			}
+		}
+	}
+	for sw := range switches {
+		plan.SwitchNodes = append(plan.SwitchNodes, sw)
+	}
+	sort.Slice(plan.SwitchNodes, func(i, j int) bool { return plan.SwitchNodes[i] < plan.SwitchNodes[j] })
+	return plan, nil
+}
+
+// TreeOptions carries the aggregation parameters applied uniformly across a
+// tree's switches.
+type TreeOptions struct {
+	Agg       core.AggFuncID
+	TableSize int
+	SpillCap  int // 0: one packet's worth
+}
+
+// InstallTree configures every switch in the plan. On failure, switches
+// configured so far are rolled back.
+func (c *Controller) InstallTree(plan *TreePlan, opt TreeOptions) error {
+	if opt.TableSize <= 0 {
+		return fmt.Errorf("controller: table size %d", opt.TableSize)
+	}
+	done := make([]netsim.NodeID, 0, len(plan.SwitchNodes))
+	for _, sw := range plan.SwitchNodes {
+		prog, ok := c.programs[sw]
+		if !ok {
+			c.rollback(plan, done)
+			return fmt.Errorf("controller: no program registered for switch %d", sw)
+		}
+		parent := plan.Parent[sw]
+		port := c.fab.PortTo(sw, parent)
+		if port < 0 {
+			c.rollback(plan, done)
+			return fmt.Errorf("controller: switch %d has no port to tree parent %d", sw, parent)
+		}
+		err := prog.ConfigureTree(core.TreeConfig{
+			TreeID:    plan.TreeID,
+			OutPort:   port,
+			Children:  plan.Children[sw],
+			Agg:       opt.Agg,
+			TableSize: opt.TableSize,
+			SpillCap:  opt.SpillCap,
+		})
+		if err != nil {
+			c.rollback(plan, done)
+			return fmt.Errorf("controller: configuring switch %d: %w", sw, err)
+		}
+		done = append(done, sw)
+	}
+	return nil
+}
+
+// UninstallTree removes the plan's tree from every switch.
+func (c *Controller) UninstallTree(plan *TreePlan) {
+	c.rollback(plan, plan.SwitchNodes)
+}
+
+func (c *Controller) rollback(plan *TreePlan, switches []netsim.NodeID) {
+	for _, sw := range switches {
+		if prog, ok := c.programs[sw]; ok {
+			prog.RemoveTree(plan.TreeID)
+		}
+	}
+}
+
+// Program returns the program registered for a switch (diagnostics).
+func (c *Controller) Program(sw netsim.NodeID) *core.Program { return c.programs[sw] }

@@ -1,0 +1,127 @@
+// Package core implements DAIET, the paper's contribution: in-network data
+// aggregation for partition/aggregate data center applications.
+//
+// It contains three cooperating pieces:
+//
+//   - Program: the switch-side packet-processing program (the paper's
+//     Algorithm 1) expressed against the internal/dataplane pipeline —
+//     per-tree key/value register arrays managed as single-slot hash
+//     buckets, a spillover bucket for collisions, an index stack to avoid
+//     scanning on flush, and END-packet fan-in counting.
+//   - Sender: the worker-side library that packetizes a map task's
+//     intermediate key-value pairs into DAIET-over-UDP packets (fixed-size
+//     pairs, at most a parse-budget's worth per packet) and terminates the
+//     stream with an END packet.
+//   - Collector: the reducer-side library that receives aggregated pairs
+//     (plus spillover leftovers), performs the final combine, and reports
+//     the traffic statistics the evaluation measures.
+package core
+
+import "fmt"
+
+// AggFuncID identifies an aggregation function in switch configuration and
+// controller messages. Values are stable wire/flow-rule identifiers.
+type AggFuncID uint32
+
+// Built-in aggregation function IDs. The paper requires commutative and
+// associative combiners so partial in-network application cannot change the
+// final result; every built-in satisfies that.
+const (
+	AggSum AggFuncID = iota + 1
+	AggMin
+	AggMax
+	AggCount
+	AggBitOr
+	AggBitAnd
+)
+
+// AggFunc combines 32-bit values. Implementations must be commutative and
+// associative: Combine(a, Combine(b, c)) == Combine(Combine(a, b), c) and
+// Combine(a, b) == Combine(b, a). Identity is the neutral element.
+type AggFunc interface {
+	ID() AggFuncID
+	Name() string
+	Identity() uint32
+	Combine(a, b uint32) uint32
+}
+
+type aggSum struct{}
+
+func (aggSum) ID() AggFuncID              { return AggSum }
+func (aggSum) Name() string               { return "sum" }
+func (aggSum) Identity() uint32           { return 0 }
+func (aggSum) Combine(a, b uint32) uint32 { return a + b }
+
+type aggMin struct{}
+
+func (aggMin) ID() AggFuncID    { return AggMin }
+func (aggMin) Name() string     { return "min" }
+func (aggMin) Identity() uint32 { return ^uint32(0) }
+func (aggMin) Combine(a, b uint32) uint32 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+type aggMax struct{}
+
+func (aggMax) ID() AggFuncID    { return AggMax }
+func (aggMax) Name() string     { return "max" }
+func (aggMax) Identity() uint32 { return 0 }
+func (aggMax) Combine(a, b uint32) uint32 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// aggCount ignores incoming values and counts occurrences. On the wire a
+// count update carries value 1; combining adds.
+type aggCount struct{}
+
+func (aggCount) ID() AggFuncID              { return AggCount }
+func (aggCount) Name() string               { return "count" }
+func (aggCount) Identity() uint32           { return 0 }
+func (aggCount) Combine(a, b uint32) uint32 { return a + b }
+
+type aggBitOr struct{}
+
+func (aggBitOr) ID() AggFuncID              { return AggBitOr }
+func (aggBitOr) Name() string               { return "bit_or" }
+func (aggBitOr) Identity() uint32           { return 0 }
+func (aggBitOr) Combine(a, b uint32) uint32 { return a | b }
+
+type aggBitAnd struct{}
+
+func (aggBitAnd) ID() AggFuncID              { return AggBitAnd }
+func (aggBitAnd) Name() string               { return "bit_and" }
+func (aggBitAnd) Identity() uint32           { return ^uint32(0) }
+func (aggBitAnd) Combine(a, b uint32) uint32 { return a & b }
+
+var builtins = map[AggFuncID]AggFunc{
+	AggSum:    aggSum{},
+	AggMin:    aggMin{},
+	AggMax:    aggMax{},
+	AggCount:  aggCount{},
+	AggBitOr:  aggBitOr{},
+	AggBitAnd: aggBitAnd{},
+}
+
+// FuncByID resolves an aggregation function ID.
+func FuncByID(id AggFuncID) (AggFunc, error) {
+	f, ok := builtins[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown aggregation function %d", id)
+	}
+	return f, nil
+}
+
+// Funcs returns all built-in aggregation functions (for tests and docs).
+func Funcs() []AggFunc {
+	out := make([]AggFunc, 0, len(builtins))
+	for _, id := range []AggFuncID{AggSum, AggMin, AggMax, AggCount, AggBitOr, AggBitAnd} {
+		out = append(out, builtins[id])
+	}
+	return out
+}

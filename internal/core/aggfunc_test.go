@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFuncByID(t *testing.T) {
+	for _, id := range []AggFuncID{AggSum, AggMin, AggMax, AggCount, AggBitOr, AggBitAnd} {
+		f, err := FuncByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.ID() != id {
+			t.Fatalf("id mismatch: %d vs %d", f.ID(), id)
+		}
+		if f.Name() == "" {
+			t.Fatal("empty name")
+		}
+	}
+	if _, err := FuncByID(999); err == nil {
+		t.Fatal("unknown id must fail")
+	}
+	if len(Funcs()) != 6 {
+		t.Fatalf("funcs: %d", len(Funcs()))
+	}
+}
+
+// Property: every built-in is commutative, associative, and respects its
+// identity — the paper's correctness precondition for in-network
+// application.
+func TestAggFuncAlgebraProperty(t *testing.T) {
+	for _, f := range Funcs() {
+		f := f
+		comm := func(a, b uint32) bool { return f.Combine(a, b) == f.Combine(b, a) }
+		assoc := func(a, b, c uint32) bool {
+			return f.Combine(a, f.Combine(b, c)) == f.Combine(f.Combine(a, b), c)
+		}
+		ident := func(a uint32) bool { return f.Combine(f.Identity(), a) == a }
+		cfg := &quick.Config{MaxCount: 200}
+		if err := quick.Check(comm, cfg); err != nil {
+			t.Fatalf("%s not commutative: %v", f.Name(), err)
+		}
+		if err := quick.Check(assoc, cfg); err != nil {
+			t.Fatalf("%s not associative: %v", f.Name(), err)
+		}
+		if err := quick.Check(ident, cfg); err != nil {
+			t.Fatalf("%s identity broken: %v", f.Name(), err)
+		}
+	}
+}
+
+func TestAggSemantics(t *testing.T) {
+	sum, _ := FuncByID(AggSum)
+	if sum.Combine(3, 4) != 7 {
+		t.Fatal("sum")
+	}
+	min, _ := FuncByID(AggMin)
+	if min.Combine(3, 4) != 3 || min.Combine(9, 2) != 2 {
+		t.Fatal("min")
+	}
+	max, _ := FuncByID(AggMax)
+	if max.Combine(3, 4) != 4 || max.Combine(9, 2) != 9 {
+		t.Fatal("max")
+	}
+	cnt, _ := FuncByID(AggCount)
+	if cnt.Combine(5, 1) != 6 {
+		t.Fatal("count")
+	}
+	or, _ := FuncByID(AggBitOr)
+	if or.Combine(0b0101, 0b0011) != 0b0111 {
+		t.Fatal("or")
+	}
+	and, _ := FuncByID(AggBitAnd)
+	if and.Combine(0b0101, 0b0011) != 0b0001 {
+		t.Fatal("and")
+	}
+}

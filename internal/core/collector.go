@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/daiet/daiet/internal/transport"
+	"github.com/daiet/daiet/internal/wire"
+)
+
+// CollectorStats counts what a reducer receives — the quantities Figure 3
+// measures (data volume and packet counts at the tree roots).
+type CollectorStats struct {
+	Packets           uint64 // all DAIET packets received
+	DataPackets       uint64
+	EndPackets        uint64
+	AggregatedPackets uint64 // packets flagged as switch flush output
+	SpillPackets      uint64 // packets flagged as spillover
+	PairsReceived     uint64
+	PayloadBytes      uint64 // DAIET header + pairs bytes received
+	UniqueKeys        uint64 // distinct keys in the final result
+}
+
+// Collector is the reducer-side half of the DAIET protocol: it receives
+// (possibly pre-aggregated) pairs, applies the final combine, and signals
+// completion when the expected number of END packets has arrived.
+//
+// Because in-network aggregation destroys the mapper-side sort order, the
+// collector exposes SortedResult for the reducer's mandatory full sort
+// (paper §4: "the intermediate results must be sorted at the reducer").
+type Collector struct {
+	geom         wire.PairGeometry
+	agg          AggFunc
+	expectedEnds int
+	endsSeen     int
+	treeID       uint32
+
+	result   map[string]uint32
+	complete bool
+
+	// KeepRaw, when set before traffic arrives, records every received
+	// pair in RawPairs in arrival order. The MapReduce harness uses the
+	// raw stream to measure the reducer's real sort+combine time (the
+	// paper's reduce-time panel).
+	KeepRaw  bool
+	RawPairs []KV
+
+	// OnComplete fires once, when the last expected END arrives.
+	OnComplete func()
+
+	Stats CollectorStats
+}
+
+// NewCollector builds a collector for one tree. expectedEnds is the number
+// of END packets that terminate the stream: with in-network aggregation
+// that is the reducer's tree child count (typically 1, its ToR switch);
+// without it, the number of mappers.
+func NewCollector(treeID uint32, agg AggFunc, geom wire.PairGeometry, expectedEnds int) *Collector {
+	return &Collector{
+		geom:         geom,
+		agg:          agg,
+		expectedEnds: expectedEnds,
+		treeID:       treeID,
+		result:       make(map[string]uint32),
+	}
+}
+
+// Attach registers the collector on the host's DAIET UDP port.
+func (c *Collector) Attach(h *transport.Host) {
+	h.HandleUDP(wire.UDPPortDaiet, func(_ wire.IPv4Addr, _ uint16, payload []byte) {
+		c.handle(payload)
+	})
+}
+
+// Ingest feeds one raw DAIET UDP payload into the collector. Alternative
+// carriers (the real-socket runtime in internal/udprt) call this directly.
+func (c *Collector) Ingest(payload []byte) { c.handle(payload) }
+
+// Complete reports whether all expected ENDs have arrived.
+func (c *Collector) Complete() bool { return c.complete }
+
+// handle ingests one DAIET UDP payload.
+func (c *Collector) handle(payload []byte) {
+	var hdr wire.DaietHeader
+	rest, err := hdr.DecodeFrom(payload)
+	if err != nil {
+		return // undecodable datagram: ignore, like any UDP service
+	}
+	if hdr.TreeID != c.treeID {
+		return
+	}
+	c.Stats.Packets++
+	c.Stats.PayloadBytes += uint64(len(payload))
+	if hdr.Flags&wire.FlagAggregated != 0 {
+		c.Stats.AggregatedPackets++
+	}
+	if hdr.Flags&wire.FlagSpill != 0 {
+		c.Stats.SpillPackets++
+	}
+	switch hdr.Type {
+	case wire.TypeData:
+		c.Stats.DataPackets++
+		view, err := wire.NewPairView(c.geom, rest, int(hdr.NumPairs))
+		if err != nil {
+			return
+		}
+		for i := 0; i < view.Len(); i++ {
+			key := string(wire.TrimKey(view.Key(i)))
+			v := view.Value(i)
+			if cur, ok := c.result[key]; ok {
+				c.result[key] = c.agg.Combine(cur, v)
+			} else {
+				c.result[key] = c.agg.Combine(c.agg.Identity(), v)
+			}
+			if c.KeepRaw {
+				c.RawPairs = append(c.RawPairs, KV{Key: key, Value: v})
+			}
+			c.Stats.PairsReceived++
+		}
+	case wire.TypeEnd:
+		c.Stats.EndPackets++
+		c.endsSeen++
+		if c.endsSeen == c.expectedEnds && !c.complete {
+			c.complete = true
+			c.Stats.UniqueKeys = uint64(len(c.result))
+			if c.OnComplete != nil {
+				c.OnComplete()
+			}
+		}
+	}
+}
+
+// Result returns the aggregated key-value map (live reference; callers
+// should treat it as read-only until the stream completes).
+func (c *Collector) Result() map[string]uint32 { return c.result }
+
+// SortedResult returns the aggregated pairs sorted by key: the reducer-side
+// sort pass the paper charges against DAIET's unsorted delivery.
+func (c *Collector) SortedResult() []KV {
+	out := make([]KV, 0, len(c.result))
+	for k, v := range c.result {
+		out = append(out, KV{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// KV is one aggregated key-value pair.
+type KV struct {
+	Key   string
+	Value uint32
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/transport"
+	"github.com/daiet/daiet/internal/wire"
+)
+
+// Reliability extension. The paper leaves packet losses to future work
+// ("In the current prototype, we do not address the issue of packet
+// losses"); this file implements the natural first step the wire format
+// already reserves space for: reliable delivery on the worker→switch edge
+// hop, with
+//
+//   - sender-side go-back-N over the DAIET sequence number (window, RTO,
+//     bounded retries), and
+//   - switch-side in-order filtering per (tree, sender) with cumulative
+//     ACK generation — which keeps aggregation idempotent under
+//     retransmission even for non-idempotent combiners like sum.
+//
+// Multi-hop reliability (protecting switch→switch and switch→reducer
+// flushes) needs switch-side retransmit buffers and is out of scope, as in
+// SwitchML-style systems where reliability remains host-driven.
+
+// TimerCarrier extends Carrier with timer scheduling, which retransmission
+// needs. transport.Host implements it over the simulator clock;
+// udprt.Client implements it with real timers.
+type TimerCarrier interface {
+	Carrier
+	After(d time.Duration, fn func())
+}
+
+// ReliableConfig tunes a ReliableSender. The zero value gets defaults.
+type ReliableConfig struct {
+	Window     int           // max unacknowledged packets (default 32)
+	RTO        time.Duration // retransmission timeout (default 2ms)
+	MaxRetries int           // give-up bound per stall (default 50)
+	// Epoch distinguishes rounds on the same tree. The switch treats a
+	// seq-0 packet with a newer epoch as the start of a fresh stream and
+	// can still acknowledge stragglers of the previous epoch — resolving
+	// the lost-final-ACK ambiguity (the protocol's TIME_WAIT analogue).
+	// Applications increment it per round (mod 256).
+	Epoch uint8
+}
+
+func (c ReliableConfig) withDefaults() ReliableConfig {
+	if c.Window == 0 {
+		c.Window = 32
+	}
+	if c.RTO == 0 {
+		c.RTO = 2 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 50
+	}
+	return c
+}
+
+// ReliableStats counts a reliable sender's activity.
+type ReliableStats struct {
+	PairsSent       uint64
+	DataPackets     uint64
+	EndPackets      uint64
+	Transmissions   uint64 // first transmissions + retransmissions
+	Retransmissions uint64
+	AcksReceived    uint64
+}
+
+// ReliableSender is the loss-tolerant counterpart of Sender: it assigns
+// consecutive sequence numbers to DATA packets and the final END, retains
+// payloads until cumulatively acknowledged by the switch, and retransmits
+// from the lowest unacknowledged sequence on timeout.
+//
+// It is not safe for concurrent use; over real sockets, serialize calls
+// and timer callbacks externally.
+type ReliableSender struct {
+	carrier  TimerCarrier
+	cfg      ReliableConfig
+	geom     wire.PairGeometry
+	maxPairs int
+	treeID   uint32
+	dst      netsim.NodeID
+
+	buf *wire.Buffer
+	n   int
+
+	nextSeq  uint32   // next sequence to assign
+	sndUna   uint32   // lowest unacknowledged sequence
+	payloads [][]byte // payloads[i] is seq sndUna+i; unsent if beyond sent
+	sent     uint32   // sequences [sndUna, sndUna+sent) are in flight
+	ended    bool
+	failed   error
+	timerGen int
+	timerOn  bool
+	retries  int
+
+	// OnComplete fires once when the END is acknowledged.
+	OnComplete func()
+	// OnError fires once if MaxRetries is exhausted.
+	OnError func(error)
+
+	Stats ReliableStats
+}
+
+// NewReliableSender creates a reliable sender for one (worker, tree)
+// stream.
+func NewReliableSender(carrier TimerCarrier, treeID uint32, dst netsim.NodeID,
+	geom wire.PairGeometry, maxPairs int, cfg ReliableConfig) (*ReliableSender, error) {
+
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if maxPairs <= 0 {
+		maxPairs = geom.MaxPairsPerPacket()
+		if maxPairs > wire.DefaultMaxPairs {
+			maxPairs = wire.DefaultMaxPairs
+		}
+	}
+	return &ReliableSender{
+		carrier:  carrier,
+		cfg:      cfg.withDefaults(),
+		geom:     geom,
+		maxPairs: maxPairs,
+		treeID:   treeID,
+		dst:      dst,
+	}, nil
+}
+
+// Send appends one pair, packetizing as the buffer fills.
+func (s *ReliableSender) Send(key []byte, value uint32) error {
+	if s.ended {
+		return fmt.Errorf("core: reliable Send after End on tree %d", s.treeID)
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	if s.buf == nil {
+		s.buf = wire.NewBuffer(wire.DefaultHeadroom, s.maxPairs*s.geom.PairWidth())
+		s.n = 0
+	}
+	if err := wire.AppendPair(s.buf, s.geom, key, value); err != nil {
+		return err
+	}
+	s.n++
+	s.Stats.PairsSent++
+	if s.n >= s.maxPairs {
+		s.sealData()
+	}
+	return nil
+}
+
+// End seals pending pairs and queues the END packet. Completion is
+// signalled via OnComplete when the END is acknowledged.
+func (s *ReliableSender) End() {
+	if s.ended {
+		return
+	}
+	if s.n > 0 {
+		s.sealData()
+	}
+	s.ended = true
+	buf := wire.NewBuffer(wire.DefaultHeadroom, 0)
+	hdr := wire.DaietHeader{
+		Type:   wire.TypeEnd,
+		TreeID: s.treeID,
+		Seq:    s.nextSeq,
+		Flags:  uint16(s.cfg.Epoch) << 8,
+	}
+	hdr.SerializeTo(buf)
+	s.enqueue(buf.Bytes())
+	s.Stats.EndPackets++
+}
+
+// Done reports whether every packet, including the END, is acknowledged.
+func (s *ReliableSender) Done() bool {
+	return s.ended && len(s.payloads) == 0 && s.failed == nil
+}
+
+// Err returns the terminal error after a give-up, if any.
+func (s *ReliableSender) Err() error { return s.failed }
+
+// sealData finalizes the current buffer into a sequenced DATA payload.
+func (s *ReliableSender) sealData() {
+	hdr := wire.DaietHeader{
+		Type:     wire.TypeData,
+		TreeID:   s.treeID,
+		Seq:      s.nextSeq,
+		NumPairs: uint16(s.n),
+		Flags:    uint16(s.cfg.Epoch) << 8,
+	}
+	hdr.SerializeTo(s.buf)
+	s.enqueue(s.buf.Bytes())
+	s.Stats.DataPackets++
+	s.buf = nil
+	s.n = 0
+}
+
+// enqueue stores a payload under the next sequence number and pumps.
+func (s *ReliableSender) enqueue(payload []byte) {
+	// The payload slice is retained for retransmission; copy it out of any
+	// shared buffer.
+	s.payloads = append(s.payloads, append([]byte(nil), payload...))
+	s.nextSeq++
+	s.pump()
+}
+
+// pump transmits queued payloads within the window.
+func (s *ReliableSender) pump() {
+	if s.failed != nil {
+		return
+	}
+	for int(s.sent) < len(s.payloads) && int(s.sent) < s.cfg.Window {
+		p := s.payloads[s.sent]
+		s.carrier.SendUDP(s.dst, wire.UDPPortDaiet, wire.UDPPortDaiet, p)
+		s.Stats.Transmissions++
+		s.sent++
+	}
+	s.armTimer()
+}
+
+func (s *ReliableSender) armTimer() {
+	if s.timerOn || len(s.payloads) == 0 || s.failed != nil {
+		return
+	}
+	s.timerOn = true
+	gen := s.timerGen
+	s.carrier.After(s.cfg.RTO, func() { s.onTimer(gen) })
+}
+
+func (s *ReliableSender) onTimer(gen int) {
+	s.timerOn = false
+	if gen != s.timerGen || len(s.payloads) == 0 || s.failed != nil {
+		return
+	}
+	s.retries++
+	if s.retries > s.cfg.MaxRetries {
+		s.failed = fmt.Errorf("core: tree %d: gave up after %d retries at seq %d",
+			s.treeID, s.cfg.MaxRetries, s.sndUna)
+		if s.OnError != nil {
+			s.OnError(s.failed)
+		}
+		return
+	}
+	// Go-back-N: retransmit everything in flight.
+	for i := uint32(0); i < s.sent; i++ {
+		s.carrier.SendUDP(s.dst, wire.UDPPortDaiet, wire.UDPPortDaiet, s.payloads[i])
+		s.Stats.Transmissions++
+		s.Stats.Retransmissions++
+	}
+	s.armTimer()
+}
+
+// HandleAck processes a cumulative acknowledgement: every sequence below
+// ackSeq is released.
+func (s *ReliableSender) HandleAck(ackSeq uint32) {
+	s.Stats.AcksReceived++
+	if s.failed != nil {
+		return
+	}
+	acked := int32(ackSeq - s.sndUna)
+	if acked <= 0 || int(acked) > len(s.payloads) {
+		return // stale or absurd ACK
+	}
+	s.payloads = s.payloads[acked:]
+	s.sndUna = ackSeq
+	if uint32(acked) >= s.sent {
+		s.sent = 0
+	} else {
+		s.sent -= uint32(acked)
+	}
+	s.retries = 0
+	s.timerGen++
+	s.timerOn = false
+	if s.Done() {
+		if s.OnComplete != nil {
+			f := s.OnComplete
+			s.OnComplete = nil
+			f()
+		}
+		return
+	}
+	s.pump()
+}
+
+// AckMux demultiplexes inbound DAIET traffic on a worker host: ACK packets
+// route to the ReliableSender for their tree; everything else is ignored
+// (workers do not collect). Reducer hosts keep using Collector.Attach.
+type AckMux struct {
+	senders map[uint32]*ReliableSender
+}
+
+// NewAckMux installs the mux on the host's DAIET port and returns it.
+func NewAckMux(h *transport.Host) *AckMux {
+	m := &AckMux{senders: make(map[uint32]*ReliableSender)}
+	h.HandleUDP(wire.UDPPortDaiet, func(_ wire.IPv4Addr, _ uint16, payload []byte) {
+		m.Ingest(payload)
+	})
+	return m
+}
+
+// Register attaches a sender to its tree ID.
+func (m *AckMux) Register(s *ReliableSender) { m.senders[s.treeID] = s }
+
+// Ingest routes one DAIET payload (exposed for real-socket carriers).
+// ACKs from a different epoch are dropped: they acknowledge another round.
+func (m *AckMux) Ingest(payload []byte) {
+	var hdr wire.DaietHeader
+	if _, err := hdr.DecodeFrom(payload); err != nil {
+		return
+	}
+	if hdr.Type != wire.TypeAck {
+		return
+	}
+	s, ok := m.senders[hdr.TreeID]
+	if !ok {
+		return
+	}
+	if uint8(hdr.Flags>>8) != s.cfg.Epoch {
+		return
+	}
+	s.HandleAck(hdr.Seq)
+}

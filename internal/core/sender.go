@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/wire"
+)
+
+// Carrier abstracts how DAIET payloads reach the network: the simulated
+// transport.Host satisfies it as-is, and internal/udprt provides a real
+// net.UDPConn-backed implementation, so Sender and Collector run unchanged
+// over both (the paper's claim of platform generality, §4).
+type Carrier interface {
+	// SendUDP transmits payload as one UDP datagram to node dst.
+	SendUDP(dst netsim.NodeID, srcPort, dstPort uint16, payload []byte)
+	// ID returns the local node's fabric ID.
+	ID() netsim.NodeID
+}
+
+// SenderStats counts a sender's output.
+type SenderStats struct {
+	PairsSent    uint64
+	DataPackets  uint64
+	EndPackets   uint64
+	PayloadBytes uint64 // DAIET header + pairs, i.e. UDP payload bytes
+}
+
+// Sender is the worker-side half of the DAIET protocol: it packetizes one
+// map task's intermediate key-value pairs for one aggregation tree
+// (reducer) into fixed-size-pair DATA packets and terminates the stream
+// with an END packet.
+//
+// The paper's serialization discussion (§4) applies: pairs are fixed-size
+// so packetization never splits a pair, and packets carry at most one parse
+// budget's worth of pairs.
+type Sender struct {
+	carrier  Carrier
+	geom     wire.PairGeometry
+	maxPairs int
+	treeID   uint32
+	dst      netsim.NodeID
+	srcPort  uint16
+
+	seq   uint32
+	buf   *wire.Buffer
+	n     int
+	ended bool
+
+	Stats SenderStats
+}
+
+// NewSender creates a sender for one (worker, tree) stream. dst is the tree
+// root (the reducer's node ID, which equals the tree ID in this fabric).
+func NewSender(carrier Carrier, treeID uint32, dst netsim.NodeID,
+	geom wire.PairGeometry, maxPairs int) (*Sender, error) {
+
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if maxPairs <= 0 {
+		maxPairs = geom.MaxPairsPerPacket()
+		if maxPairs > wire.DefaultMaxPairs {
+			maxPairs = wire.DefaultMaxPairs
+		}
+	}
+	return &Sender{
+		carrier:  carrier,
+		geom:     geom,
+		maxPairs: maxPairs,
+		treeID:   treeID,
+		dst:      dst,
+		srcPort:  wire.UDPPortDaiet,
+	}, nil
+}
+
+// Send appends one pair to the current packet, transmitting it when full.
+func (s *Sender) Send(key []byte, value uint32) error {
+	if s.ended {
+		return fmt.Errorf("core: Send after End on tree %d", s.treeID)
+	}
+	if s.buf == nil {
+		s.buf = wire.NewBuffer(wire.DefaultHeadroom, s.maxPairs*s.geom.PairWidth())
+		s.n = 0
+	}
+	if err := wire.AppendPair(s.buf, s.geom, key, value); err != nil {
+		return err
+	}
+	s.n++
+	s.Stats.PairsSent++
+	if s.n >= s.maxPairs {
+		s.flushData()
+	}
+	return nil
+}
+
+// Flush transmits any partially filled packet.
+func (s *Sender) Flush() {
+	if s.n > 0 {
+		s.flushData()
+	}
+}
+
+// End flushes pending pairs and sends the END packet. Further Sends fail.
+func (s *Sender) End() {
+	if s.ended {
+		return
+	}
+	s.Flush()
+	s.ended = true
+	buf := wire.NewBuffer(wire.DefaultHeadroom, 0)
+	hdr := wire.DaietHeader{Type: wire.TypeEnd, TreeID: s.treeID, Seq: s.nextSeq()}
+	hdr.SerializeTo(buf)
+	s.Stats.EndPackets++
+	s.Stats.PayloadBytes += wire.DaietHeaderLen
+	s.carrier.SendUDP(s.dst, s.srcPort, wire.UDPPortDaiet, buf.Bytes())
+}
+
+func (s *Sender) nextSeq() uint32 {
+	v := s.seq
+	s.seq++
+	return v
+}
+
+func (s *Sender) flushData() {
+	hdr := wire.DaietHeader{
+		Type:     wire.TypeData,
+		TreeID:   s.treeID,
+		Seq:      s.nextSeq(),
+		NumPairs: uint16(s.n),
+	}
+	hdr.SerializeTo(s.buf)
+	s.Stats.DataPackets++
+	s.Stats.PayloadBytes += uint64(s.buf.Len())
+	s.carrier.SendUDP(s.dst, s.srcPort, wire.UDPPortDaiet, s.buf.Bytes())
+	s.buf = nil
+	s.n = 0
+}

@@ -1,0 +1,150 @@
+package dataplane
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// BenchmarkRegisterAccess measures the metered register read/write path.
+func BenchmarkRegisterAccess(b *testing.B) {
+	rf := NewRegisterFile(1 << 20)
+	r, err := rf.AllocRegister("bench", 4, 16384)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var c Ctx
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.reset(nil, 0, 1<<30, 300)
+		for j := 0; j < 64; j++ {
+			v := c.RegRead(r, j)
+			c.RegWrite(r, j, v+1)
+		}
+	}
+}
+
+// BenchmarkTableExactLookup measures exact-match apply with 1K entries.
+func BenchmarkTableExactLookup(b *testing.B) {
+	tbl := NewTable("bench", MatchExact)
+	for i := 0; i < 1024; i++ {
+		var key [4]byte
+		binary.BigEndian.PutUint32(key[:], uint32(i))
+		if err := tbl.AddExact(key[:], Entry{Action: func(*Ctx, []uint64) {}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var key [4]byte
+	binary.BigEndian.PutUint32(key[:], 512)
+	var c Ctx
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.reset(nil, 0, 1<<30, 300)
+		c.Apply(tbl, key[:])
+	}
+}
+
+// BenchmarkHashIndex measures the metered hash primitive.
+func BenchmarkHashIndex(b *testing.B) {
+	var c Ctx
+	c.reset(nil, 0, 1<<30, 300)
+	key := []byte("sixteen-byte-key")
+	for i := 0; i < b.N; i++ {
+		_ = c.HashIndex(key, 16384)
+	}
+}
+
+// BenchmarkTernaryLookup measures masked matching over 64 rules.
+func BenchmarkTernaryLookup(b *testing.B) {
+	tbl := NewTable("acl", MatchTernary)
+	for i := 0; i < 64; i++ {
+		key := []byte{byte(i), 0, 0, 0}
+		mask := []byte{0xff, 0, 0, 0}
+		if err := tbl.AddTernary(key, mask, i, Entry{Action: func(*Ctx, []uint64) {}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	probe := []byte{32, 1, 2, 3}
+	var c Ctx
+	for i := 0; i < b.N; i++ {
+		c.reset(nil, 0, 1<<30, 300)
+		c.Apply(tbl, probe)
+	}
+}
+
+// The paper keeps an index stack "to store the indices of the used cells
+// in the two arrays. This facilitates flushing the results to the next
+// node, avoiding a costly scan of the arrays." These two benchmarks
+// quantify that design choice at the paper's occupancy point (~2K used
+// cells in a 16K table, the Figure-3 operating point).
+
+const (
+	flushTableSize = 16384
+	flushUsedCells = 2000
+)
+
+func setupFlushState(b *testing.B) (*Register, *Register, *Register) {
+	b.Helper()
+	rf := NewRegisterFile(1 << 20)
+	valid, err := rf.AllocRegister("valid", 1, flushTableSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack, err := rf.AllocRegister("stack", 4, flushTableSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	top, err := rf.AllocRegister("top", 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Spread the used cells across the table like a hash would.
+	var c Ctx
+	c.reset(nil, 0, 1<<30, 300)
+	for i := 0; i < flushUsedCells; i++ {
+		idx := (i * 8191) % flushTableSize
+		c.RegWrite(valid, idx, 1)
+		c.RegWrite(stack, i, uint64(idx))
+	}
+	c.RegWrite(top, 0, flushUsedCells)
+	return valid, stack, top
+}
+
+// BenchmarkFlushViaIndexStack pops exactly the used cells.
+func BenchmarkFlushViaIndexStack(b *testing.B) {
+	valid, stack, top := setupFlushState(b)
+	var c Ctx
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.reset(nil, 0, 1<<31, 300)
+		n := int(c.RegRead(top, 0))
+		touched := 0
+		for j := 0; j < n; j++ {
+			idx := int(c.RegRead(stack, j))
+			_ = c.RegRead(valid, idx)
+			touched++
+		}
+		if touched != flushUsedCells {
+			b.Fatal("wrong cell count")
+		}
+	}
+}
+
+// BenchmarkFlushViaFullScan walks every cell looking for occupancy — the
+// alternative the paper rejects.
+func BenchmarkFlushViaFullScan(b *testing.B) {
+	valid, _, _ := setupFlushState(b)
+	var c Ctx
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.reset(nil, 0, 1<<31, 300)
+		touched := 0
+		for idx := 0; idx < flushTableSize; idx++ {
+			if c.RegRead(valid, idx) == 1 {
+				touched++
+			}
+		}
+		if touched != flushUsedCells {
+			b.Fatal("wrong cell count")
+		}
+	}
+}

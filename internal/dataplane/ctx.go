@@ -1,0 +1,321 @@
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/daiet/daiet/internal/hashing"
+)
+
+// PHV sizing: programs address metadata by small constant slot numbers,
+// like fields in a P4 packet header vector.
+const (
+	PHVIntSlots  = 48
+	PHVByteSlots = 32
+)
+
+// Verdict is the fate of a packet after a pipeline pass.
+type Verdict int
+
+// Possible verdicts. The zero value is Drop so that a program that never
+// decides anything fails closed.
+const (
+	VerdictDrop Verdict = iota
+	VerdictForward
+	VerdictRecirculate
+)
+
+// Errors surfaced by Ctx primitives. They abort the current pass; the
+// pipeline converts them into drops plus violation counters.
+var (
+	ErrOpBudget     = errors.New("dataplane: per-packet operation budget exceeded")
+	ErrParseBudget  = errors.New("dataplane: parser exceeded its byte budget")
+	ErrTableReapply = errors.New("dataplane: table applied twice in one pass")
+	ErrRegBounds    = errors.New("dataplane: register index out of bounds")
+)
+
+// emit is one generated packet: the mirror/packet-generator path real
+// switches use for flushes.
+type emit struct {
+	port  int
+	frame []byte
+}
+
+// Ctx is the execution context one packet sees while traversing the
+// pipeline. Programs touch packet bytes, metadata and registers exclusively
+// through Ctx primitives, each of which is metered against the pass's
+// operation budget. Ctx is pooled by the Switch; programs must not retain
+// it across packets.
+type Ctx struct {
+	// Frame is the raw packet. Programs read it via Extract and may not
+	// resize it; rewrites happen through WriteFrame.
+	frame    []byte
+	parseOff int
+
+	// PHV: integer and byte-slice metadata slots. Byte slots typically
+	// alias the frame (zero copy), as a real PHV references extracted
+	// headers.
+	U [PHVIntSlots]uint64
+	B [PHVByteSlots][]byte
+
+	// InPort is the ingress port of the current pass.
+	InPort int
+	// RecircCount counts how many times this packet has recirculated.
+	RecircCount int
+
+	verdict Verdict
+	outPort int
+	emits   []emit
+
+	ops         int
+	opBudget    int
+	parseBudget int
+
+	applied map[*Table]bool
+	err     error
+}
+
+func (c *Ctx) reset(frame []byte, inPort, opBudget, parseBudget int) {
+	c.frame = frame
+	c.parseOff = 0
+	c.InPort = inPort
+	c.RecircCount = 0
+	c.verdict = VerdictDrop
+	c.outPort = -1
+	c.emits = c.emits[:0]
+	c.ops = 0
+	c.opBudget = opBudget
+	c.parseBudget = parseBudget
+	c.err = nil
+	for i := range c.U {
+		c.U[i] = 0
+	}
+	for i := range c.B {
+		c.B[i] = nil
+	}
+	if c.applied == nil {
+		c.applied = make(map[*Table]bool)
+	} else {
+		for k := range c.applied {
+			delete(c.applied, k)
+		}
+	}
+}
+
+// resetForPass clears per-pass state but keeps PHV contents, used between
+// recirculation passes (metadata survives recirculation on real targets via
+// packet tags; we carry the PHV for simplicity and parity with bmv2's
+// recirculate metadata).
+func (c *Ctx) resetForPass() {
+	c.parseOff = 0
+	c.verdict = VerdictDrop
+	c.outPort = -1
+	c.ops = 0
+	for k := range c.applied {
+		delete(c.applied, k)
+	}
+	c.err = nil
+}
+
+// fail records the first primitive error; later primitives become no-ops.
+func (c *Ctx) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// Err returns the first primitive error of the current pass, if any.
+func (c *Ctx) Err() error { return c.err }
+
+// Ops returns the number of metered operations consumed so far this pass.
+func (c *Ctx) Ops() int { return c.ops }
+
+// op meters one primitive invocation.
+func (c *Ctx) op() bool {
+	if c.err != nil {
+		return false
+	}
+	c.ops++
+	if c.ops > c.opBudget {
+		c.fail(ErrOpBudget)
+		return false
+	}
+	return true
+}
+
+// FrameLen returns the length of the raw frame.
+func (c *Ctx) FrameLen() int { return len(c.frame) }
+
+// Extract returns the next n bytes of the frame and advances the parse
+// cursor. It enforces the hardware parse budget (the paper: "current P4
+// hardware switches are expected to parse only around 200-300 B").
+func (c *Ctx) Extract(n int) []byte {
+	if !c.op() {
+		return nil
+	}
+	if c.parseOff+n > c.parseBudget {
+		c.fail(ErrParseBudget)
+		return nil
+	}
+	if c.parseOff+n > len(c.frame) {
+		c.fail(fmt.Errorf("dataplane: extract %d bytes at %d beyond frame end %d",
+			n, c.parseOff, len(c.frame)))
+		return nil
+	}
+	b := c.frame[c.parseOff : c.parseOff+n]
+	c.parseOff += n
+	return b
+}
+
+// ParseOffset returns the current parse cursor.
+func (c *Ctx) ParseOffset() int { return c.parseOff }
+
+// Apply looks key up in t and runs the matching action. Re-applying the
+// same table in one pass is the P4 error the paper describes working
+// around with manual loop unrolling; it aborts the pass.
+func (c *Ctx) Apply(t *Table, key []byte) {
+	if !c.op() {
+		return
+	}
+	if c.applied[t] {
+		c.fail(fmt.Errorf("%w: %s", ErrTableReapply, t.Name))
+		return
+	}
+	c.applied[t] = true
+	e, ok := t.lookup(key)
+	if !ok {
+		t.Misses.Add(1)
+		return
+	}
+	t.Hits.Add(1)
+	if e.Action != nil {
+		e.Action(c, e.Params)
+	}
+}
+
+// RegRead reads integer register r at idx.
+func (c *Ctx) RegRead(r *Register, idx int) uint64 {
+	if !c.op() {
+		return 0
+	}
+	if idx < 0 || idx >= len(r.Cells) {
+		c.fail(fmt.Errorf("%w: %s[%d] len %d", ErrRegBounds, r.Name, idx, len(r.Cells)))
+		return 0
+	}
+	return r.Cells[idx]
+}
+
+// RegWrite writes integer register r at idx, masking to the cell width.
+func (c *Ctx) RegWrite(r *Register, idx int, v uint64) {
+	if !c.op() {
+		return
+	}
+	if idx < 0 || idx >= len(r.Cells) {
+		c.fail(fmt.Errorf("%w: %s[%d] len %d", ErrRegBounds, r.Name, idx, len(r.Cells)))
+		return
+	}
+	r.Cells[idx] = v & r.mask
+}
+
+// BRegRead returns cell idx of byte register r (aliasing its storage; the
+// caller must not hold it past the pass).
+func (c *Ctx) BRegRead(r *ByteRegister, idx int) []byte {
+	if !c.op() {
+		return nil
+	}
+	if idx < 0 || idx >= r.count {
+		c.fail(fmt.Errorf("%w: %s[%d] len %d", ErrRegBounds, r.Name, idx, r.count))
+		return nil
+	}
+	return r.cell(idx)
+}
+
+// BRegWrite copies src into cell idx of byte register r, zero-padding to
+// the cell width. Oversized sources abort the pass.
+func (c *Ctx) BRegWrite(r *ByteRegister, idx int, src []byte) {
+	if !c.op() {
+		return
+	}
+	if idx < 0 || idx >= r.count {
+		c.fail(fmt.Errorf("%w: %s[%d] len %d", ErrRegBounds, r.Name, idx, r.count))
+		return
+	}
+	if len(src) > r.Width {
+		c.fail(fmt.Errorf("dataplane: write of %d bytes into %d-byte cells of %s",
+			len(src), r.Width, r.Name))
+		return
+	}
+	cell := r.cell(idx)
+	n := copy(cell, src)
+	for i := n; i < len(cell); i++ {
+		cell[i] = 0
+	}
+}
+
+// Hash computes the target's hash extern over b.
+func (c *Ctx) Hash(b []byte) uint64 {
+	if !c.op() {
+		return 0
+	}
+	return hashing.FNV1a64(b)
+}
+
+// HashIndex maps b into [0, size).
+func (c *Ctx) HashIndex(b []byte, size int) int {
+	if !c.op() {
+		return 0
+	}
+	if size <= 0 {
+		c.fail(fmt.Errorf("dataplane: HashIndex size %d", size))
+		return 0
+	}
+	return int(hashing.FNV1a64(b) % uint64(size))
+}
+
+// Forward sets the verdict to forward out of port.
+func (c *Ctx) Forward(port int) {
+	if c.err != nil {
+		return
+	}
+	c.verdict = VerdictForward
+	c.outPort = port
+}
+
+// Drop sets the verdict to drop.
+func (c *Ctx) Drop() {
+	if c.err != nil {
+		return
+	}
+	c.verdict = VerdictDrop
+}
+
+// Recirculate requeues the packet for another pipeline pass (bounded by the
+// pipeline's recirculation limit). PHV metadata survives the pass boundary.
+func (c *Ctx) Recirculate() {
+	if c.err != nil {
+		return
+	}
+	c.verdict = VerdictRecirculate
+}
+
+// Emit queues a generated packet for transmission out of port: the
+// mirror/packet-generation path used to flush aggregated state. The frame
+// is owned by the dataplane after the call.
+func (c *Ctx) Emit(port int, frame []byte) {
+	if !c.op() {
+		return
+	}
+	c.emits = append(c.emits, emit{port: port, frame: frame})
+}
+
+// WriteFrame rewrites n bytes of the frame at off (header rewrites).
+func (c *Ctx) WriteFrame(off int, src []byte) {
+	if !c.op() {
+		return
+	}
+	if off < 0 || off+len(src) > len(c.frame) {
+		c.fail(fmt.Errorf("dataplane: frame write [%d:%d) beyond len %d", off, off+len(src), len(c.frame)))
+		return
+	}
+	copy(c.frame[off:], src)
+}

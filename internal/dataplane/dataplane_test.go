@@ -1,0 +1,566 @@
+package dataplane
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/trace"
+	"github.com/daiet/daiet/internal/wire"
+)
+
+func TestRegisterFileBudget(t *testing.T) {
+	rf := NewRegisterFile(100)
+	r, err := rf.AllocRegister("a", 4, 20) // 80 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 20 || rf.Used() != 80 {
+		t.Fatalf("len=%d used=%d", r.Len(), rf.Used())
+	}
+	if _, err := rf.AllocRegister("b", 4, 10); err == nil { // 40 > 20 left
+		t.Fatal("want over-budget error")
+	}
+	if _, err := rf.AllocByteRegister("c", 2, 10); err != nil { // exactly 20
+		t.Fatal(err)
+	}
+	if rf.Used() != rf.Budget() {
+		t.Fatalf("used=%d budget=%d", rf.Used(), rf.Budget())
+	}
+	rf.Free("a")
+	if rf.Used() != 20 {
+		t.Fatalf("after free used=%d", rf.Used())
+	}
+	if _, err := rf.AllocRegister("b", 8, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterAllocValidation(t *testing.T) {
+	rf := NewRegisterFile(1000)
+	if _, err := rf.AllocRegister("w0", 0, 1); err == nil {
+		t.Fatal("width 0 must fail")
+	}
+	if _, err := rf.AllocRegister("w9", 9, 1); err == nil {
+		t.Fatal("width 9 must fail")
+	}
+	if _, err := rf.AllocRegister("c0", 4, 0); err == nil {
+		t.Fatal("count 0 must fail")
+	}
+	if _, err := rf.AllocRegister("ok", 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rf.AllocRegister("ok", 4, 2); err == nil {
+		t.Fatal("duplicate name must fail")
+	}
+	if _, err := rf.AllocByteRegister("b", 0, 1); err == nil {
+		t.Fatal("byte width 0 must fail")
+	}
+}
+
+func TestRegisterWidthMasking(t *testing.T) {
+	rf := NewRegisterFile(1000)
+	r, _ := rf.AllocRegister("narrow", 2, 4)
+	var c Ctx
+	c.reset(nil, 0, 100, 300)
+	c.RegWrite(r, 1, 0x12345678)
+	if got := c.RegRead(r, 1); got != 0x5678 {
+		t.Fatalf("masked write: %#x", got)
+	}
+	r8, _ := rf.AllocRegister("wide", 8, 1)
+	c.RegWrite(r8, 0, ^uint64(0))
+	if got := c.RegRead(r8, 0); got != ^uint64(0) {
+		t.Fatalf("full width: %#x", got)
+	}
+}
+
+func TestCtxRegisterBounds(t *testing.T) {
+	rf := NewRegisterFile(1000)
+	r, _ := rf.AllocRegister("r", 4, 4)
+	var c Ctx
+	c.reset(nil, 0, 100, 300)
+	c.RegRead(r, 4)
+	if !errors.Is(c.Err(), ErrRegBounds) {
+		t.Fatalf("want bounds error, got %v", c.Err())
+	}
+	// After an error all primitives are inert.
+	c.RegWrite(r, 0, 7)
+	if r.Cells[0] != 0 {
+		t.Fatal("primitive ran after error")
+	}
+}
+
+func TestByteRegisterReadWrite(t *testing.T) {
+	rf := NewRegisterFile(1000)
+	br, _ := rf.AllocByteRegister("keys", 8, 4)
+	var c Ctx
+	c.reset(nil, 0, 100, 300)
+	c.BRegWrite(br, 2, []byte("hi"))
+	got := c.BRegRead(br, 2)
+	if string(got[:2]) != "hi" || got[2] != 0 || len(got) != 8 {
+		t.Fatalf("cell %v", got)
+	}
+	// Overwrite with shorter content must clear the tail.
+	c.BRegWrite(br, 2, []byte("abcdef"))
+	c.BRegWrite(br, 2, []byte("z"))
+	got = c.BRegRead(br, 2)
+	if got[0] != 'z' || got[1] != 0 {
+		t.Fatalf("stale bytes after short write: %v", got)
+	}
+	c.BRegWrite(br, 2, make([]byte, 9))
+	if c.Err() == nil {
+		t.Fatal("oversized write must error")
+	}
+}
+
+func TestCtxOpBudget(t *testing.T) {
+	rf := NewRegisterFile(1000)
+	r, _ := rf.AllocRegister("r", 8, 1)
+	var c Ctx
+	c.reset(nil, 0, 3, 300)
+	c.RegWrite(r, 0, 1)
+	c.RegWrite(r, 0, 2)
+	c.RegWrite(r, 0, 3)
+	if c.Err() != nil {
+		t.Fatalf("within budget: %v", c.Err())
+	}
+	c.RegWrite(r, 0, 4)
+	if !errors.Is(c.Err(), ErrOpBudget) {
+		t.Fatalf("want budget error, got %v", c.Err())
+	}
+	if r.Cells[0] != 3 {
+		t.Fatalf("write after budget ran: %d", r.Cells[0])
+	}
+}
+
+func TestCtxParseBudget(t *testing.T) {
+	var c Ctx
+	c.reset(make([]byte, 400), 0, 100, 300)
+	if b := c.Extract(300); len(b) != 300 {
+		t.Fatalf("extract: %d", len(b))
+	}
+	c.Extract(1)
+	if !errors.Is(c.Err(), ErrParseBudget) {
+		t.Fatalf("want parse budget error, got %v", c.Err())
+	}
+}
+
+func TestCtxExtractBeyondFrame(t *testing.T) {
+	var c Ctx
+	c.reset(make([]byte, 10), 0, 100, 300)
+	c.Extract(11)
+	if c.Err() == nil {
+		t.Fatal("want error extracting past frame end")
+	}
+}
+
+func TestTableExactMatch(t *testing.T) {
+	tbl := NewTable("t", MatchExact)
+	var hit uint64
+	err := tbl.AddExact([]byte{1, 2}, Entry{Action: func(c *Ctx, p []uint64) { hit = p[0] }, Params: []uint64{42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Ctx
+	c.reset(nil, 0, 100, 300)
+	c.Apply(tbl, []byte{1, 2})
+	if hit != 42 || tbl.Hits.Load() != 1 {
+		t.Fatalf("hit=%d hits=%d", hit, tbl.Hits.Load())
+	}
+	c.Apply(tbl, []byte{9, 9}) // reapply — must error
+	if !errors.Is(c.Err(), ErrTableReapply) {
+		t.Fatalf("want reapply error, got %v", c.Err())
+	}
+}
+
+func TestTableMissAndDefault(t *testing.T) {
+	tbl := NewTable("t", MatchExact)
+	var c Ctx
+	c.reset(nil, 0, 100, 300)
+	c.Apply(tbl, []byte{5})
+	if tbl.Misses.Load() != 1 || c.Err() != nil {
+		t.Fatalf("misses=%d err=%v", tbl.Misses.Load(), c.Err())
+	}
+	var def bool
+	tbl.Default = &Entry{Action: func(*Ctx, []uint64) { def = true }}
+	c.reset(nil, 0, 100, 300)
+	c.Apply(tbl, []byte{5})
+	if !def {
+		t.Fatal("default action did not run")
+	}
+	if tbl.Kind != MatchExact {
+		t.Fatal("kind changed")
+	}
+	if err := tbl.AddTernary(nil, nil, 0, Entry{}); err == nil {
+		t.Fatal("AddTernary on exact table must fail")
+	}
+}
+
+func TestTableTernaryPriority(t *testing.T) {
+	tbl := NewTable("acl", MatchTernary)
+	var got uint64
+	mk := func(v uint64) Entry {
+		return Entry{Action: func(c *Ctx, p []uint64) { got = p[0] }, Params: []uint64{v}}
+	}
+	// Low priority: match anything.
+	if err := tbl.AddTernary([]byte{0}, []byte{0x00}, 1, mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	// High priority: match 0x0a exactly.
+	if err := tbl.AddTernary([]byte{0x0a}, []byte{0xff}, 10, mk(2)); err != nil {
+		t.Fatal(err)
+	}
+	var c Ctx
+	c.reset(nil, 0, 100, 300)
+	c.Apply(tbl, []byte{0x0a})
+	if got != 2 {
+		t.Fatalf("priority: got %d", got)
+	}
+	c.reset(nil, 0, 100, 300)
+	c.Apply(tbl, []byte{0x0b})
+	if got != 1 {
+		t.Fatalf("fallback: got %d", got)
+	}
+	if err := tbl.AddTernary([]byte{1, 2}, []byte{1}, 0, Entry{}); err == nil {
+		t.Fatal("mismatched key/mask must fail")
+	}
+	if err := tbl.AddExact(nil, Entry{}); err == nil {
+		t.Fatal("AddExact on ternary table must fail")
+	}
+}
+
+func TestTableLPM(t *testing.T) {
+	tbl := NewTable("routes", MatchLPM)
+	var got uint64
+	mk := func(v uint64) Entry {
+		return Entry{Action: func(c *Ctx, p []uint64) { got = p[0] }, Params: []uint64{v}}
+	}
+	if err := tbl.AddLPM([]byte{10}, mk(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddLPM([]byte{10, 1}, mk(16)); err != nil {
+		t.Fatal(err)
+	}
+	var c Ctx
+	c.reset(nil, 0, 100, 300)
+	c.Apply(tbl, []byte{10, 1, 2, 3})
+	if got != 16 {
+		t.Fatalf("want longest prefix, got %d", got)
+	}
+	c.reset(nil, 0, 100, 300)
+	c.Apply(tbl, []byte{10, 9, 2, 3})
+	if got != 8 {
+		t.Fatalf("want /8, got %d", got)
+	}
+	if tbl.Size() != 2 {
+		t.Fatalf("size %d", tbl.Size())
+	}
+	if err := tbl.AddLPM(nil, Entry{}); err != nil {
+		t.Fatal(err) // zero-length prefix = default route, allowed
+	}
+}
+
+// buildEchoSwitch builds a 1-pipeline switch that forwards every frame to a
+// port taken from a forwarding table keyed on the destination MAC's node ID.
+func buildFwdPipeline(t *testing.T, fwd *Table) *Pipeline {
+	t.Helper()
+	parser := func(c *Ctx) error {
+		hdr := c.Extract(wire.EthernetHeaderLen)
+		if c.Err() != nil {
+			return c.Err()
+		}
+		c.B[0] = hdr[0:6] // dst mac
+		return nil
+	}
+	p := NewPipeline("l2", parser, PipelineConfig{})
+	if err := p.AddStage("forward", func(c *Ctx) {
+		c.Apply(fwd, c.B[0])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+type captureHost struct {
+	frames [][]byte
+}
+
+func (h *captureHost) Attach(*netsim.Network, netsim.NodeID) {}
+func (h *captureHost) HandleFrame(_ int, f []byte)           { h.frames = append(h.frames, f) }
+
+func ethFrame(dst, src uint32, payload []byte) []byte {
+	buf := wire.NewBuffer(wire.DefaultHeadroom, len(payload))
+	buf.AppendBytes(payload)
+	e := wire.Ethernet{Dst: wire.MACFromNode(dst), Src: wire.MACFromNode(src), EtherType: wire.EtherTypeIPv4}
+	e.SerializeTo(buf)
+	return buf.Bytes()
+}
+
+func TestSwitchForwardsViaTable(t *testing.T) {
+	nw := netsim.New(1)
+	fwd := NewTable("fwd", MatchExact)
+	sw := NewSwitch(buildFwdPipeline(t, fwd), NewRegisterFile(1<<20))
+	h1, h2 := &captureHost{}, &captureHost{}
+	nw.AddNode(100, sw)
+	nw.AddNode(1, h1)
+	nw.AddNode(2, h2)
+	nw.Connect(100, 1, netsim.LinkConfig{})
+	p2, _ := nw.Connect(100, 2, netsim.LinkConfig{})
+
+	forwardAction := func(c *Ctx, p []uint64) { c.Forward(int(p[0])) }
+	mac2 := wire.MACFromNode(2)
+	if err := fwd.AddExact(mac2[:], Entry{Action: forwardAction, Params: []uint64{uint64(p2)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	nw.Send(1, 0, ethFrame(2, 1, []byte("hi")))
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(h2.frames) != 1 || len(h1.frames) != 0 {
+		t.Fatalf("h1=%d h2=%d", len(h1.frames), len(h2.frames))
+	}
+	if sw.Counters.RxFrames != 1 || sw.Counters.TxFrames != 1 || sw.Counters.Drops() != 0 {
+		t.Fatalf("counters %+v", sw.Counters)
+	}
+}
+
+func TestSwitchDropsOnTableMiss(t *testing.T) {
+	nw := netsim.New(1)
+	fwd := NewTable("fwd", MatchExact)
+	sw := NewSwitch(buildFwdPipeline(t, fwd), NewRegisterFile(1<<20))
+	h1 := &captureHost{}
+	nw.AddNode(100, sw)
+	nw.AddNode(1, h1)
+	nw.Connect(100, 1, netsim.LinkConfig{})
+	nw.Send(1, 0, ethFrame(9, 1, nil)) // no entry for node 9
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Counters.DropsProgram != 1 {
+		t.Fatalf("counters %+v", sw.Counters)
+	}
+}
+
+func TestSwitchDropsMalformedFrame(t *testing.T) {
+	nw := netsim.New(1)
+	fwd := NewTable("fwd", MatchExact)
+	sw := NewSwitch(buildFwdPipeline(t, fwd), NewRegisterFile(1<<20))
+	h1 := &captureHost{}
+	nw.AddNode(100, sw)
+	nw.AddNode(1, h1)
+	nw.Connect(100, 1, netsim.LinkConfig{})
+	nw.Send(1, 0, []byte{1, 2, 3}) // shorter than an Ethernet header
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Counters.DropsError+sw.Counters.DropsParse != 1 {
+		t.Fatalf("counters %+v", sw.Counters)
+	}
+}
+
+func TestSwitchForwardToBadPortDrops(t *testing.T) {
+	nw := netsim.New(1)
+	fwd := NewTable("fwd", MatchExact)
+	sw := NewSwitch(buildFwdPipeline(t, fwd), NewRegisterFile(1<<20))
+	h1 := &captureHost{}
+	nw.AddNode(100, sw)
+	nw.AddNode(1, h1)
+	nw.Connect(100, 1, netsim.LinkConfig{})
+	mac2 := wire.MACFromNode(2)
+	_ = fwd.AddExact(mac2[:], Entry{Action: func(c *Ctx, p []uint64) { c.Forward(5) }})
+	nw.Send(1, 0, ethFrame(2, 1, nil))
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Counters.DropsProgram != 1 {
+		t.Fatalf("counters %+v", sw.Counters)
+	}
+}
+
+func TestSwitchRecirculationCountsAndBounds(t *testing.T) {
+	nw := netsim.New(1)
+	rf := NewRegisterFile(1 << 20)
+	// Program: recirculate 3 times (tracked in U[0]), then forward out the
+	// ingress port.
+	p := NewPipeline("recirc", nil, PipelineConfig{MaxRecirc: 10})
+	if err := p.AddStage("loop", func(c *Ctx) {
+		if c.U[0] < 3 {
+			c.U[0]++
+			c.Recirculate()
+			return
+		}
+		c.Forward(c.InPort)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSwitch(p, rf)
+	h := &captureHost{}
+	nw.AddNode(100, sw)
+	nw.AddNode(1, h)
+	nw.Connect(100, 1, netsim.LinkConfig{})
+	nw.Send(1, 0, ethFrame(2, 1, nil))
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.frames) != 1 {
+		t.Fatalf("frames %d", len(h.frames))
+	}
+	if sw.Counters.Recirculated != 3 {
+		t.Fatalf("recirc count %d", sw.Counters.Recirculated)
+	}
+
+	// Now a program that recirculates forever: must hit the bound.
+	nw2 := netsim.New(1)
+	p2 := NewPipeline("hot", nil, PipelineConfig{MaxRecirc: 5})
+	_ = p2.AddStage("spin", func(c *Ctx) { c.Recirculate() })
+	sw2 := NewSwitch(p2, NewRegisterFile(1<<20))
+	h2 := &captureHost{}
+	nw2.AddNode(100, sw2)
+	nw2.AddNode(1, h2)
+	nw2.Connect(100, 1, netsim.LinkConfig{})
+	nw2.Send(1, 0, ethFrame(2, 1, nil))
+	if err := nw2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sw2.Counters.DropsRecirc != 1 {
+		t.Fatalf("counters %+v", sw2.Counters)
+	}
+}
+
+func TestSwitchEmitGeneratesPackets(t *testing.T) {
+	nw := netsim.New(1)
+	p := NewPipeline("gen", nil, PipelineConfig{})
+	_ = p.AddStage("emit", func(c *Ctx) {
+		// Generate two packets, then drop the trigger.
+		for i := 0; i < 2; i++ {
+			f := make([]byte, 8)
+			binary.BigEndian.PutUint64(f, uint64(i))
+			c.Emit(c.InPort, f)
+		}
+		c.Drop()
+	})
+	sw := NewSwitch(p, NewRegisterFile(1<<20))
+	h := &captureHost{}
+	nw.AddNode(100, sw)
+	nw.AddNode(1, h)
+	nw.Connect(100, 1, netsim.LinkConfig{})
+	nw.Send(1, 0, ethFrame(2, 1, nil))
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.frames) != 2 {
+		t.Fatalf("frames %d", len(h.frames))
+	}
+	if sw.Counters.Emitted != 2 || sw.Counters.DropsProgram != 1 {
+		t.Fatalf("counters %+v", sw.Counters)
+	}
+}
+
+func TestSwitchOpBudgetViolationCounted(t *testing.T) {
+	nw := netsim.New(1)
+	rf := NewRegisterFile(1 << 20)
+	r, _ := rf.AllocRegister("r", 8, 1)
+	p := NewPipeline("hog", nil, PipelineConfig{OpBudget: 10})
+	_ = p.AddStage("burn", func(c *Ctx) {
+		for i := 0; i < 100; i++ {
+			c.RegWrite(r, 0, uint64(i))
+		}
+		c.Forward(0)
+	})
+	sw := NewSwitch(p, rf)
+	h := &captureHost{}
+	nw.AddNode(100, sw)
+	nw.AddNode(1, h)
+	nw.Connect(100, 1, netsim.LinkConfig{})
+	nw.Send(1, 0, ethFrame(2, 1, nil))
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Counters.DropsBudget != 1 || len(h.frames) != 0 {
+		t.Fatalf("counters %+v frames %d", sw.Counters, len(h.frames))
+	}
+}
+
+func TestPipelineStageLimit(t *testing.T) {
+	p := NewPipeline("deep", nil, PipelineConfig{MaxStages: 2})
+	if err := p.AddStage("a", func(*Ctx) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddStage("b", func(*Ctx) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddStage("c", func(*Ctx) {}); err == nil {
+		t.Fatal("want stage-limit error")
+	}
+}
+
+func TestCtxHashPrimitives(t *testing.T) {
+	var c Ctx
+	c.reset(nil, 0, 100, 300)
+	h1 := c.Hash([]byte("k"))
+	h2 := c.Hash([]byte("k"))
+	if h1 != h2 {
+		t.Fatal("hash not deterministic")
+	}
+	idx := c.HashIndex([]byte("k"), 128)
+	if idx < 0 || idx >= 128 {
+		t.Fatalf("index %d", idx)
+	}
+	c.HashIndex([]byte("k"), 0)
+	if c.Err() == nil {
+		t.Fatal("want error for size 0")
+	}
+}
+
+func TestCtxWriteFrame(t *testing.T) {
+	var c Ctx
+	c.reset([]byte{1, 2, 3, 4}, 0, 100, 300)
+	c.WriteFrame(1, []byte{9, 9})
+	if c.frame[1] != 9 || c.frame[2] != 9 || c.frame[0] != 1 {
+		t.Fatalf("frame %v", c.frame)
+	}
+	c.WriteFrame(3, []byte{7, 7})
+	if c.Err() == nil {
+		t.Fatal("want out-of-bounds error")
+	}
+}
+
+func TestSwitchTracing(t *testing.T) {
+	nw := netsim.New(1)
+	fwd := NewTable("fwd", MatchExact)
+	sw := NewSwitch(buildFwdPipeline(t, fwd), NewRegisterFile(1<<20))
+	sw.Trace = trace.NewRing(64)
+	h1, h2 := &captureHost{}, &captureHost{}
+	nw.AddNode(100, sw)
+	nw.AddNode(1, h1)
+	nw.AddNode(2, h2)
+	nw.Connect(100, 1, netsim.LinkConfig{})
+	p2, _ := nw.Connect(100, 2, netsim.LinkConfig{})
+	mac2 := wire.MACFromNode(2)
+	_ = fwd.AddExact(mac2[:], Entry{Action: func(c *Ctx, p []uint64) { c.Forward(int(p[0])) }, Params: []uint64{uint64(p2)}})
+
+	nw.Send(1, 0, ethFrame(2, 1, []byte("traced")))
+	nw.Send(1, 0, ethFrame(9, 1, nil)) // miss -> drop
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	events := sw.Trace.Snapshot()
+	var kinds []trace.Kind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+		if ev.Node != 100 {
+			t.Fatalf("wrong node in event %+v", ev)
+		}
+	}
+	want := []trace.Kind{trace.KindRx, trace.KindTx, trace.KindRx, trace.KindDrop}
+	if len(kinds) != len(want) {
+		t.Fatalf("events %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d: %v want %v (all: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}

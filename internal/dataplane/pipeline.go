@@ -1,0 +1,107 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"github.com/daiet/daiet/internal/wire"
+)
+
+// ParserFunc extracts headers from the frame into the PHV using Ctx
+// primitives. A nil return means "accept"; returning an error rejects the
+// packet (counted, dropped).
+type ParserFunc func(ctx *Ctx) error
+
+// StageFunc is the logic of one pipeline stage.
+type StageFunc func(ctx *Ctx)
+
+// Stage is one match-action stage.
+type Stage struct {
+	Name  string
+	Logic StageFunc
+}
+
+// PipelineConfig bounds a pipeline's execution, defaulting to Tofino-like
+// numbers.
+type PipelineConfig struct {
+	// OpBudget is the metered-primitive budget per pass. Default 512: a
+	// generous stand-in for "tens of nanoseconds worth" of work across a
+	// dozen stages.
+	OpBudget int
+	// ParseBudget is the max bytes the parser may examine (default
+	// wire.MaxParseBudget, the paper's 300 B).
+	ParseBudget int
+	// MaxRecirc bounds recirculation passes per packet (default 4096; a
+	// flush of a 16K-entry register file needs ~1640 passes).
+	MaxRecirc int
+	// MaxStages bounds the number of stages (default 16, an RMT-like depth).
+	MaxStages int
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.OpBudget == 0 {
+		c.OpBudget = 512
+	}
+	if c.ParseBudget == 0 {
+		c.ParseBudget = wire.MaxParseBudget
+	}
+	if c.MaxRecirc == 0 {
+		c.MaxRecirc = 4096
+	}
+	if c.MaxStages == 0 {
+		c.MaxStages = 16
+	}
+	return c
+}
+
+// Pipeline is a parser plus an ordered list of stages.
+type Pipeline struct {
+	Name   string
+	Parser ParserFunc
+	stages []Stage
+	cfg    PipelineConfig
+}
+
+// NewPipeline creates a pipeline with the given config (zero value =
+// defaults).
+func NewPipeline(name string, parser ParserFunc, cfg PipelineConfig) *Pipeline {
+	return &Pipeline{Name: name, Parser: parser, cfg: cfg.withDefaults()}
+}
+
+// AddStage appends a stage; exceeding the stage budget is a load-time
+// error, matching how a real program fails to fit the chip.
+func (p *Pipeline) AddStage(name string, logic StageFunc) error {
+	if len(p.stages) >= p.cfg.MaxStages {
+		return fmt.Errorf("dataplane: pipeline %q exceeds %d stages", p.Name, p.cfg.MaxStages)
+	}
+	p.stages = append(p.stages, Stage{Name: name, Logic: logic})
+	return nil
+}
+
+// Config returns the pipeline's effective configuration.
+func (p *Pipeline) Config() PipelineConfig { return p.cfg }
+
+// PassResult describes the outcome of running one pass.
+type passResult struct {
+	verdict Verdict
+	outPort int
+	err     error
+}
+
+// runPass executes parser and stages over ctx once.
+func (p *Pipeline) runPass(ctx *Ctx) passResult {
+	if p.Parser != nil {
+		if err := p.Parser(ctx); err != nil {
+			return passResult{verdict: VerdictDrop, err: err}
+		}
+		if ctx.err != nil {
+			return passResult{verdict: VerdictDrop, err: ctx.err}
+		}
+	}
+	for i := range p.stages {
+		p.stages[i].Logic(ctx)
+		if ctx.err != nil {
+			return passResult{verdict: VerdictDrop, err: ctx.err}
+		}
+	}
+	return passResult{verdict: ctx.verdict, outPort: ctx.outPort}
+}

@@ -1,0 +1,155 @@
+// Package dataplane models an RMT-style programmable switch ASIC in the
+// spirit of Bosshart et al.'s "Forwarding Metamorphosis" and the Tofino
+// chip the paper targets: a programmable parser followed by a multi-stage
+// match-action pipeline with stateful register arrays and hard resource
+// limits.
+//
+// The paper's §2 ("Judicious network computing") enumerates the constraints
+// that shaped DAIET, and this package enforces every one of them at run
+// time rather than trusting programs to behave:
+//
+//   - Limited memory size: registers are allocated from a fixed SRAM budget
+//     (tens of MBs on a Tofino-class chip); over-allocation fails loudly.
+//   - Limited set of actions: programs act through a restricted execution
+//     context (Ctx) whose primitives — header extraction, register access,
+//     hashing, simple ALU work — are individually metered.
+//   - Few operations per packet: each pipeline pass has an operation
+//     budget; exceeding it drops the packet and increments a violation
+//     counter, the simulator's analogue of failing to compile to hardware.
+//   - No loops: a table can be applied at most once per packet per pass
+//     (P4's constraint, paper §5(i)); bounded recirculation is the only way
+//     to iterate, and it costs forwarding capacity like the paper says.
+package dataplane
+
+import (
+	"fmt"
+)
+
+// RegisterFile owns the stateful memory of one switch, allocated against an
+// SRAM budget.
+type RegisterFile struct {
+	budgetBytes int
+	usedBytes   int
+	u64s        map[string]*Register
+	bytesRegs   map[string]*ByteRegister
+}
+
+// NewRegisterFile creates a file with the given SRAM budget in bytes. The
+// paper's sizing example (§5) puts a reasonable hardware budget at ~10 MB.
+func NewRegisterFile(budgetBytes int) *RegisterFile {
+	return &RegisterFile{
+		budgetBytes: budgetBytes,
+		u64s:        make(map[string]*Register),
+		bytesRegs:   make(map[string]*ByteRegister),
+	}
+}
+
+// Used returns the bytes currently allocated.
+func (rf *RegisterFile) Used() int { return rf.usedBytes }
+
+// Budget returns the total SRAM budget in bytes.
+func (rf *RegisterFile) Budget() int { return rf.budgetBytes }
+
+func (rf *RegisterFile) reserve(name string, n int) error {
+	if rf.usedBytes+n > rf.budgetBytes {
+		return fmt.Errorf("dataplane: register %q needs %d B but only %d of %d B remain",
+			name, n, rf.budgetBytes-rf.usedBytes, rf.budgetBytes)
+	}
+	rf.usedBytes += n
+	return nil
+}
+
+// Register is an array of integer cells, width 1..8 bytes each. Values are
+// masked to the cell width on write, like hardware would truncate.
+type Register struct {
+	Name  string
+	Width int // bytes per cell
+	Cells []uint64
+	mask  uint64
+}
+
+// AllocRegister allocates an integer register array. Width must be 1..8.
+func (rf *RegisterFile) AllocRegister(name string, width, count int) (*Register, error) {
+	if width < 1 || width > 8 {
+		return nil, fmt.Errorf("dataplane: register %q width %d outside 1..8", name, width)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("dataplane: register %q count %d < 1", name, count)
+	}
+	if _, dup := rf.u64s[name]; dup {
+		return nil, fmt.Errorf("dataplane: duplicate register %q", name)
+	}
+	if err := rf.reserve(name, width*count); err != nil {
+		return nil, err
+	}
+	mask := ^uint64(0)
+	if width < 8 {
+		mask = (1 << (8 * width)) - 1
+	}
+	r := &Register{Name: name, Width: width, Cells: make([]uint64, count), mask: mask}
+	rf.u64s[name] = r
+	return r, nil
+}
+
+// Len returns the number of cells.
+func (r *Register) Len() int { return len(r.Cells) }
+
+// ByteRegister is an array of fixed-width byte cells (for keys).
+type ByteRegister struct {
+	Name  string
+	Width int // bytes per cell
+	data  []byte
+	count int
+}
+
+// AllocByteRegister allocates a byte register array.
+func (rf *RegisterFile) AllocByteRegister(name string, width, count int) (*ByteRegister, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("dataplane: byte register %q width %d < 1", name, width)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("dataplane: byte register %q count %d < 1", name, count)
+	}
+	if _, dup := rf.bytesRegs[name]; dup {
+		return nil, fmt.Errorf("dataplane: duplicate byte register %q", name)
+	}
+	if err := rf.reserve(name, width*count); err != nil {
+		return nil, err
+	}
+	r := &ByteRegister{Name: name, Width: width, data: make([]byte, width*count), count: count}
+	rf.bytesRegs[name] = r
+	return r, nil
+}
+
+// Len returns the number of cells.
+func (r *ByteRegister) Len() int { return r.count }
+
+// cell returns the storage for cell i; callers are the metered Ctx
+// primitives.
+func (r *ByteRegister) cell(i int) []byte {
+	off := i * r.Width
+	return r.data[off : off+r.Width]
+}
+
+// Cell exposes cell i for control-plane access (P4Runtime-style register
+// reads), mirroring how Register.Cells is reachable out of band. Dataplane
+// programs must keep using the metered Ctx primitives.
+func (r *ByteRegister) Cell(i int) []byte {
+	if i < 0 || i >= r.count {
+		panic(fmt.Sprintf("dataplane: control-plane read of %s[%d] (len %d)", r.Name, i, r.count))
+	}
+	return r.cell(i)
+}
+
+// Free releases a register by name (both kinds), returning its bytes to the
+// budget. Unknown names are no-ops; freeing is used when jobs are torn down.
+func (rf *RegisterFile) Free(name string) {
+	if r, ok := rf.u64s[name]; ok {
+		rf.usedBytes -= r.Width * len(r.Cells)
+		delete(rf.u64s, name)
+	}
+	if r, ok := rf.bytesRegs[name]; ok {
+		rf.usedBytes -= r.Width * r.count
+		delete(rf.bytesRegs, name)
+	}
+}

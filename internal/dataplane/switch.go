@@ -1,0 +1,167 @@
+package dataplane
+
+import (
+	"errors"
+	"time"
+
+	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/trace"
+)
+
+// Counters aggregates a switch's observable behaviour. The control plane
+// reads them; tests assert on them.
+type Counters struct {
+	RxFrames     uint64
+	TxFrames     uint64
+	Emitted      uint64 // generated packets (flushes)
+	Recirculated uint64 // recirculation passes taken
+
+	DropsProgram uint64 // program decided to drop (or made no decision)
+	DropsParse   uint64 // parser rejected the packet
+	DropsBudget  uint64 // per-packet op budget exceeded
+	DropsRecirc  uint64 // recirculation limit exceeded
+	DropsError   uint64 // other program errors (table reapply, bounds)
+}
+
+// Drops returns the sum of all drop reasons.
+func (c Counters) Drops() uint64 {
+	return c.DropsProgram + c.DropsParse + c.DropsBudget + c.DropsRecirc + c.DropsError
+}
+
+// Switch is a netsim.Node running a Pipeline over a RegisterFile: the
+// simulated programmable ASIC.
+type Switch struct {
+	nw   *netsim.Network
+	id   netsim.NodeID
+	pipe *Pipeline
+	regs *RegisterFile
+
+	// RecircLatency is the extra delay per recirculation pass; the paper
+	// notes recirculation "comes at the cost of additional processing
+	// latency and lowers the forwarding capacity".
+	RecircLatency netsim.Time
+
+	// Trace, when set, records per-packet pipeline events (rx, tx, drops
+	// with reasons, recirculation, generated packets) into a bounded ring
+	// for post-mortem inspection. Nil disables tracing at zero cost.
+	Trace *trace.Ring
+
+	Counters Counters
+
+	free []*Ctx
+}
+
+// NewSwitch wraps pipe and regs into a fabric node.
+func NewSwitch(pipe *Pipeline, regs *RegisterFile) *Switch {
+	return &Switch{
+		pipe:          pipe,
+		regs:          regs,
+		RecircLatency: netsim.Duration(500 * time.Nanosecond),
+	}
+}
+
+// Attach implements netsim.Node.
+func (s *Switch) Attach(nw *netsim.Network, id netsim.NodeID) { s.nw, s.id = nw, id }
+
+// ID returns the fabric node ID (valid after Attach).
+func (s *Switch) ID() netsim.NodeID { return s.id }
+
+// Registers exposes the switch's register file to the control plane.
+func (s *Switch) Registers() *RegisterFile { return s.regs }
+
+// Pipeline returns the running pipeline.
+func (s *Switch) Pipeline() *Pipeline { return s.pipe }
+
+func (s *Switch) getCtx() *Ctx {
+	if n := len(s.free); n > 0 {
+		c := s.free[n-1]
+		s.free = s.free[:n-1]
+		return c
+	}
+	return &Ctx{}
+}
+
+func (s *Switch) putCtx(c *Ctx) {
+	c.frame = nil
+	s.free = append(s.free, c)
+}
+
+// HandleFrame implements netsim.Node: one ingress packet enters the
+// pipeline.
+func (s *Switch) HandleFrame(inPort int, frame []byte) {
+	s.Counters.RxFrames++
+	s.trace(trace.KindRx, int64(inPort), int64(len(frame)), "")
+	cfg := s.pipe.cfg
+	ctx := s.getCtx()
+	ctx.reset(frame, inPort, cfg.OpBudget, cfg.ParseBudget)
+	s.process(ctx)
+}
+
+// process runs one pipeline pass and acts on the verdict, scheduling
+// further recirculation passes on the event loop.
+func (s *Switch) process(ctx *Ctx) {
+	res := s.pipe.runPass(ctx)
+
+	// Generated packets leave regardless of the original packet's fate
+	// (they were emitted before any failure point — Emit is metered, so an
+	// emit after an error is a no-op).
+	for _, e := range ctx.emits {
+		s.Counters.Emitted++
+		s.Counters.TxFrames++
+		s.trace(trace.KindEmit, int64(e.port), int64(len(e.frame)), "")
+		s.nw.Send(s.id, e.port, e.frame)
+	}
+	ctx.emits = ctx.emits[:0]
+
+	if res.err != nil {
+		switch {
+		case errors.Is(res.err, ErrParseBudget):
+			s.Counters.DropsParse++
+		case errors.Is(res.err, ErrOpBudget):
+			s.Counters.DropsBudget++
+		default:
+			s.Counters.DropsError++
+		}
+		s.trace(trace.KindDrop, int64(ctx.InPort), 0, res.err.Error())
+		s.putCtx(ctx)
+		return
+	}
+
+	switch res.verdict {
+	case VerdictForward:
+		if res.outPort < 0 || res.outPort >= s.nw.NumPorts(s.id) {
+			s.Counters.DropsProgram++
+			s.trace(trace.KindDrop, int64(res.outPort), 0, "invalid egress port")
+			s.putCtx(ctx)
+			return
+		}
+		s.Counters.TxFrames++
+		s.trace(trace.KindTx, int64(res.outPort), int64(len(ctx.frame)), "")
+		s.nw.Send(s.id, res.outPort, ctx.frame)
+		s.putCtx(ctx)
+	case VerdictRecirculate:
+		if ctx.RecircCount >= s.pipe.cfg.MaxRecirc {
+			s.Counters.DropsRecirc++
+			s.trace(trace.KindDrop, int64(ctx.InPort), 0, "recirculation limit")
+			s.putCtx(ctx)
+			return
+		}
+		ctx.RecircCount++
+		s.Counters.Recirculated++
+		s.trace(trace.KindRecirculate, int64(ctx.RecircCount), 0, "")
+		ctx.resetForPass()
+		s.nw.Eng.After(s.RecircLatency, func() { s.process(ctx) })
+	default:
+		s.Counters.DropsProgram++
+		s.trace(trace.KindDrop, int64(ctx.InPort), 0, "program drop")
+		s.putCtx(ctx)
+	}
+}
+
+// trace records one event when tracing is enabled.
+func (s *Switch) trace(kind trace.Kind, a, b int64, note string) {
+	if s.Trace == nil {
+		return
+	}
+	s.Trace.Record(trace.Event{Node: uint32(s.id), Kind: kind, A: a, B: b, Note: note})
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/daiet/daiet/internal/mapreduce"
+	"github.com/daiet/daiet/internal/stats"
+	"github.com/daiet/daiet/internal/wire"
+	"github.com/daiet/daiet/internal/workload"
+)
+
+// AblationPoint is one configuration's outcome in an ablation sweep.
+type AblationPoint struct {
+	Label string
+	// X is the swept parameter's numeric value.
+	X float64
+	// DataReductionPct is the median per-reducer data-volume reduction of
+	// DAIET vs the UDP baseline (isolates aggregation from transport
+	// effects).
+	DataReductionPct float64
+	// PacketReductionPct is the median packet-count reduction vs UDP.
+	PacketReductionPct float64
+	// SpilledPairs counts pairs that travelled via spillover buckets.
+	SpilledPairs uint64
+	// ReducerPairs counts pairs arriving at reducers under DAIET.
+	ReducerPairs uint64
+}
+
+// ablationCorpus builds the shared corpus for an ablation run; collisions
+// are permitted when collisionFree is false (spillover ablations need
+// them).
+func ablationCorpus(seed uint64, reducers, vocabPer int, mult float64,
+	tableSize, maxWordLen, keyWidth int, collisionFree bool) (*workload.Corpus, error) {
+	return workload.Generate(workload.CorpusSpec{
+		Seed:             seed,
+		Reducers:         reducers,
+		VocabPerReducer:  vocabPer,
+		MeanMultiplicity: mult,
+		TableSize:        tableSize,
+		MaxWordLen:       maxWordLen,
+		KeyWidth:         keyWidth,
+		CollisionFree:    collisionFree,
+	})
+}
+
+// runPair runs DAIET and the UDP baseline over the same splits and reports
+// the medians.
+func runPair(splits [][]string, ccfg mapreduce.ClusterConfig) (AblationPoint, error) {
+	var pt AblationPoint
+	daietCl, err := mapreduce.NewCluster(ccfg)
+	if err != nil {
+		return pt, err
+	}
+	daiet, err := daietCl.RunJob(mapreduce.WordCount, splits, mapreduce.ModeDAIET)
+	if err != nil {
+		return pt, err
+	}
+	udpCl, err := mapreduce.NewCluster(ccfg)
+	if err != nil {
+		return pt, err
+	}
+	udp, err := udpCl.RunJob(mapreduce.WordCount, splits, mapreduce.ModeUDPBaseline)
+	if err != nil {
+		return pt, err
+	}
+	var dataRed, pktRed []float64
+	for i := range daiet.PerReducer {
+		dataRed = append(dataRed, stats.ReductionPct(
+			float64(udp.PerReducer[i].PayloadBytes), float64(daiet.PerReducer[i].PayloadBytes)))
+		pktRed = append(pktRed, stats.ReductionPct(
+			float64(udp.PerReducer[i].PacketsReceived), float64(daiet.PerReducer[i].PacketsReceived)))
+		pt.ReducerPairs += daiet.PerReducer[i].PairsReceived
+	}
+	pt.DataReductionPct = stats.Median(dataRed)
+	pt.PacketReductionPct = stats.Median(pktRed)
+	for _, st := range daiet.SwitchTreeStats {
+		pt.SpilledPairs += st.PairsSpilled
+	}
+	return pt, nil
+}
+
+// AblationRegisterSize sweeps the per-tree register table size. Fewer
+// cells mean more collisions (paper §5: fewer cells increase "the
+// possibility that a pair is not aggregated"), degrading reduction while
+// preserving correctness via spillover.
+func AblationRegisterSize(seed uint64, sizes []int) ([]AblationPoint, error) {
+	const (
+		mappers, reducers = 8, 2
+		vocabPer          = 800
+	)
+	// The corpus is NOT collision-free: small tables must spill.
+	corpus, err := ablationCorpus(seed, reducers, vocabPer, 8.3, 1<<20, 16, 16, false)
+	if err != nil {
+		return nil, err
+	}
+	splits := corpus.Splits(mappers)
+	var out []AblationPoint
+	for _, size := range sizes {
+		pt, err := runPair(splits, mapreduce.ClusterConfig{
+			NumMappers: mappers, NumReducers: reducers,
+			TableSize: size, Seed: seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table size %d: %w", size, err)
+		}
+		pt.Label = fmt.Sprintf("table=%d", size)
+		pt.X = float64(size)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// AblationPairsPerPacket sweeps the packetization bound (the paper fixes
+// 10 from the 200-300 B parse budget). Fewer pairs per packet inflate
+// packet counts on both sides but leave the data reduction untouched.
+func AblationPairsPerPacket(seed uint64, counts []int) ([]AblationPoint, error) {
+	const (
+		mappers, reducers = 8, 2
+		vocabPer          = 800
+		tableSize         = 4096
+	)
+	corpus, err := ablationCorpus(seed, reducers, vocabPer, 8.3, tableSize, 16, 16, true)
+	if err != nil {
+		return nil, err
+	}
+	splits := corpus.Splits(mappers)
+	var out []AblationPoint
+	for _, n := range counts {
+		pt, err := runPair(splits, mapreduce.ClusterConfig{
+			NumMappers: mappers, NumReducers: reducers,
+			TableSize: tableSize, MaxPairsPerPacket: n, Seed: seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pairs/packet %d: %w", n, err)
+		}
+		pt.Label = fmt.Sprintf("pairs=%d", n)
+		pt.X = float64(n)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// AblationKeyWidth sweeps the fixed key width. The paper (§5) notes the
+// 16 B fixed keys waste bytes for short words; narrower geometries shrink
+// the on-wire volume for the same aggregation behaviour.
+func AblationKeyWidth(seed uint64, widths []int) ([]AblationPoint, error) {
+	const (
+		mappers, reducers = 8, 2
+		vocabPer          = 800
+		tableSize         = 4096
+		maxWordLen        = 8 // short words so every width >= 8 is lossless
+	)
+	var out []AblationPoint
+	for _, w := range widths {
+		if w < maxWordLen {
+			return nil, fmt.Errorf("experiments: key width %d below max word length %d", w, maxWordLen)
+		}
+		corpus, err := ablationCorpus(seed, reducers, vocabPer, 8.3, tableSize, maxWordLen, w, true)
+		if err != nil {
+			return nil, err
+		}
+		splits := corpus.Splits(mappers)
+		pt, err := runPair(splits, mapreduce.ClusterConfig{
+			NumMappers: mappers, NumReducers: reducers,
+			TableSize: tableSize, Seed: seed,
+			Geometry: wire.PairGeometry{KeyWidth: w},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: key width %d: %w", w, err)
+		}
+		pt.Label = fmt.Sprintf("keywidth=%d", w)
+		pt.X = float64(w)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WorkerCombinerResult contrasts worker-level combining (classic MapReduce
+// combiners) with in-network aggregation — the paper's §1 motivation that
+// "aggregation functions are only applied at the worker-level, missing the
+// opportunity of achieving better traffic reduction ratios".
+type WorkerCombinerResult struct {
+	// WorkerLevelReductionPct is the pair reduction a mapper-side combiner
+	// achieves alone (unique-per-mapper / emitted).
+	WorkerLevelReductionPct float64
+	// InNetworkReductionPct is DAIET's pair reduction over the same input
+	// (reducer-received / emitted), with mapper-side combining also on.
+	InNetworkReductionPct float64
+}
+
+// AblationWorkerCombiner measures both levels on one corpus.
+func AblationWorkerCombiner(seed uint64) (*WorkerCombinerResult, error) {
+	const (
+		mappers, reducers = 8, 2
+		vocabPer          = 600
+		tableSize         = 4096
+	)
+	corpus, err := ablationCorpus(seed, reducers, vocabPer, 8.3, tableSize, 16, 16, true)
+	if err != nil {
+		return nil, err
+	}
+	splits := corpus.Splits(mappers)
+
+	// Worker-level combining: each mapper aggregates its split locally.
+	var emitted, afterWorker int
+	combined := make([][]string, len(splits))
+	for m, split := range splits {
+		counts := map[string]int{}
+		for _, w := range split {
+			counts[w]++
+		}
+		emitted += len(split)
+		afterWorker += len(counts)
+		// Re-encode as "word" repeated once with its count folded in via a
+		// count-valued job below: the combined stream carries one record
+		// per distinct word per mapper.
+		for w := range counts {
+			combined[m] = append(combined[m], fmt.Sprintf("%s=%d", w, counts[w]))
+		}
+	}
+
+	// DAIET run over the combined stream: a WordCount variant whose Map
+	// parses "word=count".
+	job := mapreduce.Job{
+		Name: "wordcount-precombined",
+		Map: func(rec string, emit func(string, uint32)) {
+			for i := len(rec) - 1; i >= 0; i-- {
+				if rec[i] == '=' {
+					var n uint32
+					for _, c := range rec[i+1:] {
+						n = n*10 + uint32(c-'0')
+					}
+					emit(rec[:i], n)
+					return
+				}
+			}
+			emit(rec, 1)
+		},
+		Agg: mapreduce.WordCount.Agg,
+	}
+	cl, err := mapreduce.NewCluster(mapreduce.ClusterConfig{
+		NumMappers: mappers, NumReducers: reducers, TableSize: tableSize, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := cl.RunJob(job, combined, mapreduce.ModeDAIET)
+	if err != nil {
+		return nil, err
+	}
+	var reducerPairs uint64
+	for _, r := range res.PerReducer {
+		reducerPairs += r.PairsReceived
+	}
+	return &WorkerCombinerResult{
+		WorkerLevelReductionPct: stats.ReductionPct(float64(emitted), float64(afterWorker)),
+		InNetworkReductionPct:   stats.ReductionPct(float64(emitted), float64(reducerPairs)),
+	}, nil
+}

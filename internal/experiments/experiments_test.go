@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestFigure1aBand(t *testing.T) {
+	fig, err := Figure1a(7, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Series.Len() != 60 {
+		t.Fatalf("points %d", fig.Series.Len())
+	}
+	// Shorter run, wider tolerance than the full assertion in mlps tests.
+	if fig.Summary.Mean < 30 || fig.Summary.Mean > 55 {
+		t.Fatalf("SGD overlap mean %.1f%% outside [30, 55]", fig.Summary.Mean)
+	}
+	if fig.LastLoss >= fig.FirstLoss {
+		t.Fatalf("loss did not fall: %.3f -> %.3f", fig.FirstLoss, fig.LastLoss)
+	}
+}
+
+func TestFigure1bBand(t *testing.T) {
+	fig, err := Figure1b(7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Summary.Mean < 55 || fig.Summary.Mean > 80 {
+		t.Fatalf("Adam overlap mean %.1f%% outside [55, 80]", fig.Summary.Mean)
+	}
+}
+
+func TestFigure1WorkerSweepMonotone(t *testing.T) {
+	pts, err := Figure1WorkerSweep(7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].OverlapPct <= pts[i-1].OverlapPct {
+			t.Fatalf("overlap not increasing: %+v", pts)
+		}
+	}
+}
+
+func TestFigure1cShape(t *testing.T) {
+	fig, err := Figure1c(Figure1cConfig{Seed: 2, Scale: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.PageRank.Len() != 10 {
+		t.Fatalf("pagerank points %d", fig.PageRank.Len())
+	}
+	// PageRank flat and high.
+	min, max := fig.PageRank.YRange()
+	if min < 0.5 || max-min > 0.05 {
+		t.Fatalf("pagerank band [%.3f, %.3f] not flat/high", min, max)
+	}
+	// SSSP low start, high later.
+	if fig.SSSP.Y[0] > 0.5 {
+		t.Fatalf("sssp starts at %.3f", fig.SSSP.Y[0])
+	}
+	if _, ssMax := fig.SSSP.YRange(); ssMax < 0.5 {
+		t.Fatalf("sssp never climbs (max %.3f)", ssMax)
+	}
+	// WCC high start, decaying: compare first iteration against the last
+	// with traffic.
+	if fig.WCC.Y[0] < 0.5 {
+		t.Fatalf("wcc starts at %.3f", fig.WCC.Y[0])
+	}
+	last := fig.WCC.Y[0]
+	for i := len(fig.WCC.Y) - 1; i >= 0; i-- {
+		if fig.WCC.Y[i] > 0 {
+			last = fig.WCC.Y[i]
+			break
+		}
+	}
+	if last >= fig.WCC.Y[0] {
+		t.Fatalf("wcc did not decay: %.3f -> %.3f", fig.WCC.Y[0], last)
+	}
+}
+
+func TestFigure3PaperBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure-3 run is slow")
+	}
+	res, err := Figure3(Figure3Config{Seed: 1, Scale: 0.4}) // 800 words/reducer
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 86.9-89.3% data volume reduction; our band widened slightly
+	// for the scaled-down corpus.
+	if res.DataReduction.Median < 82 || res.DataReduction.Median > 93 {
+		t.Fatalf("data reduction median %.1f%% outside [82, 93]", res.DataReduction.Median)
+	}
+	// Paper: median 83.6% reduce-time reduction. Wall-clock timing of small
+	// sorts is noisy, so assert a broad positive band.
+	if res.ReduceTimeReduction.Median < 40 {
+		t.Fatalf("reduce time reduction median %.1f%% below 40%%", res.ReduceTimeReduction.Median)
+	}
+	// Paper: 88.1-90.5% packet reduction vs the UDP baseline.
+	if res.PacketsVsUDP.Median < 82 || res.PacketsVsUDP.Median > 95 {
+		t.Fatalf("packets vs UDP median %.1f%% outside [82, 95]", res.PacketsVsUDP.Median)
+	}
+	// Paper: median 42% vs TCP. Shape requirement: DAIET must receive fewer
+	// packets than TCP (positive reduction).
+	if res.PacketsVsTCP.Median <= 0 {
+		t.Fatalf("packets vs TCP median %.1f%% not positive", res.PacketsVsTCP.Median)
+	}
+	if res.PairsSpilled != 0 {
+		t.Fatalf("collision-free corpus spilled %d pairs", res.PairsSpilled)
+	}
+}
+
+func TestAblationRegisterSizeMonotone(t *testing.T) {
+	pts, err := AblationRegisterSize(3, []int{64, 512, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bigger tables, fewer spills.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].SpilledPairs > pts[i-1].SpilledPairs {
+			t.Fatalf("spills grew with table size: %+v", pts)
+		}
+	}
+	// Bigger tables, better (or equal) data reduction.
+	if pts[len(pts)-1].DataReductionPct < pts[0].DataReductionPct {
+		t.Fatalf("reduction fell with table size: %+v", pts)
+	}
+	// The tiny table must actually spill.
+	if pts[0].SpilledPairs == 0 {
+		t.Fatal("64-cell table never spilled")
+	}
+}
+
+func TestAblationPairsPerPacket(t *testing.T) {
+	pts, err := AblationPairsPerPacket(3, []int{2, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data reduction is invariant to packetization.
+	if diff := pts[0].DataReductionPct - pts[1].DataReductionPct; diff > 2 || diff < -2 {
+		t.Fatalf("data reduction moved with packetization: %+v", pts)
+	}
+	// Reducer pairs identical.
+	if pts[0].ReducerPairs != pts[1].ReducerPairs {
+		t.Fatalf("pair counts differ: %+v", pts)
+	}
+}
+
+func TestAblationKeyWidth(t *testing.T) {
+	pts, err := AblationKeyWidth(3, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same aggregation behaviour regardless of width.
+	if pts[0].ReducerPairs != pts[1].ReducerPairs {
+		t.Fatalf("pair counts differ: %+v", pts)
+	}
+	if _, err := AblationKeyWidth(3, []int{4}); err == nil {
+		t.Fatal("width below word length must fail")
+	}
+}
+
+func TestAblationWorkerCombiner(t *testing.T) {
+	res, err := AblationWorkerCombiner(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's motivating claim: in-network beats worker-level-only.
+	if res.InNetworkReductionPct <= res.WorkerLevelReductionPct {
+		t.Fatalf("in-network %.1f%% <= worker-level %.1f%%",
+			res.InNetworkReductionPct, res.WorkerLevelReductionPct)
+	}
+	if res.WorkerLevelReductionPct <= 0 {
+		t.Fatalf("worker-level combiner did nothing: %.1f%%", res.WorkerLevelReductionPct)
+	}
+}
+
+func TestMultiRackCoreReduction(t *testing.T) {
+	res, err := MultiRack(MultiRackConfig{Seed: 5, Vocab: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same answer in both modes.
+	if res.ReducerPairsDAIET >= res.ReducerPairsBaseline {
+		t.Fatalf("DAIET pairs %d >= baseline %d", res.ReducerPairsDAIET, res.ReducerPairsBaseline)
+	}
+	// Hierarchical aggregation must strip most core-link traffic: leaves
+	// aggregate their rack before the spine.
+	if res.CoreReductionPct < 50 {
+		t.Fatalf("core reduction %.1f%% below 50%%", res.CoreReductionPct)
+	}
+	// Edge links include each mapper's (unaggregated) first hop, so the
+	// edge reduction must be strictly smaller than the core reduction.
+	if res.EdgeReductionPct >= res.CoreReductionPct {
+		t.Fatalf("edge %.1f%% >= core %.1f%%", res.EdgeReductionPct, res.CoreReductionPct)
+	}
+	if res.CoreBytesBaseline == 0 || res.CoreBytesDAIET == 0 {
+		t.Fatal("no core traffic measured")
+	}
+}
+
+func TestMultiRackValidation(t *testing.T) {
+	if _, err := MultiRack(MultiRackConfig{Leaves: 1, HostsPerLeaf: 2, Mappers: 8, Reducers: 8}); err == nil {
+		t.Fatal("oversubscribed placement must fail")
+	}
+}

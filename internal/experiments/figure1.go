@@ -1,0 +1,162 @@
+// Package experiments regenerates every figure in the paper's evaluation.
+// It is the single source of truth shared by cmd/daiet-bench (pretty
+// printing), bench_test.go (testing.B harnesses) and EXPERIMENTS.md
+// (paper-vs-measured records).
+package experiments
+
+import (
+	"github.com/daiet/daiet/internal/graphgen"
+	"github.com/daiet/daiet/internal/mlps"
+	"github.com/daiet/daiet/internal/pregel"
+	"github.com/daiet/daiet/internal/stats"
+)
+
+// OverlapFigure is Figures 1(a)/1(b): per-step overlap plus headline
+// numbers.
+type OverlapFigure struct {
+	Name    string
+	Series  *stats.Series // x: step, y: overlap %
+	Summary stats.Summary
+	// Loss tracks training progress, a sanity signal that the workload is
+	// real (first and last values).
+	FirstLoss, LastLoss float64
+	FinalAccuracy       float64
+}
+
+// overlapFigure runs one training config and packages the series.
+func overlapFigure(name string, cfg mlps.TrainConfig, samples int) (*OverlapFigure, error) {
+	ds := mlps.SyntheticMNIST(cfg.Seed, samples)
+	res, err := mlps.Train(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &OverlapFigure{Name: name, Series: stats.NewSeries(name)}
+	var ys []float64
+	for _, m := range res.Metrics {
+		fig.Series.Add(float64(m.Step), m.OverlapPct)
+		ys = append(ys, m.OverlapPct)
+	}
+	fig.Summary = stats.Summarize(ys)
+	fig.FirstLoss = res.Metrics[0].Loss
+	fig.LastLoss = res.Metrics[len(res.Metrics)-1].Loss
+	fig.FinalAccuracy = res.FinalAccuracy
+	return fig, nil
+}
+
+// Figure1a reproduces Figure 1(a): SGD (mini-batch 3, 5 workers) overlap
+// over 200 steps. The paper reports ~34-50%, average ~42.5%.
+func Figure1a(seed uint64, steps int) (*OverlapFigure, error) {
+	cfg := mlps.Figure1aConfig(seed)
+	if steps > 0 {
+		cfg.Steps = steps
+	}
+	return overlapFigure("sgd-overlap", cfg, 4000)
+}
+
+// Figure1b reproduces Figure 1(b): Adam (mini-batch 100, 5 workers) overlap
+// over 200 steps. The paper reports ~62-72%, average ~66.5%.
+func Figure1b(seed uint64, steps int) (*OverlapFigure, error) {
+	cfg := mlps.Figure1bConfig(seed)
+	if steps > 0 {
+		cfg.Steps = steps
+	}
+	return overlapFigure("adam-overlap", cfg, 4000)
+}
+
+// WorkerSweepPoint is one point of the worker-count side experiment.
+type WorkerSweepPoint struct {
+	Workers    int
+	OverlapPct float64
+}
+
+// Figure1WorkerSweep reproduces the paper's side observation: "increasing
+// the number of workers from two to five ... the overlap increases".
+func Figure1WorkerSweep(seed uint64, steps int) ([]WorkerSweepPoint, error) {
+	ds := mlps.SyntheticMNIST(seed, 2500)
+	var out []WorkerSweepPoint
+	for _, w := range []int{2, 3, 4, 5} {
+		cfg := mlps.Figure1aConfig(seed)
+		cfg.Workers = w
+		if steps > 0 {
+			cfg.Steps = steps
+		} else {
+			cfg.Steps = 100
+		}
+		res, err := mlps.Train(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WorkerSweepPoint{Workers: w, OverlapPct: mlps.MeanOverlap(res.Metrics)})
+	}
+	return out, nil
+}
+
+// GraphFigure is Figure 1(c): per-iteration traffic reduction ratios for
+// the three graph algorithms.
+type GraphFigure struct {
+	PageRank *stats.Series
+	SSSP     *stats.Series
+	WCC      *stats.Series
+	// Edges/Vertices describe the generated graph.
+	Vertices, Edges int
+}
+
+// Figure1cConfig sizes the graph experiment.
+type Figure1cConfig struct {
+	Seed       uint64
+	Scale      int // 2^Scale vertices (default 16; LiveJournal would be ~23)
+	EdgeFactor int // default 14 (LiveJournal's edges/vertex)
+	Workers    int // default 4 (paper: GPS on 4 machines)
+	Iterations int // default 10 (Figure 1(c) x-axis)
+}
+
+func (c Figure1cConfig) withDefaults() Figure1cConfig {
+	if c.Scale == 0 {
+		c.Scale = 16
+	}
+	if c.EdgeFactor == 0 {
+		c.EdgeFactor = 14
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 10
+	}
+	return c
+}
+
+// Figure1c reproduces Figure 1(c): PageRank flat ~0.9, SSSP climbing from
+// near zero, WCC starting high and decaying; overall band 0.48-0.93 in the
+// paper.
+func Figure1c(cfg Figure1cConfig) (*GraphFigure, error) {
+	cfg = cfg.withDefaults()
+	g, err := graphgen.RMAT(graphgen.RMATConfig{
+		Scale: cfg.Scale, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pcfg := pregel.Config{Workers: cfg.Workers, MaxSupersteps: cfg.Iterations}
+
+	fig := &GraphFigure{
+		PageRank: stats.NewSeries("PageRank"),
+		SSSP:     stats.NewSeries("SSSP"),
+		WCC:      stats.NewSeries("WCC"),
+		Vertices: g.N,
+		Edges:    g.NumEdges(),
+	}
+	add := func(s *stats.Series, sts []pregel.SuperstepStats) {
+		for _, st := range sts {
+			s.Add(float64(st.Superstep), st.TrafficReduction)
+		}
+	}
+	add(fig.PageRank, pregel.PageRank(g, pcfg).Stats)
+	ss, err := pregel.SSSP(g, g.HighestDegreeVertex(), pcfg)
+	if err != nil {
+		return nil, err
+	}
+	add(fig.SSSP, ss.Stats)
+	add(fig.WCC, pregel.WCC(g, pcfg).Stats)
+	return fig, nil
+}

@@ -1,0 +1,165 @@
+// Package graphgen generates synthetic power-law graphs standing in for
+// the LiveJournal social network (4.8M vertices, 68M edges) used by the
+// paper's graph-analytics analysis. The generator is R-MAT (recursive
+// matrix) with LiveJournal-like skew parameters; the degree distribution's
+// heavy tail is what shapes per-destination message fan-in, which is the
+// quantity Figure 1(c)'s traffic-reduction ratio measures.
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/daiet/daiet/internal/hashing"
+)
+
+// RMATConfig parameterizes generation. The zero value is completed with
+// LiveJournal-like defaults at laptop scale.
+type RMATConfig struct {
+	Scale      int     // 2^Scale vertices (default 16)
+	EdgeFactor int     // edges per vertex (default 14, LiveJournal's ratio)
+	A, B, C    float64 // R-MAT quadrant probabilities (D = 1-A-B-C)
+	Seed       uint64
+}
+
+func (c RMATConfig) withDefaults() RMATConfig {
+	if c.Scale == 0 {
+		c.Scale = 16
+	}
+	if c.EdgeFactor == 0 {
+		c.EdgeFactor = 14
+	}
+	if c.A == 0 && c.B == 0 && c.C == 0 {
+		c.A, c.B, c.C = 0.57, 0.19, 0.19
+	}
+	return c
+}
+
+// Graph is a directed graph in adjacency-list form. Vertex IDs are dense
+// [0, N).
+type Graph struct {
+	N   int
+	Out [][]int32
+	// und caches the undirected adjacency (built on first use by Und).
+	und [][]int32
+}
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, adj := range g.Out {
+		n += len(adj)
+	}
+	return n
+}
+
+// RMAT generates a directed R-MAT graph with self-loops removed and
+// parallel edges deduplicated. Deterministic per seed.
+func RMAT(cfg RMATConfig) (*Graph, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Scale < 1 || cfg.Scale > 28 {
+		return nil, fmt.Errorf("graphgen: scale %d outside [1, 28]", cfg.Scale)
+	}
+	if cfg.A <= 0 || cfg.B < 0 || cfg.C < 0 || cfg.A+cfg.B+cfg.C >= 1 {
+		return nil, fmt.Errorf("graphgen: bad quadrant probabilities %v %v %v", cfg.A, cfg.B, cfg.C)
+	}
+	n := 1 << cfg.Scale
+	m := n * cfg.EdgeFactor
+	rng := rand.New(rand.NewSource(int64(hashing.Mix64(cfg.Seed ^ 0x9a7))))
+
+	g := &Graph{N: n, Out: make([][]int32, n)}
+	for e := 0; e < m; e++ {
+		src, dst := 0, 0
+		for bit := cfg.Scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < cfg.A:
+				// top-left: neither bit set
+			case r < cfg.A+cfg.B:
+				dst |= 1 << bit
+			case r < cfg.A+cfg.B+cfg.C:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		if src == dst {
+			continue // drop self-loops
+		}
+		g.Out[src] = append(g.Out[src], int32(dst))
+	}
+	// Deduplicate parallel edges.
+	for v := range g.Out {
+		adj := g.Out[v]
+		if len(adj) < 2 {
+			continue
+		}
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		out := adj[:1]
+		for _, u := range adj[1:] {
+			if u != out[len(out)-1] {
+				out = append(out, u)
+			}
+		}
+		g.Out[v] = out
+	}
+	return g, nil
+}
+
+// Und returns the undirected adjacency (union of out- and in-edges,
+// deduplicated), building and caching it on first call. WCC runs on this
+// view, like Pregel treats weak connectivity.
+func (g *Graph) Und() [][]int32 {
+	if g.und != nil {
+		return g.und
+	}
+	und := make([][]int32, g.N)
+	for v, adj := range g.Out {
+		for _, u := range adj {
+			und[v] = append(und[v], u)
+			und[u] = append(und[u], int32(v))
+		}
+	}
+	for v := range und {
+		adj := und[v]
+		if len(adj) < 2 {
+			continue
+		}
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		out := adj[:1]
+		for _, u := range adj[1:] {
+			if u != out[len(out)-1] {
+				out = append(out, u)
+			}
+		}
+		und[v] = out
+	}
+	g.und = und
+	return und
+}
+
+// MaxOutDegree returns the largest out-degree (skew diagnostic).
+func (g *Graph) MaxOutDegree() int {
+	max := 0
+	for _, adj := range g.Out {
+		if len(adj) > max {
+			max = len(adj)
+		}
+	}
+	return max
+}
+
+// HighestDegreeVertex returns the vertex with the largest out-degree — a
+// good SSSP source so the frontier actually grows (the paper runs SSSP from
+// a single source; a random low-degree source on a skewed graph can stall).
+func (g *Graph) HighestDegreeVertex() int {
+	best, bestDeg := 0, -1
+	for v, adj := range g.Out {
+		if len(adj) > bestDeg {
+			best, bestDeg = v, len(adj)
+		}
+	}
+	return best
+}

@@ -1,0 +1,115 @@
+package graphgen
+
+import (
+	"testing"
+)
+
+func TestRMATBasics(t *testing.T) {
+	g, err := RMAT(RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 {
+		t.Fatalf("N %d", g.N)
+	}
+	m := g.NumEdges()
+	// Dedup and self-loop removal trim some edges; expect the bulk kept.
+	if m < 4000 || m > 8192 {
+		t.Fatalf("edges %d outside sanity band", m)
+	}
+}
+
+func TestRMATNoSelfLoopsNoDuplicates(t *testing.T) {
+	g, err := RMAT(RMATConfig{Scale: 9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, adj := range g.Out {
+		for i, u := range adj {
+			if int(u) == v {
+				t.Fatalf("self loop at %d", v)
+			}
+			if u < 0 || int(u) >= g.N {
+				t.Fatalf("edge out of range: %d -> %d", v, u)
+			}
+			if i > 0 && adj[i-1] >= u {
+				t.Fatalf("adjacency not strictly sorted at %d", v)
+			}
+		}
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, _ := RMAT(RMATConfig{Scale: 8, Seed: 7})
+	b, _ := RMAT(RMATConfig{Scale: 8, Seed: 7})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("edge counts differ")
+	}
+	for v := range a.Out {
+		if len(a.Out[v]) != len(b.Out[v]) {
+			t.Fatalf("degree differs at %d", v)
+		}
+		for i := range a.Out[v] {
+			if a.Out[v][i] != b.Out[v][i] {
+				t.Fatalf("edges differ at %d", v)
+			}
+		}
+	}
+	c, _ := RMAT(RMATConfig{Scale: 8, Seed: 8})
+	if c.NumEdges() == a.NumEdges() {
+		t.Log("note: different seeds gave equal edge counts (possible, unusual)")
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// LiveJournal-like parameters must produce a heavy-tailed out-degree:
+	// max degree far above the mean.
+	g, err := RMAT(RMATConfig{Scale: 12, EdgeFactor: 14, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(g.NumEdges()) / float64(g.N)
+	if max := g.MaxOutDegree(); float64(max) < 8*mean {
+		t.Fatalf("no skew: max degree %d vs mean %.1f", max, mean)
+	}
+	hub := g.HighestDegreeVertex()
+	if len(g.Out[hub]) != g.MaxOutDegree() {
+		t.Fatal("HighestDegreeVertex inconsistent")
+	}
+}
+
+func TestUndSymmetric(t *testing.T) {
+	g, err := RMAT(RMATConfig{Scale: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	und := g.Und()
+	// Symmetry: u in und[v] <=> v in und[u].
+	adjSet := make([]map[int32]bool, g.N)
+	for v, adj := range und {
+		adjSet[v] = make(map[int32]bool, len(adj))
+		for _, u := range adj {
+			adjSet[v][u] = true
+		}
+	}
+	for v, adj := range und {
+		for _, u := range adj {
+			if !adjSet[u][int32(v)] {
+				t.Fatalf("asymmetric edge %d-%d", v, u)
+			}
+		}
+	}
+	// Cached: second call returns the same slices.
+	if &g.Und()[0] != &und[0] {
+		t.Fatal("Und not cached")
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	if _, err := RMAT(RMATConfig{Scale: 40}); err == nil {
+		t.Fatal("huge scale must fail")
+	}
+	if _, err := RMAT(RMATConfig{Scale: 8, A: 0.5, B: 0.4, C: 0.2}); err == nil {
+		t.Fatal("probabilities >= 1 must fail")
+	}
+}

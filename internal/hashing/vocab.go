@@ -1,0 +1,94 @@
+package hashing
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PadKey zero-pads key on the right to width bytes, the representation a
+// fixed-size-key dataplane hashes and compares. Keys already at or beyond
+// width are returned unchanged (callers enforce their own length limits).
+func PadKey(key []byte, width int) []byte {
+	if len(key) >= width {
+		return key
+	}
+	p := make([]byte, width)
+	copy(p, key)
+	return p
+}
+
+// CollisionFreeVocabulary generates n distinct words (each at most maxLen
+// bytes, lowercase letters) whose register indices under Index(·, tableSize)
+// are pairwise distinct. The paper's evaluation input is "a 500 MB file
+// containing random words that are not causing hash collisions" (§5,
+// footnote 5: "Our current prototype does not manage collisions"); this
+// constructs exactly that kind of corpus vocabulary.
+//
+// padWidth > 0 hashes each word zero-padded to that many bytes — the exact
+// byte string a fixed-size-key switch program hashes — so collision freedom
+// holds on the wire, not just in memory.
+//
+// It fails with an error if n > tableSize or if it cannot place n words
+// within a generous retry budget (which only happens when n is very close
+// to tableSize).
+func CollisionFreeVocabulary(rng *rand.Rand, n, maxLen, padWidth, tableSize int) ([]string, error) {
+	if n > tableSize {
+		return nil, fmt.Errorf("hashing: %d collision-free words cannot fit a %d-slot table", n, tableSize)
+	}
+	if maxLen < 1 {
+		return nil, fmt.Errorf("hashing: maxLen must be >= 1, got %d", maxLen)
+	}
+	if padWidth > 0 && maxLen > padWidth {
+		return nil, fmt.Errorf("hashing: maxLen %d exceeds padWidth %d", maxLen, padWidth)
+	}
+	usedIdx := make(map[int]bool, n)
+	usedWord := make(map[string]bool, n)
+	words := make([]string, 0, n)
+	// The retry budget is proportional to n and to the fill factor; for the
+	// fill levels the experiments use (<= 100%), random probing converges
+	// quickly because every retry resamples an independent word.
+	budget := 200*n + 10000
+	for len(words) < n {
+		if budget == 0 {
+			return nil, fmt.Errorf("hashing: gave up placing %d collision-free words into %d slots", n, tableSize)
+		}
+		budget--
+		w := randomWord(rng, maxLen)
+		if usedWord[w] {
+			continue
+		}
+		hashed := []byte(w)
+		if padWidth > 0 {
+			hashed = PadKey(hashed, padWidth)
+		}
+		idx := Index(hashed, tableSize)
+		if usedIdx[idx] {
+			continue
+		}
+		usedWord[w] = true
+		usedIdx[idx] = true
+		words = append(words, w)
+	}
+	return words, nil
+}
+
+// randomWord samples a word of length 3..maxLen of lowercase letters.
+func randomWord(rng *rand.Rand, maxLen int) string {
+	minLen := 3
+	if maxLen < minLen {
+		minLen = maxLen
+	}
+	n := minLen
+	if maxLen > minLen {
+		n += rng.Intn(maxLen - minLen + 1)
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+// RandomWord exposes randomWord for workload generators that want the same
+// word-shape distribution without the collision-free constraint.
+func RandomWord(rng *rand.Rand, maxLen int) string { return randomWord(rng, maxLen) }

@@ -1,0 +1,279 @@
+// Package mapreduce is the partition/aggregate application substrate of the
+// reproduction: a MapReduce framework whose shuffle phase can run in three
+// modes, matching the paper's §5 evaluation:
+//
+//   - ModeDAIET: the DAIET protocol with in-network aggregation,
+//   - ModeUDPBaseline: the DAIET protocol without switch aggregation
+//     ("using UDP and the DAIET protocol, but without executing data
+//     aggregation in the switch"),
+//   - ModeTCPBaseline: "the original TCP-based data exchange" over the
+//     tcplite reliable stream, mapper-side sorted as classic MapReduce
+//     would.
+//
+// Reducer compute (sort + combine, or merge for the sorted TCP case) is
+// executed for real and wall-clock timed: the paper's reduce-time panel
+// measures exactly that work.
+package mapreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/daiet/daiet/internal/core"
+	"github.com/daiet/daiet/internal/wire"
+	"github.com/daiet/daiet/internal/workload"
+)
+
+// Mode selects the shuffle transport.
+type Mode int
+
+// Shuffle modes (see package comment).
+const (
+	ModeDAIET Mode = iota
+	ModeUDPBaseline
+	ModeTCPBaseline
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeDAIET:
+		return "daiet"
+	case ModeUDPBaseline:
+		return "udp-baseline"
+	case ModeTCPBaseline:
+		return "tcp-baseline"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Job defines one MapReduce application. Map emits key-value pairs for one
+// input record; the shuffle combines values per key with the (commutative,
+// associative) aggregation function — the paper's "readily available"
+// combiner — and the reducer performs the final combine plus its mandatory
+// sort.
+type Job struct {
+	Name string
+	Map  func(record string, emit func(key string, value uint32))
+	Agg  core.AggFuncID
+}
+
+// WordCount is the paper's §5 benchmark job.
+var WordCount = Job{
+	Name: "wordcount",
+	Map: func(record string, emit func(string, uint32)) {
+		emit(record, 1)
+	},
+	Agg: core.AggSum,
+}
+
+// spill is one mapper's output for one reducer partition: fixed-size
+// records, exactly the on-disk layout §4 describes ("we use a fixed-size
+// representation for the pairs, so that it is easy to calculate the offsets
+// of pairs in the file and extract a number of complete pairs").
+type spill struct {
+	geom wire.PairGeometry
+	data []byte
+	n    int
+}
+
+func newSpill(geom wire.PairGeometry) *spill {
+	return &spill{geom: geom}
+}
+
+func (s *spill) add(key string, value uint32) error {
+	if len(key) > s.geom.KeyWidth {
+		return fmt.Errorf("mapreduce: key %q exceeds key width %d", key, s.geom.KeyWidth)
+	}
+	off := len(s.data)
+	s.data = append(s.data, make([]byte, s.geom.PairWidth())...)
+	copy(s.data[off:], key)
+	binary.BigEndian.PutUint32(s.data[off+s.geom.KeyWidth:], value)
+	s.n++
+	return nil
+}
+
+// record returns the i-th (key, value).
+func (s *spill) record(i int) (key []byte, value uint32) {
+	off := i * s.geom.PairWidth()
+	key = s.data[off : off+s.geom.KeyWidth]
+	value = binary.BigEndian.Uint32(s.data[off+s.geom.KeyWidth : off+s.geom.PairWidth()])
+	return key, value
+}
+
+// sortRecords sorts the spill in place by key — the mapper-side sort the
+// TCP baseline performs before the shuffle.
+func (s *spill) sortRecords() {
+	pw := s.geom.PairWidth()
+	idx := make([]int, s.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ka := s.data[idx[a]*pw : idx[a]*pw+s.geom.KeyWidth]
+		kb := s.data[idx[b]*pw : idx[b]*pw+s.geom.KeyWidth]
+		return string(ka) < string(kb)
+	})
+	sorted := make([]byte, len(s.data))
+	for out, in := range idx {
+		copy(sorted[out*pw:(out+1)*pw], s.data[in*pw:(in+1)*pw])
+	}
+	s.data = sorted
+}
+
+// decodeRun parses a fixed-record byte stream into KVs.
+func decodeRun(geom wire.PairGeometry, data []byte) []core.KV {
+	pw := geom.PairWidth()
+	n := len(data) / pw
+	out := make([]core.KV, 0, n)
+	for i := 0; i < n; i++ {
+		off := i * pw
+		key := wire.TrimKey(data[off : off+geom.KeyWidth])
+		val := binary.BigEndian.Uint32(data[off+geom.KeyWidth : off+pw])
+		out = append(out, core.KV{Key: string(key), Value: val})
+	}
+	return out
+}
+
+// runMapPhase executes Map over every split, partitioning output into
+// per-(mapper, reducer) spills.
+func runMapPhase(job Job, splits [][]string, nReducers int, geom wire.PairGeometry) ([][]*spill, error) {
+	spills := make([][]*spill, len(splits))
+	var firstErr error
+	for m, split := range splits {
+		spills[m] = make([]*spill, nReducers)
+		for r := range spills[m] {
+			spills[m][r] = newSpill(geom)
+		}
+		emit := func(key string, value uint32) {
+			p := workload.PartitionOf(key, geom.KeyWidth, nReducers)
+			if err := spills[m][p].add(key, value); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		for _, rec := range split {
+			job.Map(rec, emit)
+		}
+	}
+	return spills, firstErr
+}
+
+// reduceSortAll is the reducer work in the DAIET and UDP-baseline modes:
+// the input arrives unsorted (and, under DAIET, pre-aggregated), so the
+// reducer sorts everything and combines adjacent duplicates. The returned
+// duration is real measured wall time.
+func reduceSortAll(pairs []core.KV, agg core.AggFunc) ([]core.KV, time.Duration) {
+	start := time.Now()
+	sorted := append([]core.KV(nil), pairs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	out := make([]core.KV, 0, len(sorted))
+	for _, kv := range sorted {
+		if n := len(out); n > 0 && out[n-1].Key == kv.Key {
+			out[n-1].Value = agg.Combine(out[n-1].Value, kv.Value)
+		} else {
+			out = append(out, kv)
+		}
+	}
+	return out, time.Since(start)
+}
+
+// reduceMergeRuns is the reducer work in the TCP baseline: each mapper's
+// run arrives sorted, so the reducer performs a k-way merge with combining.
+func reduceMergeRuns(runs [][]core.KV, agg core.AggFunc) ([]core.KV, time.Duration) {
+	start := time.Now()
+	type cursor struct {
+		run []core.KV
+		pos int
+	}
+	heapLess := func(a, b *cursor) bool { return a.run[a.pos].Key < b.run[b.pos].Key }
+	var h []*cursor
+	push := func(c *cursor) {
+		h = append(h, c)
+		for i := len(h) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if heapLess(h[i], h[parent]) {
+				h[i], h[parent] = h[parent], h[i]
+				i = parent
+			} else {
+				break
+			}
+		}
+	}
+	pop := func() *cursor {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(h) && heapLess(h[l], h[small]) {
+				small = l
+			}
+			if r < len(h) && heapLess(h[r], h[small]) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			h[i], h[small] = h[small], h[i]
+			i = small
+		}
+		return top
+	}
+	for _, run := range runs {
+		if len(run) > 0 {
+			push(&cursor{run: run})
+		}
+	}
+	var out []core.KV
+	for len(h) > 0 {
+		c := pop()
+		kv := c.run[c.pos]
+		if n := len(out); n > 0 && out[n-1].Key == kv.Key {
+			out[n-1].Value = agg.Combine(out[n-1].Value, kv.Value)
+		} else {
+			out = append(out, kv)
+		}
+		c.pos++
+		if c.pos < len(c.run) {
+			push(c)
+		}
+	}
+	return out, time.Since(start)
+}
+
+// verifyAgainstReference recomputes the job output directly from the spills
+// and compares — the end-to-end correctness oracle.
+func verifyAgainstReference(spills [][]*spill, reducer int, agg core.AggFunc, got []core.KV) error {
+	want := make(map[string]uint32)
+	for m := range spills {
+		sp := spills[m][reducer]
+		for i := 0; i < sp.n; i++ {
+			k, v := sp.record(i)
+			key := string(wire.TrimKey(k))
+			if cur, ok := want[key]; ok {
+				want[key] = agg.Combine(cur, v)
+			} else {
+				want[key] = agg.Combine(agg.Identity(), v)
+			}
+		}
+	}
+	if len(want) != len(got) {
+		return fmt.Errorf("mapreduce: reducer %d output has %d keys, want %d", reducer, len(got), len(want))
+	}
+	prev := ""
+	for i, kv := range got {
+		if i > 0 && kv.Key <= prev {
+			return fmt.Errorf("mapreduce: reducer %d output not sorted at %d", reducer, i)
+		}
+		prev = kv.Key
+		if want[kv.Key] != kv.Value {
+			return fmt.Errorf("mapreduce: reducer %d key %q = %d, want %d", reducer, kv.Key, kv.Value, want[kv.Key])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,364 @@
+package mlps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testDataset(t *testing.T, n int) *Dataset {
+	t.Helper()
+	return SyntheticMNIST(1, n)
+}
+
+func TestDatasetShape(t *testing.T) {
+	d := testDataset(t, 500)
+	if d.Len() != 500 {
+		t.Fatalf("len %d", d.Len())
+	}
+	for i, img := range d.Images {
+		if len(img) != Pixels {
+			t.Fatalf("image %d has %d pixels", i, len(img))
+		}
+		if d.Labels[i] < 0 || d.Labels[i] >= Classes {
+			t.Fatalf("label %d", d.Labels[i])
+		}
+		for p, v := range img {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %d value %f", p, v)
+			}
+		}
+	}
+}
+
+func TestDatasetBorderDead(t *testing.T) {
+	d := testDataset(t, 300)
+	for _, img := range d.Images {
+		for y := 0; y < Side; y++ {
+			for x := 0; x < Side; x++ {
+				if x < 3 || x >= Side-3 || y < 3 || y >= Side-3 {
+					if img[y*Side+x] != 0 {
+						t.Fatalf("border pixel (%d,%d) active", x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetSparsityBand(t *testing.T) {
+	d := testDataset(t, 1000)
+	s := d.Sparsity()
+	// The calibrated generator produces ~10% active pixels (MNIST is ~19%;
+	// the difference is deliberate — see EXPERIMENTS.md).
+	if s < 0.05 || s > 0.25 {
+		t.Fatalf("sparsity %.3f outside sanity band", s)
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	a := SyntheticMNIST(9, 50)
+	b := SyntheticMNIST(9, 50)
+	for i := range a.Images {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ")
+		}
+		for p := range a.Images[i] {
+			if a.Images[i][p] != b.Images[i][p] {
+				t.Fatal("pixels differ")
+			}
+		}
+	}
+	c := SyntheticMNIST(10, 50)
+	same := true
+	for i := range a.Images {
+		for p := range a.Images[i] {
+			if a.Images[i][p] != c.Images[i][p] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds give identical data")
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Different classes must have visibly different activation maps or the
+	// model has nothing to learn.
+	d := testDataset(t, 10)
+	var diff float64
+	for i := 0; i < Pixels; i++ {
+		diff += math.Abs(d.ClassProb[0][i] - d.ClassProb[1][i])
+	}
+	if diff < 10 {
+		t.Fatalf("class probability maps nearly identical (L1=%f)", diff)
+	}
+}
+
+func TestForwardIsDistribution(t *testing.T) {
+	d := testDataset(t, 10)
+	m := NewModel()
+	p := m.Forward(d.Images[0])
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("prob %f", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %f", sum)
+	}
+	// Zero model: uniform distribution.
+	for _, v := range p {
+		if math.Abs(v-0.1) > 1e-9 {
+			t.Fatalf("zero model must be uniform, got %f", v)
+		}
+	}
+}
+
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	d := testDataset(t, 20)
+	m := NewModel()
+	// Non-trivial weights.
+	for i := range m.W {
+		m.W[i] = float32(math.Sin(float64(i))) * 0.1
+	}
+	g := NewGrad()
+	batch := []int{0, 1, 2}
+	loss := m.Gradient(d, batch, g)
+	if loss <= 0 {
+		t.Fatalf("loss %f", loss)
+	}
+	// Check ∂loss/∂W numerically at a handful of active coordinates.
+	const eps = 1e-3
+	checked := 0
+	for i := 0; i < WeightDim && checked < 5; i++ {
+		if g.W[i] == 0 {
+			continue
+		}
+		orig := m.W[i]
+		m.W[i] = orig + eps
+		lossPlus := meanLoss(m, d, batch)
+		m.W[i] = orig - eps
+		lossMinus := meanLoss(m, d, batch)
+		m.W[i] = orig
+		numeric := (lossPlus - lossMinus) / (2 * eps)
+		if math.Abs(numeric-float64(g.W[i])) > 1e-2*math.Max(1, math.Abs(numeric)) {
+			t.Fatalf("grad[%d]=%f numeric=%f", i, g.W[i], numeric)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no non-zero gradient coordinates to check")
+	}
+}
+
+func meanLoss(m *Model, d *Dataset, batch []int) float64 {
+	var loss float64
+	for _, s := range batch {
+		p := m.Forward(d.Images[s])
+		loss += -math.Log(math.Max(p[d.Labels[s]], 1e-12))
+	}
+	return loss / float64(len(batch))
+}
+
+func TestGradientSparsityMatchesInput(t *testing.T) {
+	d := testDataset(t, 10)
+	m := NewModel()
+	g := NewGrad()
+	m.Gradient(d, []int{0}, g)
+	x := d.Images[0]
+	for i := 0; i < Pixels; i++ {
+		rowZero := true
+		for j := 0; j < Classes; j++ {
+			if g.W[i*Classes+j] != 0 {
+				rowZero = false
+			}
+		}
+		if x[i] == 0 && !rowZero {
+			t.Fatalf("inactive pixel %d has gradient", i)
+		}
+		if x[i] != 0 && rowZero {
+			t.Fatalf("active pixel %d has zero gradient row", i)
+		}
+	}
+}
+
+func TestUpdatedIndices(t *testing.T) {
+	g := NewGrad()
+	g.W[5] = 1.0
+	g.W[17] = 0.005
+	g.W[100] = -0.5
+	idx := g.UpdatedIndices(0, nil)
+	if len(idx) != 3 {
+		t.Fatalf("exact support: %v", idx)
+	}
+	idx = g.UpdatedIndices(0.1, idx) // threshold 0.1*1.0
+	if len(idx) != 2 {
+		t.Fatalf("thresholded support: %v", idx)
+	}
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	d := testDataset(t, 1500)
+	cfg := Figure1aConfig(3)
+	cfg.Steps = 120
+	res, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Metrics[0].Loss
+	last := res.Metrics[len(res.Metrics)-1].Loss
+	if last >= first/2 {
+		t.Fatalf("SGD loss %f -> %f: not learning", first, last)
+	}
+	if res.FinalAccuracy < 0.8 {
+		t.Fatalf("accuracy %.2f", res.FinalAccuracy)
+	}
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	d := testDataset(t, 1500)
+	cfg := Figure1bConfig(3)
+	cfg.Steps = 60
+	res, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Metrics[0].Loss
+	last := res.Metrics[len(res.Metrics)-1].Loss
+	if last >= first/2 {
+		t.Fatalf("Adam loss %f -> %f: not learning", first, last)
+	}
+}
+
+func TestFigure1Bands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	d := testDataset(t, 4000)
+	sgd, err := Train(d, Figure1aConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adam, err := Train(d, Figure1bConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := MeanOverlap(sgd.Metrics)
+	ao := MeanOverlap(adam.Metrics)
+	// Paper: ~42.5% (SGD) and ~66.5% (Adam); allow a generous band.
+	if so < 34 || so > 52 {
+		t.Fatalf("SGD overlap %.1f%% outside [34, 52]", so)
+	}
+	if ao < 58 || ao > 75 {
+		t.Fatalf("Adam overlap %.1f%% outside [58, 75]", ao)
+	}
+	if ao <= so {
+		t.Fatalf("ordering violated: adam %.1f <= sgd %.1f", ao, so)
+	}
+}
+
+func TestOverlapGrowsWithWorkers(t *testing.T) {
+	d := testDataset(t, 2000)
+	prev := -1.0
+	for _, w := range []int{2, 3, 4, 5} {
+		cfg := Figure1aConfig(7)
+		cfg.Workers = w
+		cfg.Steps = 60
+		res, err := Train(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := MeanOverlap(res.Metrics)
+		if o <= prev {
+			t.Fatalf("overlap not increasing: %d workers -> %.1f (prev %.1f)", w, o, prev)
+		}
+		prev = o
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	d := testDataset(t, 10)
+	if _, err := Train(d, TrainConfig{}); err == nil {
+		t.Fatal("zero config must fail")
+	}
+	if _, err := Train(d, TrainConfig{Workers: 5, BatchSize: 100, Steps: 1}); err == nil {
+		t.Fatal("dataset too small must fail")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	d := testDataset(t, 600)
+	cfg := Figure1aConfig(5)
+	cfg.Steps = 20
+	a, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Metrics {
+		if a.Metrics[i] != b.Metrics[i] {
+			t.Fatalf("metrics diverge at step %d", i)
+		}
+	}
+}
+
+// Property: overlap and traffic reduction are valid percentages, and unique
+// <= total always.
+func TestMetricsInvariantsProperty(t *testing.T) {
+	d := testDataset(t, 800)
+	f := func(seed uint16, workersRaw, batchRaw uint8) bool {
+		cfg := TrainConfig{
+			Workers:   1 + int(workersRaw)%5,
+			BatchSize: 1 + int(batchRaw)%20,
+			Steps:     5,
+			Optimizer: OptSGD,
+			LR:        0.1,
+			Seed:      uint64(seed),
+		}
+		res, err := Train(d, cfg)
+		if err != nil {
+			return false
+		}
+		for _, m := range res.Metrics {
+			if m.OverlapPct < 0 || m.OverlapPct > 100 {
+				return false
+			}
+			if m.TrafficReductionPct < 0 || m.TrafficReductionPct > 100 {
+				return false
+			}
+			if m.UniqueUpdates > m.TotalUpdates {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdamStateEvolves(t *testing.T) {
+	a := NewAdam(0.01)
+	m := NewModel()
+	g := NewGrad()
+	g.W[0] = 1
+	a.Step(m, g)
+	w1 := m.W[0]
+	if w1 >= 0 {
+		t.Fatalf("adam step direction: %f", w1)
+	}
+	a.Step(m, g)
+	if m.W[0] >= w1 {
+		t.Fatal("adam second step did not move")
+	}
+	if a.Name() != "adam" || (&SGD{}).Name() != "sgd" {
+		t.Fatal("names")
+	}
+}

@@ -1,0 +1,177 @@
+package mlps
+
+import (
+	"math"
+)
+
+// Model is the paper's "Soft-Max Neural Network": multinomial logistic
+// regression, a single dense W (784×10) plus bias. W is "the tensor" whose
+// update overlap Figure 1 measures.
+type Model struct {
+	W []float32 // WeightDim, row-major: W[pixel*Classes + class]
+	B []float32 // Classes
+}
+
+// NewModel returns a zero-initialized model (softmax regression is convex;
+// zero init is standard).
+func NewModel() *Model {
+	return &Model{W: make([]float32, WeightDim), B: make([]float32, Classes)}
+}
+
+// Forward computes class probabilities for one image.
+func (m *Model) Forward(x []float32) [Classes]float64 {
+	var logits [Classes]float64
+	for j := 0; j < Classes; j++ {
+		logits[j] = float64(m.B[j])
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		base := i * Classes
+		for j := 0; j < Classes; j++ {
+			logits[j] += float64(xi) * float64(m.W[base+j])
+		}
+	}
+	// Numerically stable softmax.
+	maxL := logits[0]
+	for _, l := range logits[1:] {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	var sum float64
+	var probs [Classes]float64
+	for j := range logits {
+		probs[j] = math.Exp(logits[j] - maxL)
+		sum += probs[j]
+	}
+	for j := range probs {
+		probs[j] /= sum
+	}
+	return probs
+}
+
+// Predict returns the argmax class for one image.
+func (m *Model) Predict(x []float32) int {
+	p := m.Forward(x)
+	best := 0
+	for j := 1; j < Classes; j++ {
+		if p[j] > p[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// Grad is one worker's gradient contribution: dense storage, but the
+// sparsity structure (zero rows for inactive pixels) is preserved exactly.
+type Grad struct {
+	W []float32
+	B []float32
+}
+
+// NewGrad allocates a zero gradient.
+func NewGrad() *Grad {
+	return &Grad{W: make([]float32, WeightDim), B: make([]float32, Classes)}
+}
+
+// Reset zeroes the gradient in place.
+func (g *Grad) Reset() {
+	for i := range g.W {
+		g.W[i] = 0
+	}
+	for i := range g.B {
+		g.B[i] = 0
+	}
+}
+
+// Accumulate adds other into g (the parameter server's vector addition —
+// the aggregation function the paper offloads to the network).
+func (g *Grad) Accumulate(other *Grad) {
+	for i, v := range other.W {
+		g.W[i] += v
+	}
+	for i, v := range other.B {
+		g.B[i] += v
+	}
+}
+
+// Scale multiplies the gradient by f.
+func (g *Grad) Scale(f float32) {
+	for i := range g.W {
+		g.W[i] *= f
+	}
+	for i := range g.B {
+		g.B[i] *= f
+	}
+}
+
+// Gradient computes the mean cross-entropy gradient over the given sample
+// indices, writing into g (which it resets first), and returns the mean
+// loss. dW[i][j] = x[i]*(p[j]-y[j]): rows for inactive pixels stay exactly
+// zero, which is what makes the update sparse on the wire.
+func (m *Model) Gradient(d *Dataset, batch []int, g *Grad) float64 {
+	g.Reset()
+	if len(batch) == 0 {
+		return 0
+	}
+	var loss float64
+	inv := 1.0 / float64(len(batch))
+	for _, s := range batch {
+		x := d.Images[s]
+		label := d.Labels[s]
+		probs := m.Forward(x)
+		loss += -math.Log(math.Max(probs[label], 1e-12))
+		var delta [Classes]float64
+		for j := 0; j < Classes; j++ {
+			delta[j] = probs[j]
+			if j == label {
+				delta[j] -= 1
+			}
+		}
+		for i, xi := range x {
+			if xi == 0 {
+				continue
+			}
+			base := i * Classes
+			for j := 0; j < Classes; j++ {
+				g.W[base+j] += float32(float64(xi) * delta[j] * inv)
+			}
+		}
+		for j := 0; j < Classes; j++ {
+			g.B[j] += float32(delta[j] * inv)
+		}
+	}
+	return loss * inv
+}
+
+// UpdatedIndices returns the W-tensor indices this gradient would transmit
+// to the parameter server: elements whose magnitude exceeds relThreshold ×
+// max|g.W|. A zero threshold returns the exact non-zero support. This is
+// the "tensor elements updated by a worker" set of Figure 1.
+func (g *Grad) UpdatedIndices(relThreshold float64, out []int) []int {
+	out = out[:0]
+	if relThreshold <= 0 {
+		for i, v := range g.W {
+			if v != 0 {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	var maxAbs float64
+	for _, v := range g.W {
+		a := math.Abs(float64(v))
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	thr := relThreshold * maxAbs
+	for i, v := range g.W {
+		if math.Abs(float64(v)) > thr {
+			out = append(out, i)
+		}
+	}
+	return out
+}

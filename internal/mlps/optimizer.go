@@ -1,0 +1,99 @@
+package mlps
+
+import "math"
+
+// OptimizerKind selects the parameter-server update rule.
+type OptimizerKind int
+
+// The two optimizers the paper evaluates.
+const (
+	OptSGD OptimizerKind = iota
+	OptAdam
+)
+
+// String implements fmt.Stringer.
+func (k OptimizerKind) String() string {
+	if k == OptAdam {
+		return "adam"
+	}
+	return "sgd"
+}
+
+// Optimizer applies aggregated gradients to the model, parameter-server
+// side.
+type Optimizer interface {
+	Step(m *Model, g *Grad)
+	Name() string
+}
+
+// SGD is plain mini-batch stochastic gradient descent.
+type SGD struct {
+	LR float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step applies w -= lr * g.
+func (s *SGD) Step(m *Model, g *Grad) {
+	lr := float32(s.LR)
+	for i, v := range g.W {
+		m.W[i] -= lr * v
+	}
+	for i, v := range g.B {
+		m.B[i] -= lr * v
+	}
+}
+
+// Adam implements Kingma & Ba's Adam exactly (the paper's [17]):
+// first/second-moment estimates with bias correction.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t      int
+	mW, vW []float64
+	mB, vB []float64
+}
+
+// NewAdam returns Adam with the canonical defaults (lr as given,
+// β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:      lr,
+		Beta1:   0.9,
+		Beta2:   0.999,
+		Epsilon: 1e-8,
+		mW:      make([]float64, WeightDim),
+		vW:      make([]float64, WeightDim),
+		mB:      make([]float64, Classes),
+		vB:      make([]float64, Classes),
+	}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step applies one Adam update.
+func (a *Adam) Step(m *Model, g *Grad) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	upd := func(w []float32, grad []float32, mo, vo []float64) {
+		for i := range grad {
+			gi := float64(grad[i])
+			mo[i] = a.Beta1*mo[i] + (1-a.Beta1)*gi
+			vo[i] = a.Beta2*vo[i] + (1-a.Beta2)*gi*gi
+			mHat := mo[i] / c1
+			vHat := vo[i] / c2
+			w[i] -= float32(a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon))
+		}
+	}
+	upd(m.W, g.W, a.mW, a.vW)
+	upd(m.B, g.B, a.mB, a.vB)
+}

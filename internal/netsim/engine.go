@@ -1,0 +1,125 @@
+// Package netsim is a deterministic discrete-event, packet-level network
+// simulator: the substrate standing in for the paper's single-server bmv2
+// testbed and, by extension, for a hardware deployment's data-center fabric.
+//
+// Design goals, in order: determinism (same seed, same result — experiments
+// are asserted in tests), measurement fidelity for the quantities the paper
+// reports (packets and bytes arriving at tree roots, queueing behaviour),
+// and speed (single-threaded event loop, no goroutine-per-packet).
+//
+// Frames are raw []byte throughout; nodes parse them with internal/wire and
+// internal/dataplane, never via Go-struct side channels.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is virtual simulation time in nanoseconds since simulation start.
+type Time int64
+
+// Duration converts a time.Duration into simulator ticks.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// String renders the time as a time.Duration for diagnostics.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is one scheduled callback. seq breaks ties so that events scheduled
+// earlier run earlier, keeping the simulation fully deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event core: a clock and an ordered event queue.
+// It is not safe for concurrent use; the entire simulation runs on the
+// caller's goroutine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Processed counts executed events, a cheap progress/livelock indicator.
+	Processed uint64
+}
+
+// NewEngine returns an engine at time zero with an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at time at. Scheduling in the past is a programming
+// error and panics: allowing it would silently reorder causality.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("netsim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d ticks from now.
+func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Step executes the single earliest event and reports whether one existed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.Processed++
+	ev.fn()
+	return true
+}
+
+// Run drains the event queue. maxEvents bounds runaway simulations
+// (retransmission livelock under 100% loss, for example); it returns an
+// error when the bound is hit and nil when the queue empties.
+func (e *Engine) Run(maxEvents uint64) error {
+	for i := uint64(0); ; i++ {
+		if maxEvents > 0 && i >= maxEvents {
+			return fmt.Errorf("netsim: event budget %d exhausted at t=%v (%d pending)",
+				maxEvents, e.now, len(e.events))
+		}
+		if !e.Step() {
+			return nil
+		}
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then stops and
+// advances the clock to the deadline. Remaining events stay queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

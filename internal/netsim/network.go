@@ -1,0 +1,201 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/daiet/daiet/internal/hashing"
+)
+
+// NodeID identifies a host or switch in the fabric. IDs live in a 24-bit
+// space so they map into the 10.0.0.0/8 addressing plan of internal/wire.
+type NodeID uint32
+
+// Node is anything attached to the fabric. Attach is called exactly once,
+// when the node is added; HandleFrame is called by the event loop whenever a
+// frame arrives on one of the node's ports. The frame slice is owned by the
+// callee after the call; the network never touches it again.
+type Node interface {
+	Attach(nw *Network, id NodeID)
+	HandleFrame(inPort int, frame []byte)
+}
+
+// LinkConfig describes one bidirectional link. The zero value is replaced
+// by defaults matching a 10 Gb/s data-center edge link.
+type LinkConfig struct {
+	BandwidthBps int64         // bits per second; default 10e9
+	Propagation  time.Duration // one-way propagation delay; default 1µs
+	QueueBytes   int           // per-direction FIFO capacity; default 256 KiB
+	LossProb     float64       // i.i.d. frame drop probability; default 0
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.BandwidthBps == 0 {
+		c.BandwidthBps = 10_000_000_000
+	}
+	if c.Propagation == 0 {
+		c.Propagation = time.Microsecond
+	}
+	if c.QueueBytes == 0 {
+		c.QueueBytes = 256 << 10
+	}
+	return c
+}
+
+// LinkStats counts traffic for one direction of a link.
+type LinkStats struct {
+	TxFrames  uint64
+	TxBytes   uint64
+	DropsFull uint64 // tail drops from queue overflow
+	DropsLoss uint64 // injected random losses
+}
+
+// halfLink is one direction of a link: a serializing transmitter feeding a
+// propagation delay into the peer node's port.
+type halfLink struct {
+	cfg      LinkConfig
+	dstNode  NodeID
+	dstPort  int
+	busyTill Time // when the transmitter finishes its current backlog
+	queued   int  // bytes accepted but not yet fully serialized
+	stats    LinkStats
+	rng      *rand.Rand
+}
+
+// Port names one endpoint of a link from a node's point of view.
+type port struct {
+	out *halfLink
+}
+
+// Network glues nodes together with links on top of an Engine.
+type Network struct {
+	Eng   *Engine
+	nodes map[NodeID]Node
+	ports map[NodeID][]*port
+	half  []*halfLink
+	seed  uint64
+}
+
+// New creates an empty network over a fresh engine. seed drives all loss
+// randomness; the same seed reproduces the same drops.
+func New(seed uint64) *Network {
+	return &Network{
+		Eng:   NewEngine(),
+		nodes: make(map[NodeID]Node),
+		ports: make(map[NodeID][]*port),
+		seed:  seed,
+	}
+}
+
+// AddNode attaches n under the given ID. Duplicate IDs are a configuration
+// error and panic.
+func (nw *Network) AddNode(id NodeID, n Node) {
+	if _, dup := nw.nodes[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node id %d", id))
+	}
+	nw.nodes[id] = n
+	n.Attach(nw, id)
+}
+
+// Node returns the node registered under id, or nil.
+func (nw *Network) Node(id NodeID) Node { return nw.nodes[id] }
+
+// NumPorts returns how many ports node id currently has.
+func (nw *Network) NumPorts(id NodeID) int { return len(nw.ports[id]) }
+
+// Connect joins a and b with a bidirectional link and returns the port
+// numbers allocated on each side. Both nodes must already be added.
+func (nw *Network) Connect(a, b NodeID, cfg LinkConfig) (aPort, bPort int) {
+	if _, ok := nw.nodes[a]; !ok {
+		panic(fmt.Sprintf("netsim: connect: unknown node %d", a))
+	}
+	if _, ok := nw.nodes[b]; !ok {
+		panic(fmt.Sprintf("netsim: connect: unknown node %d", b))
+	}
+	cfg = cfg.withDefaults()
+	aPort = len(nw.ports[a])
+	bPort = len(nw.ports[b])
+	// Derive independent, deterministic RNG streams per half-link.
+	mk := func(salt uint64) *rand.Rand {
+		return rand.New(rand.NewSource(int64(hashing.Mix64(nw.seed ^ salt))))
+	}
+	ab := &halfLink{cfg: cfg, dstNode: b, dstPort: bPort,
+		rng: mk(uint64(a)<<32 | uint64(b)<<8 | uint64(aPort))}
+	ba := &halfLink{cfg: cfg, dstNode: a, dstPort: aPort,
+		rng: mk(uint64(b)<<32 | uint64(a)<<8 | uint64(bPort) | 1<<63)}
+	nw.ports[a] = append(nw.ports[a], &port{out: ab})
+	nw.ports[b] = append(nw.ports[b], &port{out: ba})
+	nw.half = append(nw.half, ab, ba)
+	return aPort, bPort
+}
+
+// Send transmits frame out of (from, portNum). The network takes ownership
+// of the frame slice. Frames that overflow the port queue or hit injected
+// loss are counted and dropped.
+func (nw *Network) Send(from NodeID, portNum int, frame []byte) {
+	ports := nw.ports[from]
+	if portNum < 0 || portNum >= len(ports) {
+		panic(fmt.Sprintf("netsim: node %d has no port %d", from, portNum))
+	}
+	hl := ports[portNum].out
+	size := len(frame)
+
+	if hl.queued+size > hl.cfg.QueueBytes {
+		hl.stats.DropsFull++
+		return
+	}
+	if hl.cfg.LossProb > 0 && hl.rng.Float64() < hl.cfg.LossProb {
+		hl.stats.DropsLoss++
+		return
+	}
+
+	now := nw.Eng.Now()
+	start := hl.busyTill
+	if start < now {
+		start = now
+	}
+	txTime := Time(int64(size) * 8 * int64(time.Second) / hl.cfg.BandwidthBps)
+	if txTime < 1 {
+		txTime = 1
+	}
+	done := start + txTime
+	hl.busyTill = done
+	hl.queued += size
+	hl.stats.TxFrames++
+	hl.stats.TxBytes += uint64(size)
+
+	arrival := done + Duration(hl.cfg.Propagation)
+	dst, dstPort := hl.dstNode, hl.dstPort
+	nw.Eng.Schedule(done, func() { hl.queued -= size })
+	nw.Eng.Schedule(arrival, func() {
+		if n := nw.nodes[dst]; n != nil {
+			n.HandleFrame(dstPort, frame)
+		}
+	})
+}
+
+// PortStats returns a copy of the transmit-direction statistics of
+// (node, port).
+func (nw *Network) PortStats(id NodeID, portNum int) LinkStats {
+	ports := nw.ports[id]
+	if portNum < 0 || portNum >= len(ports) {
+		return LinkStats{}
+	}
+	return ports[portNum].out.stats
+}
+
+// TotalStats sums transmit statistics over every half-link in the fabric.
+func (nw *Network) TotalStats() LinkStats {
+	var t LinkStats
+	for _, hl := range nw.half {
+		t.TxFrames += hl.stats.TxFrames
+		t.TxBytes += hl.stats.TxBytes
+		t.DropsFull += hl.stats.DropsFull
+		t.DropsLoss += hl.stats.DropsLoss
+	}
+	return t
+}
+
+// Run drains the event loop (see Engine.Run).
+func (nw *Network) Run(maxEvents uint64) error { return nw.Eng.Run(maxEvents) }

@@ -1,0 +1,49 @@
+package pregel
+
+import (
+	"testing"
+
+	"github.com/daiet/daiet/internal/graphgen"
+)
+
+func benchGraph(b *testing.B) *graphgen.Graph {
+	b.Helper()
+	g, err := graphgen.RMAT(graphgen.RMATConfig{Scale: 14, EdgeFactor: 14, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkPageRankSuperstep measures one full PageRank run (10 supersteps)
+// including the per-message traffic instrumentation Figure 1(c) needs.
+func BenchmarkPageRankSuperstep(b *testing.B) {
+	g := benchGraph(b)
+	b.SetBytes(int64(g.NumEdges()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PageRank(g, Config{Workers: 4, MaxSupersteps: 10})
+	}
+}
+
+// BenchmarkWCC measures min-label propagation to convergence.
+func BenchmarkWCC(b *testing.B) {
+	g := benchGraph(b)
+	g.Und() // pre-build the undirected view outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = WCC(g, Config{Workers: 4, MaxSupersteps: 10})
+	}
+}
+
+// BenchmarkSSSP measures the frontier expansion from the hub vertex.
+func BenchmarkSSSP(b *testing.B) {
+	g := benchGraph(b)
+	src := g.HighestDegreeVertex()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SSSP(g, src, Config{Workers: 4, MaxSupersteps: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package pregel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/daiet/daiet/internal/graphgen"
+)
+
+// lineGraph builds a directed path 0 -> 1 -> ... -> n-1.
+func lineGraph(n int) *graphgen.Graph {
+	g := &graphgen.Graph{N: n, Out: make([][]int32, n)}
+	for v := 0; v < n-1; v++ {
+		g.Out[v] = []int32{int32(v + 1)}
+	}
+	return g
+}
+
+func testRMAT(t *testing.T) *graphgen.Graph {
+	t.Helper()
+	g, err := graphgen.RMAT(graphgen.RMATConfig{Scale: 11, EdgeFactor: 12, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := testRMAT(t)
+	res := PageRank(g, Config{Workers: 4, MaxSupersteps: 10})
+	if len(res.Stats) != 10 {
+		t.Fatalf("supersteps %d", len(res.Stats))
+	}
+	// Dangling mass leaks in this formulation (as in Pregel's classic
+	// example), so the sum is <= 1 and positive.
+	var sum float64
+	for _, v := range res.Values {
+		if v < 0 {
+			t.Fatalf("negative rank %f", v)
+		}
+		sum += v
+	}
+	if sum <= 0.1 || sum > 1.0001 {
+		t.Fatalf("rank mass %f", sum)
+	}
+}
+
+func TestPageRankRanksHubsHigher(t *testing.T) {
+	// Star graph: everyone points at vertex 0.
+	n := 50
+	g := &graphgen.Graph{N: n, Out: make([][]int32, n)}
+	for v := 1; v < n; v++ {
+		g.Out[v] = []int32{0}
+	}
+	res := PageRank(g, Config{Workers: 4, MaxSupersteps: 10})
+	for v := 1; v < n; v++ {
+		if res.Values[0] <= res.Values[v] {
+			t.Fatalf("hub rank %f <= leaf rank %f", res.Values[0], res.Values[v])
+		}
+	}
+}
+
+func TestPageRankReductionFlat(t *testing.T) {
+	// The paper: "the traffic reduction ratio is almost the same across all
+	// iterations" for PageRank.
+	g := testRMAT(t)
+	res := PageRank(g, Config{Workers: 4, MaxSupersteps: 10})
+	first := res.Stats[0].TrafficReduction
+	for _, st := range res.Stats {
+		if math.Abs(st.TrafficReduction-first) > 0.02 {
+			t.Fatalf("reduction varies: %f vs %f at step %d", st.TrafficReduction, first, st.Superstep)
+		}
+		if st.TrafficReduction < 0.5 {
+			t.Fatalf("reduction %f implausibly low for a skewed graph", st.TrafficReduction)
+		}
+	}
+}
+
+func TestSSSPDistancesOnLine(t *testing.T) {
+	g := lineGraph(8)
+	res, err := SSSP(g, 0, Config{Workers: 2, MaxSupersteps: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		if res.Values[v] != float64(v) {
+			t.Fatalf("dist[%d] = %f", v, res.Values[v])
+		}
+	}
+}
+
+func TestSSSPUnreachableStaysInf(t *testing.T) {
+	g := &graphgen.Graph{N: 3, Out: [][]int32{{1}, nil, nil}}
+	res, err := SSSP(g, 0, Config{Workers: 2, MaxSupersteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.Values[2], 1) {
+		t.Fatalf("unreachable vertex got distance %f", res.Values[2])
+	}
+	if res.Values[1] != 1 {
+		t.Fatalf("dist[1] = %f", res.Values[1])
+	}
+}
+
+func TestSSSPValidation(t *testing.T) {
+	g := lineGraph(4)
+	if _, err := SSSP(g, -1, Config{}); err == nil {
+		t.Fatal("negative source must fail")
+	}
+	if _, err := SSSP(g, 4, Config{}); err == nil {
+		t.Fatal("out-of-range source must fail")
+	}
+}
+
+func TestSSSPMessageGrowth(t *testing.T) {
+	// The paper: "SSSP starts by sending a smaller number of messages...
+	// In the following iteration, the number of messages increases".
+	g := testRMAT(t)
+	res, err := SSSP(g, g.HighestDegreeVertex(), Config{Workers: 4, MaxSupersteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats[0].Messages == 0 {
+		t.Fatal("source sent nothing")
+	}
+	peak := int64(0)
+	for _, st := range res.Stats {
+		if st.Messages > peak {
+			peak = st.Messages
+		}
+	}
+	if peak <= res.Stats[0].Messages*2 {
+		t.Fatalf("frontier never grew: first %d peak %d", res.Stats[0].Messages, peak)
+	}
+}
+
+func TestWCCLabelsCorrect(t *testing.T) {
+	// Two disjoint undirected chains: 0-1-2 and 3-4.
+	g := &graphgen.Graph{N: 5, Out: [][]int32{{1}, {2}, nil, {4}, nil}}
+	res := WCC(g, Config{Workers: 2, MaxSupersteps: 20})
+	if res.Values[0] != 0 || res.Values[1] != 0 || res.Values[2] != 0 {
+		t.Fatalf("component A labels %v", res.Values[:3])
+	}
+	if res.Values[3] != 3 || res.Values[4] != 3 {
+		t.Fatalf("component B labels %v", res.Values[3:])
+	}
+}
+
+func TestWCCTrafficDecays(t *testing.T) {
+	// The paper: WCC "starts by sending large number of messages from all
+	// vertices which decrease as the algorithm converges".
+	g := testRMAT(t)
+	res := WCC(g, Config{Workers: 4, MaxSupersteps: 10})
+	first := res.Stats[0].Messages
+	lastActive := res.Stats[len(res.Stats)-1]
+	for i := len(res.Stats) - 1; i >= 0; i-- {
+		if res.Stats[i].Messages > 0 {
+			lastActive = res.Stats[i]
+			break
+		}
+	}
+	if lastActive.Messages >= first/2 {
+		t.Fatalf("WCC traffic did not decay: first %d last %d", first, lastActive.Messages)
+	}
+}
+
+func TestFigure1cShape(t *testing.T) {
+	g := testRMAT(t)
+	cfg := Config{Workers: 4, MaxSupersteps: 10}
+
+	pr := PageRank(g, cfg)
+	ss, err := SSSP(g, g.HighestDegreeVertex(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := WCC(g, cfg)
+
+	// Overall band: the paper reports 0.48 - 0.93 across the three
+	// algorithms (we check the active iterations only).
+	check := func(name string, sts []SuperstepStats, loBand, hiBand float64) {
+		for _, st := range sts {
+			if st.RemoteMessages == 0 {
+				continue
+			}
+			if st.TrafficReduction < loBand || st.TrafficReduction > hiBand {
+				t.Fatalf("%s step %d reduction %.3f outside [%.2f, %.2f]",
+					name, st.Superstep, st.TrafficReduction, loBand, hiBand)
+			}
+		}
+	}
+	check("pagerank", pr.Stats, 0.5, 0.99)
+	// SSSP's first iterations can be near zero; just require it to climb.
+	climbed := false
+	for _, st := range ss.Stats {
+		if st.TrafficReduction > 0.5 {
+			climbed = true
+		}
+	}
+	if !climbed {
+		t.Fatal("SSSP reduction never climbed above 0.5")
+	}
+	if ss.Stats[0].TrafficReduction >= 0.5 {
+		t.Fatalf("SSSP starts at %.2f; expected low start", ss.Stats[0].TrafficReduction)
+	}
+	// WCC starts high...
+	if wc.Stats[0].TrafficReduction < 0.5 {
+		t.Fatalf("WCC starts at %.2f; expected high start", wc.Stats[0].TrafficReduction)
+	}
+	// ...and its reduction falls as it converges.
+	lastActive := wc.Stats[0]
+	for i := len(wc.Stats) - 1; i >= 0; i-- {
+		if wc.Stats[i].RemoteMessages > 0 {
+			lastActive = wc.Stats[i]
+			break
+		}
+	}
+	if lastActive.TrafficReduction >= wc.Stats[0].TrafficReduction {
+		t.Fatalf("WCC reduction did not fall: %.3f -> %.3f",
+			wc.Stats[0].TrafficReduction, lastActive.TrafficReduction)
+	}
+}
+
+func TestCombinedNeverExceedsRemote(t *testing.T) {
+	g := testRMAT(t)
+	for _, res := range []*Result{
+		PageRank(g, Config{Workers: 4, MaxSupersteps: 5}),
+		WCC(g, Config{Workers: 4, MaxSupersteps: 5}),
+	} {
+		for _, st := range res.Stats {
+			if st.CombinedRemote > st.RemoteMessages {
+				t.Fatalf("%s: combined %d > remote %d", res.Algorithm, st.CombinedRemote, st.RemoteMessages)
+			}
+			if st.RemoteMessages > st.Messages {
+				t.Fatalf("%s: remote %d > total %d", res.Algorithm, st.RemoteMessages, st.Messages)
+			}
+		}
+	}
+}
+
+func TestWorkerCountAffectsRemoteShare(t *testing.T) {
+	g := testRMAT(t)
+	r1 := PageRank(g, Config{Workers: 1, MaxSupersteps: 3})
+	r4 := PageRank(g, Config{Workers: 4, MaxSupersteps: 3})
+	if r1.Stats[0].RemoteMessages != 0 {
+		t.Fatal("single worker must have no remote traffic")
+	}
+	if r4.Stats[0].RemoteMessages == 0 {
+		t.Fatal("four workers must have remote traffic")
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is a labelled sequence of (x, y) points, the unit in which the
+// figure harness emits line plots (Figures 1(a), 1(b), 1(c)).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// NewSeries allocates an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends one point to the series.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points in the series.
+func (s *Series) Len() int { return len(s.X) }
+
+// MeanY returns the mean of the series' y values.
+func (s *Series) MeanY() float64 { return Mean(s.Y) }
+
+// YRange returns the min and max of the y values.
+func (s *Series) YRange() (min, max float64) { return MinMax(s.Y) }
+
+// Table renders one or more series that share an x axis as an aligned text
+// table, one row per x value, matching how the paper's figures are read.
+// Series with missing points at some x render an empty cell.
+func Table(w io.Writer, xLabel string, series ...*Series) {
+	// Collect the union of x values in sorted order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+
+	fmt.Fprintf(w, "%-12s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(w, " %14s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for _, x := range xs {
+		fmt.Fprintf(w, "%-12.4g", x)
+		for _, s := range series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = fmt.Sprintf("%.4f", s.Y[i])
+					break
+				}
+			}
+			fmt.Fprintf(w, " %14s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// AsciiBox renders a crude horizontal ASCII box plot of the summary scaled
+// into [lo, hi]. It is used by the bench harness to echo Figure 3 visually.
+func AsciiBox(s Summary, lo, hi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	pos := func(v float64) int {
+		p := int(float64(width-1) * (v - lo) / (hi - lo))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = ' '
+	}
+	for i := pos(s.Q1); i <= pos(s.Q3) && i < width; i++ {
+		row[i] = '='
+	}
+	row[pos(s.Min)] = '|'
+	row[pos(s.Max)] = '|'
+	row[pos(s.Median)] = 'M'
+	return string(row)
+}
+
+// FormatPct formats a percentage with two digits, used uniformly by the
+// harness so figures diff cleanly across runs.
+func FormatPct(v float64) string { return strings.TrimSpace(fmt.Sprintf("%6.2f%%", v)) }

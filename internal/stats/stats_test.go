@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("zero summary expected, got %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Min != 7 || s.Max != 7 || s.Median != 7 || s.Q1 != 7 || s.Q3 != 7 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// 1..9: median 5, q1 3, q3 7 under linear interpolation.
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	s := Summarize(xs)
+	if s.Median != 5 || s.Q1 != 3 || s.Q3 != 7 || s.Min != 1 || s.Max != 9 {
+		t.Fatalf("got %+v", s)
+	}
+	if !almostEq(s.Mean, 5) {
+		t.Fatalf("mean: got %v", s.Mean)
+	}
+	if !almostEq(s.IQR(), 4) {
+		t.Fatalf("iqr: got %v", s.IQR())
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.5); !almostEq(got, 5) {
+		t.Fatalf("q0.5: got %v", got)
+	}
+	if got := Quantile(xs, 0.25); !almostEq(got, 2.5) {
+		t.Fatalf("q0.25: got %v", got)
+	}
+}
+
+func TestQuantileClamps(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := Quantile(xs, -1); got != 1 {
+		t.Fatalf("q<0: got %v", got)
+	}
+	if got := Quantile(xs, 2); got != 3 {
+		t.Fatalf("q>1: got %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("single-sample stddev: got %v", got)
+	}
+	// Population stddev of {2,4,4,4,5,5,7,9} is 2.
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(got, 2) {
+		t.Fatalf("stddev: got %v", got)
+	}
+}
+
+func TestRatioAndReduction(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("ratio with zero denominator must be 0")
+	}
+	if !almostEq(Ratio(1, 4), 0.25) {
+		t.Fatal("ratio")
+	}
+	if !almostEq(ReductionPct(100, 12), 88) {
+		t.Fatalf("reduction: got %v", ReductionPct(100, 12))
+	}
+	if ReductionPct(0, 5) != 0 {
+		t.Fatal("reduction with zero base must be 0")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("minmax: %v %v", min, max)
+	}
+	if min, max := MinMax(nil); min != 0 || max != 0 {
+		t.Fatal("empty minmax must be zeros")
+	}
+	if Sum([]float64{1, 2, 3}) != 6 {
+		t.Fatal("sum")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by [min, max].
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa := float64(a) / 255
+		qb := float64(b) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := Quantile(xs, qa), Quantile(xs, qb)
+		min, max := MinMax(xs)
+		return va <= vb+1e-9 && va >= min-1e-9 && vb <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize orders its five numbers.
+func TestSummaryOrderProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q1+1e-9 && s.Q1 <= s.Median+1e-9 &&
+			s.Median <= s.Q3+1e-9 && s.Q3 <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("pr")
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i), 0.9)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len: %d", s.Len())
+	}
+	if !almostEq(s.MeanY(), 0.9) {
+		t.Fatalf("meanY: %v", s.MeanY())
+	}
+	min, max := s.YRange()
+	if min != 0.9 || max != 0.9 {
+		t.Fatalf("yrange: %v %v", min, max)
+	}
+}
+
+func TestTableRendersAllSeries(t *testing.T) {
+	a := NewSeries("alpha")
+	b := NewSeries("beta")
+	a.Add(1, 0.5)
+	a.Add(2, 0.6)
+	b.Add(2, 0.7)
+	var sb strings.Builder
+	Table(&sb, "iter", a, b)
+	out := sb.String()
+	for _, want := range []string{"alpha", "beta", "iter", "0.5000", "0.7000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Row for x=1 must have an empty beta cell, not a value.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header+2 rows, got %d lines", len(lines))
+	}
+}
+
+func TestAsciiBoxBounds(t *testing.T) {
+	s := Summarize([]float64{10, 20, 30, 40, 50})
+	box := AsciiBox(s, 0, 100, 50)
+	if len(box) != 50 {
+		t.Fatalf("width: %d", len(box))
+	}
+	if !strings.Contains(box, "M") || !strings.Contains(box, "=") {
+		t.Fatalf("box missing glyphs: %q", box)
+	}
+	// Degenerate range must not panic or divide by zero.
+	_ = AsciiBox(s, 5, 5, 5)
+}
+
+func TestMedianMatchesSortMiddle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(99)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		m := Median(xs)
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		var want float64
+		if n%2 == 1 {
+			want = s[n/2]
+		} else {
+			want = (s[n/2-1] + s[n/2]) / 2
+		}
+		if !almostEq(m, want) {
+			t.Fatalf("median n=%d: got %v want %v", n, m, want)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package stream is the fourth partition/aggregate workload class the
+// paper names (§1: "big data analytics ... machine learning, graph
+// processing and stream processing"): continuous windowed aggregation in
+// the style of Storm/StreamScope. Worker tasks consume shards of an event
+// stream; every tumbling window they emit per-key partial aggregates
+// toward a sink, and the fabric combines them in-flight — one DAIET round
+// per window, reusing the same aggregation tree.
+//
+// Windows map onto the reliability extension's epochs, so consecutive
+// windows are cleanly separated on the wire even under retransmission.
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/daiet/daiet/internal/controller"
+	"github.com/daiet/daiet/internal/core"
+	"github.com/daiet/daiet/internal/hashing"
+	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/topology"
+	"github.com/daiet/daiet/internal/transport"
+	"github.com/daiet/daiet/internal/wire"
+)
+
+// Event is one element of the stream.
+type Event struct {
+	Key   string
+	Value uint32
+}
+
+// GenerateEvents produces a synthetic metric stream: keys drawn from a
+// fixed vocabulary with a hot-key skew typical of telemetry streams.
+func GenerateEvents(seed uint64, vocab, n int) []Event {
+	rng := rand.New(rand.NewSource(int64(hashing.Mix64(seed ^ 0x57ea))))
+	keys := make([]string, vocab)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("metric-%04d", i)
+	}
+	out := make([]Event, n)
+	for i := range out {
+		// Square the uniform draw: low indices become hot keys.
+		f := rng.Float64()
+		idx := int(f * f * float64(vocab))
+		if idx >= vocab {
+			idx = vocab - 1
+		}
+		out[i] = Event{Key: keys[idx], Value: uint32(rng.Intn(100))}
+	}
+	return out
+}
+
+// JobConfig sizes a streaming job.
+type JobConfig struct {
+	Workers    int            // stream tasks (default 4)
+	WindowSize int            // events per worker per tumbling window (default 256)
+	Agg        core.AggFuncID // default AggSum
+	TableSize  int            // per-tree register cells (default 4096)
+	Seed       uint64
+	// Loss injects frame loss on worker uplinks; windows then rely on the
+	// reliability extension (epoch = window number).
+	Loss float64
+	// Reliable toggles the loss-recovery protocol (required when Loss > 0).
+	Reliable bool
+}
+
+func (c JobConfig) withDefaults() JobConfig {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 256
+	}
+	if c.Agg == 0 {
+		c.Agg = core.AggSum
+	}
+	if c.TableSize == 0 {
+		c.TableSize = 4096
+	}
+	return c
+}
+
+// WindowReport is one window's outcome at the sink.
+type WindowReport struct {
+	Window        int
+	PairsSent     uint64 // per-key partials emitted by all workers
+	PairsReceived uint64 // pairs reaching the sink after in-network combining
+	ReductionPct  float64
+	UniqueKeys    int
+	Retransmits   uint64 // reliability-extension activity (0 when loss-free)
+}
+
+// Job is a running streaming topology: workers, one sink, one tree.
+type Job struct {
+	cfg  JobConfig
+	nw   *netsim.Network
+	fab  *topology.Fabric
+	ctl  *controller.Controller
+	prog map[netsim.NodeID]*core.Program
+	host map[netsim.NodeID]*transport.Host
+
+	workers []netsim.NodeID
+	sink    netsim.NodeID
+	plan    *controller.TreePlan
+	muxes   []*core.AckMux
+	agg     core.AggFunc
+}
+
+// NewJob builds the fabric and installs the (single) aggregation tree
+// rooted at the sink.
+func NewJob(cfg JobConfig) (*Job, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Loss > 0 && !cfg.Reliable {
+		return nil, fmt.Errorf("stream: loss %v requires Reliable", cfg.Loss)
+	}
+	agg, err := core.FuncByID(cfg.Agg)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		cfg:  cfg,
+		nw:   netsim.New(cfg.Seed),
+		prog: make(map[netsim.NodeID]*core.Program),
+		host: make(map[netsim.NodeID]*transport.Host),
+		agg:  agg,
+	}
+	// Hand-built plan: worker uplinks may be lossy, the sink's link is
+	// clean (edge-hop reliability scope; see core/reliable.go).
+	sw := topology.SwitchBase
+	plan := &topology.Plan{Name: "stream", Switches: []netsim.NodeID{sw}}
+	for i := 0; i < cfg.Workers+1; i++ {
+		h := topology.HostBase + netsim.NodeID(i)
+		plan.Hosts = append(plan.Hosts, h)
+		lc := netsim.LinkConfig{QueueBytes: 16 << 20}
+		if i < cfg.Workers {
+			lc.LossProb = cfg.Loss
+		}
+		plan.Links = append(plan.Links, topology.Link{A: h, B: sw, Cfg: lc})
+	}
+	var buildErr error
+	j.fab = plan.Realize(j.nw,
+		func(id netsim.NodeID) netsim.Node {
+			p, err := core.NewProgram(core.ProgramConfig{})
+			if err != nil {
+				buildErr = err
+				p, _ = core.NewProgram(core.ProgramConfig{})
+			}
+			j.prog[id] = p
+			return p.Switch()
+		},
+		func(id netsim.NodeID) netsim.Node {
+			h := transport.NewHost()
+			j.host[id] = h
+			return h
+		})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	j.workers = plan.Hosts[:cfg.Workers]
+	j.sink = plan.Hosts[cfg.Workers]
+	j.ctl = controller.New(j.fab, j.prog)
+	if err := j.ctl.InstallRouting(); err != nil {
+		return nil, err
+	}
+
+	j.plan, err = j.ctl.PlanTree(j.sink, j.workers)
+	if err != nil {
+		return nil, err
+	}
+	senders := make([]uint32, len(j.workers))
+	for i, w := range j.workers {
+		senders[i] = uint32(w)
+	}
+	for _, swID := range j.plan.SwitchNodes {
+		tc := core.TreeConfig{
+			TreeID:    j.plan.TreeID,
+			OutPort:   j.fab.PortTo(swID, j.plan.Parent[swID]),
+			Children:  j.plan.Children[swID],
+			Agg:       cfg.Agg,
+			TableSize: cfg.TableSize,
+			Reliable:  cfg.Reliable,
+			Senders:   senders,
+		}
+		if err := j.prog[swID].ConfigureTree(tc); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Reliable {
+		j.muxes = make([]*core.AckMux, len(j.workers))
+		for i, w := range j.workers {
+			j.muxes[i] = core.NewAckMux(j.host[w])
+		}
+	}
+	return j, nil
+}
+
+// Run consumes the stream: events are sharded round-robin across workers,
+// cut into tumbling windows of WindowSize events per worker, and each
+// window is aggregated through the fabric. It returns one report per
+// window and verifies every window's result against a reference.
+func (j *Job) Run(events []Event) ([]WindowReport, error) {
+	shards := make([][]Event, j.cfg.Workers)
+	for i, ev := range events {
+		w := i % j.cfg.Workers
+		shards[w] = append(shards[w], ev)
+	}
+	nWindows := 0
+	for _, s := range shards {
+		if w := (len(s) + j.cfg.WindowSize - 1) / j.cfg.WindowSize; w > nWindows {
+			nWindows = w
+		}
+	}
+
+	var reports []WindowReport
+	for win := 0; win < nWindows; win++ {
+		rep, err := j.runWindow(win, shards)
+		if err != nil {
+			return reports, fmt.Errorf("stream: window %d: %w", win, err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// runWindow executes one tumbling window as one DAIET round.
+func (j *Job) runWindow(win int, shards [][]Event) (WindowReport, error) {
+	rep := WindowReport{Window: win}
+	col := core.NewCollector(j.plan.TreeID, j.agg, wire.DefaultGeometry, j.plan.RootChildren())
+	col.Attach(j.host[j.sink])
+
+	want := make(map[string]uint32)
+	var reliableSenders []*core.ReliableSender
+	for wi, shard := range shards {
+		lo := win * j.cfg.WindowSize
+		if lo > len(shard) {
+			lo = len(shard)
+		}
+		hi := lo + j.cfg.WindowSize
+		if hi > len(shard) {
+			hi = len(shard)
+		}
+		// Task-local pre-aggregation (the worker-level combiner every
+		// streaming engine applies), then ship partials.
+		partial := make(map[string]uint32)
+		for _, ev := range shard[lo:hi] {
+			if cur, ok := partial[ev.Key]; ok {
+				partial[ev.Key] = j.agg.Combine(cur, ev.Value)
+			} else {
+				partial[ev.Key] = j.agg.Combine(j.agg.Identity(), ev.Value)
+			}
+		}
+		for k, v := range partial {
+			if cur, ok := want[k]; ok {
+				want[k] = j.agg.Combine(cur, v)
+			} else {
+				want[k] = j.agg.Combine(j.agg.Identity(), v)
+			}
+		}
+
+		if j.cfg.Reliable {
+			s, err := core.NewReliableSender(j.host[j.workers[wi]], j.plan.TreeID, j.sink,
+				wire.DefaultGeometry, 0, core.ReliableConfig{
+					RTO:   500 * time.Microsecond,
+					Epoch: uint8(win + 1), // window number separates rounds
+				})
+			if err != nil {
+				return rep, err
+			}
+			j.muxes[wi].Register(s)
+			for k, v := range partial {
+				if err := s.Send([]byte(k), v); err != nil {
+					return rep, err
+				}
+				rep.PairsSent++
+			}
+			s.End()
+			reliableSenders = append(reliableSenders, s)
+		} else {
+			s, err := core.NewSender(j.host[j.workers[wi]], j.plan.TreeID, j.sink,
+				wire.DefaultGeometry, 0)
+			if err != nil {
+				return rep, err
+			}
+			for k, v := range partial {
+				if err := s.Send([]byte(k), v); err != nil {
+					return rep, err
+				}
+				rep.PairsSent++
+			}
+			s.End()
+		}
+	}
+	if err := j.nw.Run(100_000_000); err != nil {
+		return rep, err
+	}
+	if !col.Complete() {
+		return rep, fmt.Errorf("sink incomplete (%+v)", col.Stats)
+	}
+	got := col.Result()
+	if len(got) != len(want) {
+		return rep, fmt.Errorf("window result has %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			return rep, fmt.Errorf("key %q = %d, want %d", k, got[k], v)
+		}
+	}
+	rep.PairsReceived = col.Stats.PairsReceived
+	rep.UniqueKeys = len(got)
+	if rep.PairsSent > 0 {
+		rep.ReductionPct = 100 * (1 - float64(rep.PairsReceived)/float64(rep.PairsSent))
+	}
+	for _, s := range reliableSenders {
+		rep.Retransmits += s.Stats.Retransmissions
+	}
+	return rep, nil
+}

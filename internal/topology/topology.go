@@ -1,0 +1,282 @@
+// Package topology builds data-center fabric layouts over netsim and
+// answers path queries for the controller.
+//
+// The paper's prototype ran a single bmv2 switch between 24 mappers and 12
+// reducers; its outlook (§1, §7) targets racks and clusters. The package
+// provides that single-switch rack plus leaf-spine and k-ary fat-tree
+// fabrics so multi-switch aggregation trees (Figure 2) can be exercised.
+//
+// A Plan is pure data (IDs and links); Realize instantiates nodes into a
+// Network via caller-supplied constructors, keeping this package free of
+// dependencies on switch or host implementations.
+package topology
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/daiet/daiet/internal/hashing"
+	"github.com/daiet/daiet/internal/netsim"
+)
+
+// ID allocation plan: hosts from HostBase, switches from SwitchBase. Both
+// fit the 24-bit node space of the wire addressing scheme.
+const (
+	HostBase   netsim.NodeID = 1
+	SwitchBase netsim.NodeID = 0x800000
+)
+
+// IsSwitchID reports whether id falls in the switch range.
+func IsSwitchID(id netsim.NodeID) bool { return id >= SwitchBase }
+
+// Link is one planned bidirectional link.
+type Link struct {
+	A, B netsim.NodeID
+	Cfg  netsim.LinkConfig
+}
+
+// Plan is a fabric blueprint: node IDs plus links. Plans are deterministic
+// for given parameters.
+type Plan struct {
+	Name     string
+	Hosts    []netsim.NodeID
+	Switches []netsim.NodeID
+	Links    []Link
+}
+
+// SingleSwitch is the paper's evaluation fabric: n hosts on one switch.
+func SingleSwitch(nHosts int, cfg netsim.LinkConfig) *Plan {
+	p := &Plan{Name: fmt.Sprintf("single-switch-%dh", nHosts)}
+	sw := SwitchBase
+	p.Switches = []netsim.NodeID{sw}
+	for i := 0; i < nHosts; i++ {
+		h := HostBase + netsim.NodeID(i)
+		p.Hosts = append(p.Hosts, h)
+		p.Links = append(p.Links, Link{A: h, B: sw, Cfg: cfg})
+	}
+	return p
+}
+
+// LeafSpine builds a 2-tier Clos: nLeaf leaves each with hostsPerLeaf
+// hosts, fully meshed to nSpine spines.
+func LeafSpine(nLeaf, nSpine, hostsPerLeaf int, cfg netsim.LinkConfig) *Plan {
+	p := &Plan{Name: fmt.Sprintf("leaf-spine-%dx%dx%d", nLeaf, nSpine, hostsPerLeaf)}
+	leaves := make([]netsim.NodeID, nLeaf)
+	for i := range leaves {
+		leaves[i] = SwitchBase + netsim.NodeID(i)
+		p.Switches = append(p.Switches, leaves[i])
+	}
+	spines := make([]netsim.NodeID, nSpine)
+	for i := range spines {
+		spines[i] = SwitchBase + netsim.NodeID(nLeaf+i)
+		p.Switches = append(p.Switches, spines[i])
+	}
+	h := HostBase
+	for _, leaf := range leaves {
+		for j := 0; j < hostsPerLeaf; j++ {
+			p.Hosts = append(p.Hosts, h)
+			p.Links = append(p.Links, Link{A: h, B: leaf, Cfg: cfg})
+			h++
+		}
+		for _, spine := range spines {
+			p.Links = append(p.Links, Link{A: leaf, B: spine, Cfg: cfg})
+		}
+	}
+	return p
+}
+
+// FatTree builds the canonical k-ary fat-tree (k even): k pods, each with
+// k/2 edge and k/2 aggregation switches, (k/2)^2 cores, and k^3/4 hosts.
+func FatTree(k int, cfg netsim.LinkConfig) (*Plan, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree requires even k >= 2, got %d", k)
+	}
+	p := &Plan{Name: fmt.Sprintf("fat-tree-k%d", k)}
+	half := k / 2
+	next := SwitchBase
+	alloc := func() netsim.NodeID {
+		id := next
+		next++
+		p.Switches = append(p.Switches, id)
+		return id
+	}
+	cores := make([]netsim.NodeID, half*half)
+	for i := range cores {
+		cores[i] = alloc()
+	}
+	host := HostBase
+	for pod := 0; pod < k; pod++ {
+		aggs := make([]netsim.NodeID, half)
+		edges := make([]netsim.NodeID, half)
+		for i := 0; i < half; i++ {
+			aggs[i] = alloc()
+		}
+		for i := 0; i < half; i++ {
+			edges[i] = alloc()
+		}
+		for i, agg := range aggs {
+			// Each agg connects to its core group.
+			for j := 0; j < half; j++ {
+				p.Links = append(p.Links, Link{A: agg, B: cores[i*half+j], Cfg: cfg})
+			}
+			for _, e := range edges {
+				p.Links = append(p.Links, Link{A: agg, B: e, Cfg: cfg})
+			}
+		}
+		for _, e := range edges {
+			for j := 0; j < half; j++ {
+				p.Hosts = append(p.Hosts, host)
+				p.Links = append(p.Links, Link{A: host, B: e, Cfg: cfg})
+				host++
+			}
+		}
+	}
+	return p, nil
+}
+
+// Edge is one adjacency entry: the local out-port that reaches Peer.
+type Edge struct {
+	Peer netsim.NodeID
+	Port int
+}
+
+// Fabric is a realized plan: nodes added, links connected, ports recorded.
+type Fabric struct {
+	Plan *Plan
+	Net  *netsim.Network
+	adj  map[netsim.NodeID][]Edge
+	// bfs memoizes per-destination predecessor maps (next hop toward dst).
+	bfs map[netsim.NodeID]map[netsim.NodeID]netsim.NodeID
+}
+
+// Realize adds every planned node to nw (switches via mkSwitch, hosts via
+// mkHost) and connects every planned link, returning the queryable fabric.
+func (p *Plan) Realize(nw *netsim.Network,
+	mkSwitch, mkHost func(netsim.NodeID) netsim.Node) *Fabric {
+
+	f := &Fabric{
+		Plan: p,
+		Net:  nw,
+		adj:  make(map[netsim.NodeID][]Edge),
+		bfs:  make(map[netsim.NodeID]map[netsim.NodeID]netsim.NodeID),
+	}
+	for _, id := range p.Switches {
+		nw.AddNode(id, mkSwitch(id))
+	}
+	for _, id := range p.Hosts {
+		nw.AddNode(id, mkHost(id))
+	}
+	for _, l := range p.Links {
+		pa, pb := nw.Connect(l.A, l.B, l.Cfg)
+		f.adj[l.A] = append(f.adj[l.A], Edge{Peer: l.B, Port: pa})
+		f.adj[l.B] = append(f.adj[l.B], Edge{Peer: l.A, Port: pb})
+	}
+	return f
+}
+
+// Neighbors returns the adjacency of id (stable order).
+func (f *Fabric) Neighbors(id netsim.NodeID) []Edge { return f.adj[id] }
+
+// PortTo returns the port on `from` that directly reaches `to`, or -1.
+func (f *Fabric) PortTo(from, to netsim.NodeID) int {
+	for _, e := range f.adj[from] {
+		if e.Peer == to {
+			return e.Port
+		}
+	}
+	return -1
+}
+
+// nextHopMap computes, via reverse BFS from dst, the next hop toward dst
+// from every reachable node. When several equal-cost next hops exist, one
+// is chosen by hashing (node, dst) — ECMP-style spreading, so different
+// destinations' aggregation trees use different spines while every single
+// destination still gets one deterministic loop-free tree (the property
+// the paper's correctness argument needs). Results are memoized per
+// destination.
+func (f *Fabric) nextHopMap(dst netsim.NodeID) map[netsim.NodeID]netsim.NodeID {
+	if m, ok := f.bfs[dst]; ok {
+		return m
+	}
+	// Pass 1: BFS distances from dst (traffic never transits hosts).
+	dist := map[netsim.NodeID]int{dst: 0}
+	queue := []netsim.NodeID{dst}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !IsSwitchID(cur) && cur != dst {
+			continue // hosts are leaves of the BFS
+		}
+		for _, e := range f.adj[cur] {
+			if _, seen := dist[e.Peer]; seen {
+				continue
+			}
+			dist[e.Peer] = dist[cur] + 1
+			queue = append(queue, e.Peer)
+		}
+	}
+	// Pass 2: per node, collect all equal-cost next hops and hash-pick.
+	next := map[netsim.NodeID]netsim.NodeID{dst: dst}
+	var key [8]byte
+	for node, d := range dist {
+		if node == dst {
+			continue
+		}
+		var candidates []netsim.NodeID
+		for _, e := range f.adj[node] {
+			if nd, ok := dist[e.Peer]; ok && nd == d-1 {
+				// The next hop must be able to carry transit traffic (be a
+				// switch) unless it is the destination itself.
+				if IsSwitchID(e.Peer) || e.Peer == dst {
+					candidates = append(candidates, e.Peer)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			continue // unreachable through valid transit
+		}
+		binary.BigEndian.PutUint32(key[0:4], uint32(node))
+		binary.BigEndian.PutUint32(key[4:8], uint32(dst))
+		next[node] = candidates[hashing.ECMPPick(key[:], len(candidates))]
+	}
+	f.bfs[dst] = next
+	return next
+}
+
+// NextHop returns the neighbor `from` should forward to in order to reach
+// dst along a shortest path, and whether dst is reachable.
+func (f *Fabric) NextHop(from, dst netsim.NodeID) (netsim.NodeID, bool) {
+	if from == dst {
+		return dst, true
+	}
+	nh, ok := f.nextHopMap(dst)[from]
+	return nh, ok
+}
+
+// Path returns the node sequence from src to dst inclusive, or nil when
+// unreachable.
+func (f *Fabric) Path(src, dst netsim.NodeID) []netsim.NodeID {
+	m := f.nextHopMap(dst)
+	if _, ok := m[src]; !ok {
+		return nil
+	}
+	path := []netsim.NodeID{src}
+	cur := src
+	for cur != dst {
+		cur = m[cur]
+		path = append(path, cur)
+		if len(path) > len(f.adj)+1 {
+			// Defensive: a cycle here would mean nextHopMap is broken.
+			panic("topology: path longer than node count")
+		}
+	}
+	return path
+}
+
+// HostsSorted returns the plan's hosts in ascending ID order.
+func (f *Fabric) HostsSorted() []netsim.NodeID {
+	hs := append([]netsim.NodeID(nil), f.Plan.Hosts...)
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	return hs
+}

@@ -1,0 +1,177 @@
+// Package trace provides a bounded, allocation-light event recorder for
+// the dataplane: a fixed-capacity ring of recent events plus monotonic
+// counters, the kind of always-on observability an operator needs when a
+// switch program misbehaves in production. Recording is O(1), never grows,
+// and the ring can be dumped at any time.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one recorded occurrence. Fields are fixed-size to keep the ring
+// allocation-free after construction.
+type Event struct {
+	Seq  uint64 // global sequence number
+	Node uint32 // originating node
+	Kind Kind
+	A, B int64 // kind-specific values (port, size, ...)
+	Note string
+}
+
+// Kind classifies events.
+type Kind uint8
+
+// Event kinds recorded by the dataplane adapter.
+const (
+	KindRx Kind = iota + 1
+	KindTx
+	KindDrop
+	KindRecirculate
+	KindEmit
+	KindCustom
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRx:
+		return "rx"
+	case KindTx:
+		return "tx"
+	case KindDrop:
+		return "drop"
+	case KindRecirculate:
+		return "recirc"
+	case KindEmit:
+		return "emit"
+	case KindCustom:
+		return "custom"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Ring is a fixed-capacity circular event buffer, safe for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever recorded
+}
+
+// NewRing creates a ring holding the last capacity events (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (r *Ring) Record(ev Event) {
+	r.mu.Lock()
+	ev.Seq = r.next
+	r.buf[r.next%uint64(len(r.buf))] = ev
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len returns how many events are currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Total returns how many events were ever recorded.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot returns retained events oldest-first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	var out []Event
+	start := uint64(0)
+	if r.next > n {
+		start = r.next - n
+	}
+	for s := start; s < r.next; s++ {
+		out = append(out, r.buf[s%n])
+	}
+	return out
+}
+
+// Dump writes the retained events to w, oldest first.
+func (r *Ring) Dump(w io.Writer) {
+	for _, ev := range r.Snapshot() {
+		fmt.Fprintf(w, "#%-8d node=%d %-7s a=%-6d b=%-6d %s\n",
+			ev.Seq, ev.Node, ev.Kind, ev.A, ev.B, ev.Note)
+	}
+}
+
+// Counter is a named monotonic counter, safe for concurrent use.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Registry holds named counters; lookups create on demand.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]*Counter)} }
+
+// Counter returns (creating if needed) the counter with the given name.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.m[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.m[name] = c
+	}
+	return c
+}
+
+// Each visits all counters in undefined order.
+func (r *Registry) Each(fn func(*Counter)) {
+	r.mu.Lock()
+	names := make([]*Counter, 0, len(r.m))
+	for _, c := range r.m {
+		names = append(names, c)
+	}
+	r.mu.Unlock()
+	for _, c := range names {
+		fn(c)
+	}
+}
+
+// Dump writes "name value" lines for every counter.
+func (r *Registry) Dump(w io.Writer) {
+	r.Each(func(c *Counter) {
+		fmt.Fprintf(w, "%s %d\n", c.Name(), c.Value())
+	})
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4)
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := 0; i < 3; i++ {
+		r.Record(Event{Kind: KindRx, A: int64(i)})
+	}
+	if r.Len() != 3 || r.Total() != 3 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	snap := r.Snapshot()
+	for i, ev := range snap {
+		if ev.A != int64(i) || ev.Seq != uint64(i) {
+			t.Fatalf("snapshot[%d] = %+v", i, ev)
+		}
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{A: int64(i)})
+	}
+	if r.Len() != 4 || r.Total() != 10 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	snap := r.Snapshot()
+	if snap[0].A != 6 || snap[3].A != 9 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Record(Event{A: 1})
+	r.Record(Event{A: 2})
+	if r.Len() != 1 || r.Snapshot()[0].A != 2 {
+		t.Fatal("capacity-1 fallback broken")
+	}
+}
+
+func TestRingDumpFormat(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Event{Node: 5, Kind: KindDrop, A: 2, Note: "parse error"})
+	var sb strings.Builder
+	r.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"node=5", "drop", "parse error"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(Event{Kind: KindTx})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 8000 {
+		t.Fatalf("total %d", r.Total())
+	}
+	if r.Len() != 128 {
+		t.Fatalf("len %d", r.Len())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindRx, KindTx, KindDrop, KindRecirculate, KindEmit, KindCustom} {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("missing name for %d", k)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatal("unknown kind format")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("drops")
+	c.Add(3)
+	if reg.Counter("drops") != c {
+		t.Fatal("counter identity")
+	}
+	if c.Value() != 3 || c.Name() != "drops" {
+		t.Fatalf("counter %s=%d", c.Name(), c.Value())
+	}
+	reg.Counter("tx").Add(1)
+	seen := map[string]uint64{}
+	reg.Each(func(c *Counter) { seen[c.Name()] = c.Value() })
+	if seen["drops"] != 3 || seen["tx"] != 1 {
+		t.Fatalf("each: %v", seen)
+	}
+	var sb strings.Builder
+	reg.Dump(&sb)
+	if !strings.Contains(sb.String(), "drops 3") {
+		t.Fatalf("dump: %s", sb.String())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				reg.Counter("shared").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != 4000 {
+		t.Fatalf("value %d", got)
+	}
+}

@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/topology"
+	"github.com/daiet/daiet/internal/wire"
+)
+
+// newBenchRig mirrors newRig without the testing.T dependency.
+func newBenchRig(cfg netsim.LinkConfig) *rig {
+	nw := netsim.New(7)
+	sw := &forwarder{route: map[uint32]int{}}
+	a, b := NewHost(), NewHost()
+	nw.AddNode(netsim.NodeID(topology.SwitchBase), sw)
+	nw.AddNode(1, a)
+	nw.AddNode(2, b)
+	pa, _ := nw.Connect(netsim.NodeID(topology.SwitchBase), 1, cfg)
+	pb, _ := nw.Connect(netsim.NodeID(topology.SwitchBase), 2, cfg)
+	sw.route[1] = pa
+	sw.route[2] = pb
+	return &rig{nw: nw, a: a, b: b}
+}
+
+// BenchmarkTCPLiteTransfer measures a 1 MB reliable transfer through the
+// simulated fabric (handshake, segmentation, ACK clocking, teardown).
+func BenchmarkTCPLiteTransfer(b *testing.B) {
+	payload := make([]byte, 1<<20)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := newBenchRig(netsim.LinkConfig{})
+		var rx int
+		r.b.ListenTCP(80, func(c *Conn) {
+			c.OnData = func(p []byte) { rx += len(p) }
+			c.OnClose = func() { c.Close() }
+		})
+		c := r.a.DialTCP(2, 80, nil)
+		c.Write(payload)
+		c.Close()
+		if err := r.nw.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		if rx != len(payload) {
+			b.Fatalf("rx %d", rx)
+		}
+	}
+}
+
+// BenchmarkUDPDatagram measures one datagram through build/fabric/demux.
+func BenchmarkUDPDatagram(b *testing.B) {
+	r := newBenchRig(netsim.LinkConfig{})
+	got := 0
+	r.b.HandleUDP(9, func(_ wire.IPv4Addr, _ uint16, p []byte) { got += len(p) })
+	payload := make([]byte, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.a.SendUDP(2, 1, 9, payload)
+		if err := r.nw.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if got == 0 {
+		b.Fatal("nothing delivered")
+	}
+}

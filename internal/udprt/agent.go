@@ -1,0 +1,288 @@
+// Package udprt runs the DAIET switch program over real UDP sockets
+// (stdlib net), standing in for a software switch daemon on an actual
+// network path. The same core.Program that drives the simulated fabric is
+// reused unchanged: the agent hosts a one-switch micro-fabric internally
+// and bridges each registered peer to a real socket address, so every
+// packet still traverses the metered RMT pipeline.
+//
+// This is the runtime behind cmd/daiet-switch and the udpfabric example,
+// mirroring the paper's bmv2 deployment (a software switch process that
+// workers reach over the network).
+package udprt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/daiet/daiet/internal/core"
+	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/topology"
+	"github.com/daiet/daiet/internal/wire"
+)
+
+// Registration datagram: "DREG" + big-endian node ID.
+var regMagic = [4]byte{'D', 'R', 'E', 'G'}
+
+const regLen = 8
+
+// TreeSpec is one aggregation tree hosted by the agent.
+type TreeSpec struct {
+	TreeID    uint32 // also the reducer's node ID
+	Children  int
+	Agg       core.AggFuncID
+	TableSize int
+	// NextHop is the node the aggregated output goes to: the reducer
+	// itself, or a downstream agent in a chained deployment.
+	NextHop uint32
+}
+
+// AgentConfig configures one agent.
+type AgentConfig struct {
+	// ListenAddr is the UDP address to bind ("127.0.0.1:0" for tests).
+	ListenAddr string
+	// Peers statically maps node IDs to UDP addresses. Further peers may
+	// register dynamically with Client.Register.
+	Peers map[uint32]string
+	// Trees to install; each activates once its NextHop peer is known.
+	Trees []TreeSpec
+	// Program tunes the switch program (zero value: paper defaults).
+	Program core.ProgramConfig
+}
+
+// Agent is a DAIET software switch bound to a UDP socket.
+type Agent struct {
+	conn *net.UDPConn
+
+	mu        sync.Mutex
+	nw        *netsim.Network
+	prog      *core.Program
+	swID      netsim.NodeID
+	peers     map[uint32]*net.UDPAddr
+	byAddr    map[string]uint32
+	ports     map[uint32]int
+	pending   []TreeSpec
+	installed map[uint32]bool
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// bridgeHost is the virtual host standing in for one real peer: frames the
+// switch forwards to it become outbound datagrams.
+type bridgeHost struct {
+	agent  *Agent
+	nodeID uint32
+}
+
+func (b *bridgeHost) Attach(*netsim.Network, netsim.NodeID) {}
+
+func (b *bridgeHost) HandleFrame(_ int, frame []byte) {
+	// Unwrap Ethernet/IPv4/UDP and ship the payload to the peer. The agent
+	// mutex is already held: HandleFrame only runs inside nw.Run, which the
+	// agent drives under its lock.
+	var eth wire.Ethernet
+	rest, err := eth.DecodeFrom(frame)
+	if err != nil {
+		return
+	}
+	var ip wire.IPv4
+	if rest, err = ip.DecodeFrom(rest); err != nil || ip.Protocol != wire.ProtocolUDP {
+		return
+	}
+	var u wire.UDP
+	payload, err := u.DecodeFrom(rest)
+	if err != nil {
+		return
+	}
+	addr := b.agent.peers[b.nodeID]
+	if addr == nil {
+		return
+	}
+	_, _ = b.agent.conn.WriteToUDP(payload, addr)
+}
+
+// NewAgent binds the socket, builds the internal micro-fabric and starts
+// the receive loop.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	laddr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udprt: resolve %q: %w", cfg.ListenAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udprt: listen: %w", err)
+	}
+	prog, err := core.NewProgram(cfg.Program)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	a := &Agent{
+		conn:      conn,
+		nw:        netsim.New(0),
+		prog:      prog,
+		swID:      topology.SwitchBase,
+		peers:     make(map[uint32]*net.UDPAddr),
+		byAddr:    make(map[string]uint32),
+		ports:     make(map[uint32]int),
+		pending:   append([]TreeSpec(nil), cfg.Trees...),
+		installed: make(map[uint32]bool),
+	}
+	a.nw.AddNode(a.swID, prog.Switch())
+	for id, addrStr := range cfg.Peers {
+		addr, err := net.ResolveUDPAddr("udp", addrStr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("udprt: peer %d addr %q: %w", id, addrStr, err)
+		}
+		if err := a.addPeerLocked(id, addr); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	a.tryInstallLocked()
+
+	a.wg.Add(1)
+	go a.serve()
+	return a, nil
+}
+
+// Addr returns the bound socket address (useful with ":0").
+func (a *Agent) Addr() *net.UDPAddr { return a.conn.LocalAddr().(*net.UDPAddr) }
+
+// Program exposes the running switch program (stats inspection).
+func (a *Agent) Program() *core.Program { return a.prog }
+
+// TreeStats returns the named tree's counters.
+func (a *Agent) TreeStats(treeID uint32) (core.TreeStats, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.prog.TreeStats(treeID)
+}
+
+// Close shuts the agent down and waits for the receive loop.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	a.closed = true
+	a.mu.Unlock()
+	err := a.conn.Close()
+	a.wg.Wait()
+	return err
+}
+
+// addPeerLocked wires one peer into the micro-fabric.
+func (a *Agent) addPeerLocked(id uint32, addr *net.UDPAddr) error {
+	if id >= uint32(topology.SwitchBase) {
+		return fmt.Errorf("udprt: peer id %d collides with switch ID space", id)
+	}
+	if old, ok := a.peers[id]; ok {
+		// Re-registration: refresh the address only.
+		delete(a.byAddr, old.String())
+		a.peers[id] = addr
+		a.byAddr[addr.String()] = id
+		return nil
+	}
+	node := netsim.NodeID(id)
+	a.nw.AddNode(node, &bridgeHost{agent: a, nodeID: id})
+	swPort, _ := a.nw.Connect(a.swID, node, netsim.LinkConfig{})
+	a.peers[id] = addr
+	a.byAddr[addr.String()] = id
+	a.ports[id] = swPort
+	return a.prog.InstallRoute(id, swPort)
+}
+
+// tryInstallLocked configures every pending tree whose next hop is known.
+func (a *Agent) tryInstallLocked() {
+	remaining := a.pending[:0]
+	for _, spec := range a.pending {
+		port, ok := a.ports[spec.NextHop]
+		if !ok {
+			remaining = append(remaining, spec)
+			continue
+		}
+		err := a.prog.ConfigureTree(core.TreeConfig{
+			TreeID:    spec.TreeID,
+			OutPort:   port,
+			Children:  spec.Children,
+			Agg:       spec.Agg,
+			TableSize: spec.TableSize,
+		})
+		if err == nil {
+			a.installed[spec.TreeID] = true
+		}
+		// Configuration errors (bad spec, SRAM) drop the spec; the tree
+		// counters will show nothing installed, which tests catch.
+	}
+	a.pending = remaining
+}
+
+// serve is the receive loop.
+func (a *Agent) serve() {
+	defer a.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, raddr, err := a.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			a.mu.Lock()
+			closed := a.closed
+			a.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		a.handleDatagram(buf[:n], raddr)
+	}
+}
+
+// handleDatagram processes one inbound datagram: registration or DAIET.
+func (a *Agent) handleDatagram(b []byte, raddr *net.UDPAddr) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if len(b) == regLen && b[0] == regMagic[0] && b[1] == regMagic[1] &&
+		b[2] == regMagic[2] && b[3] == regMagic[3] {
+		id := binary.BigEndian.Uint32(b[4:8])
+		if err := a.addPeerLocked(id, raddr); err == nil {
+			a.tryInstallLocked()
+		}
+		return
+	}
+
+	src, known := a.byAddr[raddr.String()]
+	if !known {
+		return // unregistered peers are dropped, like an unconfigured port
+	}
+	var hdr wire.DaietHeader
+	if _, err := hdr.DecodeFrom(b); err != nil {
+		return
+	}
+	// Wrap the payload into a frame addressed to the tree root and inject
+	// it at the peer's bridge port; then drain the micro-fabric, which
+	// pushes any switch output back out through bridge hosts.
+	buf := wire.NewBuffer(wire.DefaultHeadroom, len(b))
+	buf.AppendBytes(b)
+	u := wire.UDP{SrcPort: wire.UDPPortDaiet, DstPort: wire.UDPPortDaiet}
+	u.SerializeTo(buf)
+	ip := wire.IPv4{
+		Protocol: wire.ProtocolUDP,
+		Src:      wire.IPFromNode(src),
+		Dst:      wire.IPFromNode(hdr.TreeID),
+		TTL:      wire.DefaultTTL,
+	}
+	ip.SerializeTo(buf)
+	eth := wire.Ethernet{
+		Dst:       wire.MACFromNode(hdr.TreeID),
+		Src:       wire.MACFromNode(src),
+		EtherType: wire.EtherTypeIPv4,
+	}
+	eth.SerializeTo(buf)
+	a.nw.Send(netsim.NodeID(src), 0, buf.Bytes())
+	_ = a.nw.Run(10_000_000)
+}

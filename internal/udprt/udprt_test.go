@@ -1,0 +1,239 @@
+package udprt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/daiet/daiet/internal/core"
+	"github.com/daiet/daiet/internal/wire"
+)
+
+// TestRealUDPAggregation runs the full protocol over loopback sockets: two
+// worker clients stream pairs to the agent; the agent aggregates in its
+// pipeline and flushes to the reducer client.
+func TestRealUDPAggregation(t *testing.T) {
+	const (
+		reducerID = 100
+		workerA   = 1
+		workerB   = 2
+		tableSize = 256
+	)
+	agent, err := NewAgent(AgentConfig{
+		ListenAddr: "127.0.0.1:0",
+		Trees: []TreeSpec{{
+			TreeID: reducerID, Children: 2, Agg: core.AggSum,
+			TableSize: tableSize, NextHop: reducerID,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	addr := agent.Addr().String()
+
+	reducer, err := Dial(addr, reducerID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reducer.Close()
+
+	// Collector over the real socket.
+	sum, _ := core.FuncByID(core.AggSum)
+	col := core.NewCollector(reducerID, sum, wire.DefaultGeometry, 1)
+
+	// Workers send overlapping keys.
+	want := map[string]uint32{}
+	for wi, workerID := range []uint32{workerA, workerB} {
+		w, err := Dial(addr, workerID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.NewSender(w, reducerID, reducerID, wire.DefaultGeometry, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 40; k++ {
+			key := fmt.Sprintf("key%02d", k)
+			val := uint32(wi*100 + k)
+			want[key] += val
+			if err := s.Send([]byte(key), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.End()
+		w.Close()
+	}
+
+	// Drain the reducer socket until the collector completes.
+	buf := make([]byte, 65536)
+	deadline := time.Now().Add(5 * time.Second)
+	for !col.Complete() {
+		n, err := reducer.ReadPayload(buf, deadline)
+		if err != nil {
+			t.Fatalf("read: %v (stats %+v)", err, col.Stats)
+		}
+		col.Ingest(buf[:n])
+	}
+
+	if col.Stats.PairsReceived != 40 {
+		t.Fatalf("pairs received %d want 40 (aggregated)", col.Stats.PairsReceived)
+	}
+	got := col.Result()
+	if len(got) != len(want) {
+		t.Fatalf("keys %d want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %q = %d want %d", k, got[k], v)
+		}
+	}
+	st, ok := agent.TreeStats(reducerID)
+	if !ok {
+		t.Fatal("tree not installed")
+	}
+	if st.PairsIn != 80 || st.EndPacketsIn != 2 || st.FlushesCompleted != 1 {
+		t.Fatalf("agent stats %+v", st)
+	}
+}
+
+func TestAgentIgnoresUnregisteredAndGarbage(t *testing.T) {
+	agent, err := NewAgent(AgentConfig{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	// A client that never registers: Dial registers, so build raw traffic
+	// via a registered client but send garbage payloads.
+	c, err := Dial(agent.Addr().String(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SendUDP(0, 0, 0, []byte("not a daiet packet"))
+	c.SendUDP(0, 0, 0, nil)
+	// Give the agent a beat to process; nothing should crash.
+	time.Sleep(50 * time.Millisecond)
+	if _, ok := agent.TreeStats(123); ok {
+		t.Fatal("phantom tree")
+	}
+}
+
+func TestAgentStaticPeersAndDeferredTree(t *testing.T) {
+	// The tree's next hop (the reducer) registers only later; the tree must
+	// activate upon registration.
+	agent, err := NewAgent(AgentConfig{
+		ListenAddr: "127.0.0.1:0",
+		Trees: []TreeSpec{{
+			TreeID: 50, Children: 1, Agg: core.AggSum, TableSize: 64, NextHop: 50,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if _, ok := agent.TreeStats(50); ok {
+		t.Fatal("tree active before next hop registered")
+	}
+	red, err := Dial(agent.Addr().String(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer red.Close()
+	// Registration is async; poll briefly.
+	ok := false
+	for i := 0; i < 100 && !ok; i++ {
+		_, ok = agent.TreeStats(50)
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("tree never activated after registration")
+	}
+}
+
+func TestAgentRejectsBadPeerIDs(t *testing.T) {
+	_, err := NewAgent(AgentConfig{
+		ListenAddr: "127.0.0.1:0",
+		Peers:      map[uint32]string{0x900000: "127.0.0.1:9"},
+	})
+	if err == nil {
+		t.Fatal("peer colliding with switch ID space must fail")
+	}
+}
+
+func TestAgentBadListenAddr(t *testing.T) {
+	if _, err := NewAgent(AgentConfig{ListenAddr: "not-an-addr:xx"}); err == nil {
+		t.Fatal("bad address must fail")
+	}
+}
+
+func TestAgentPeerReRegistrationRefreshesAddress(t *testing.T) {
+	agent, err := NewAgent(AgentConfig{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	addr := agent.Addr().String()
+
+	// The same node ID reconnects from a new socket (worker restart): the
+	// agent must deliver to the fresh address.
+	c1, err := Dial(addr, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	c2, err := Dial(addr, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// Configure a tree rooted at node 9 and let a worker send through it;
+	// the flush must arrive at c2, not the dead c1.
+	w, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	time.Sleep(50 * time.Millisecond) // let registrations land
+	if err := agent.Program().ConfigureTree(core.TreeConfig{
+		TreeID: 9, Children: 1, TableSize: 16, Agg: core.AggSum,
+		OutPort: agentPortOf(t, agent, 9),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSender(w, 9, 9, wire.DefaultGeometry, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Send([]byte("k"), 7)
+	s.End()
+
+	sum, _ := core.FuncByID(core.AggSum)
+	col := core.NewCollector(9, sum, wire.DefaultGeometry, 1)
+	buf := make([]byte, 4096)
+	deadline := time.Now().Add(3 * time.Second)
+	for !col.Complete() {
+		n, err := c2.ReadPayload(buf, deadline)
+		if err != nil {
+			t.Fatalf("read on refreshed socket: %v", err)
+		}
+		col.Ingest(buf[:n])
+	}
+	if col.Result()["k"] != 7 {
+		t.Fatalf("result %v", col.Result())
+	}
+}
+
+// agentPortOf exposes the micro-fabric port for a registered peer.
+func agentPortOf(t *testing.T, a *Agent, node uint32) int {
+	t.Helper()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	port, ok := a.ports[node]
+	if !ok {
+		t.Fatalf("peer %d not registered", node)
+	}
+	return port
+}

@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchFrame builds one fully loaded DAIET frame (10 pairs).
+func benchFrame(b *testing.B) []byte {
+	b.Helper()
+	buf := NewBuffer(DefaultHeadroom, 256)
+	for i := 0; i < 10; i++ {
+		if err := AppendPair(buf, DefaultGeometry, []byte(fmt.Sprintf("key-%04d", i)), uint32(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hdr := DaietHeader{Type: TypeData, TreeID: 42, Seq: 7, NumPairs: 10}
+	return BuildDaietFrame(buf, hdr, 1, 2, UDPPortDaiet)
+}
+
+// BenchmarkDecodeDaietPacket measures the zero-alloc full-stack decode path
+// (Ethernet/IPv4/UDP/DAIET/pairs) the switch parser models.
+func BenchmarkDecodeDaietPacket(b *testing.B) {
+	frame := benchFrame(b)
+	var pkt DaietPacket
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeDaietPacket(DefaultGeometry, frame, &pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildDaietFrame measures frame construction (pairs + 4 headers).
+func BenchmarkBuildDaietFrame(b *testing.B) {
+	key := []byte("key-0000")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := NewBuffer(DefaultHeadroom, 256)
+		for j := 0; j < 10; j++ {
+			if err := AppendPair(buf, DefaultGeometry, key, uint32(j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hdr := DaietHeader{Type: TypeData, TreeID: 42, NumPairs: 10}
+		_ = BuildDaietFrame(buf, hdr, 1, 2, UDPPortDaiet)
+	}
+}
+
+// BenchmarkChecksum measures the IPv4 header checksum.
+func BenchmarkChecksum(b *testing.B) {
+	hdr := make([]byte, IPv4HeaderLen)
+	b.SetBytes(IPv4HeaderLen)
+	for i := 0; i < b.N; i++ {
+		_ = Checksum(hdr)
+	}
+}
+
+// BenchmarkPairViewScan measures per-pair access over a decoded packet.
+func BenchmarkPairViewScan(b *testing.B) {
+	frame := benchFrame(b)
+	var pkt DaietPacket
+	if err := DecodeDaietPacket(DefaultGeometry, frame, &pkt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum uint32
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < pkt.Pairs.Len(); j++ {
+			sum += pkt.Pairs.Value(j)
+			_ = pkt.Pairs.Key(j)
+		}
+	}
+	_ = sum
+}

@@ -1,0 +1,88 @@
+package wire
+
+// Buffer is a prepend-oriented serialization buffer in the style of
+// gopacket's SerializeBuffer: the payload is written first and each
+// enclosing header is prepended in front of the bytes already present, so a
+// packet is built innermost-out (pairs, DAIET, UDP, IPv4, Ethernet).
+//
+// The zero value is not ready to use; construct with NewBuffer, which
+// reserves headroom so prepends do not move the payload.
+type Buffer struct {
+	buf   []byte // full backing array
+	start int    // index of first valid byte
+}
+
+// DefaultHeadroom is sized for Ethernet+IPv4+UDP+DAIET plus slack.
+const DefaultHeadroom = 64
+
+// NewBuffer returns a Buffer with the given headroom (bytes reserved for
+// prepends) and payload capacity hint.
+func NewBuffer(headroom, payloadCap int) *Buffer {
+	if headroom < 0 {
+		headroom = DefaultHeadroom
+	}
+	b := &Buffer{
+		buf:   make([]byte, headroom, headroom+payloadCap),
+		start: headroom,
+	}
+	return b
+}
+
+// Reset empties the buffer, retaining its backing storage. headroom is
+// restored to the value the buffer was created with (its original start).
+func (b *Buffer) Reset() {
+	// Original headroom is the capacity-independent initial length.
+	b.buf = b.buf[:cap(b.buf)]
+	// We cannot recover the construction-time headroom after growth, so keep
+	// a generous fixed headroom instead: DefaultHeadroom or the whole buffer
+	// if smaller.
+	h := DefaultHeadroom
+	if h > len(b.buf) {
+		h = len(b.buf)
+	}
+	b.buf = b.buf[:h]
+	b.start = h
+}
+
+// Len returns the number of valid bytes currently in the buffer.
+func (b *Buffer) Len() int { return len(b.buf) - b.start }
+
+// Bytes returns the current packet bytes. The slice aliases the buffer and
+// is invalidated by further Append/Prepend/Reset calls.
+func (b *Buffer) Bytes() []byte { return b.buf[b.start:] }
+
+// Append grows the buffer by n bytes at the tail and returns the new region
+// for the caller to fill.
+func (b *Buffer) Append(n int) []byte {
+	old := len(b.buf)
+	if old+n <= cap(b.buf) {
+		b.buf = b.buf[:old+n]
+	} else {
+		nb := make([]byte, old+n, (old+n)*2)
+		copy(nb, b.buf)
+		b.buf = nb
+	}
+	return b.buf[old : old+n]
+}
+
+// AppendBytes appends a copy of p to the tail.
+func (b *Buffer) AppendBytes(p []byte) {
+	copy(b.Append(len(p)), p)
+}
+
+// Prepend grows the buffer by n bytes at the head and returns the new region
+// for the caller to fill. If headroom is exhausted the contents shift right
+// (one copy), preserving correctness at the cost of speed.
+func (b *Buffer) Prepend(n int) []byte {
+	if n <= b.start {
+		b.start -= n
+		return b.buf[b.start : b.start+n]
+	}
+	// Grow: new headroom equals n plus default slack.
+	grow := n + DefaultHeadroom
+	nb := make([]byte, grow+len(b.buf)-b.start, grow+cap(b.buf))
+	copy(nb[grow:], b.buf[b.start:])
+	b.buf = nb
+	b.start = grow - n
+	return b.buf[b.start : b.start+n]
+}

@@ -1,0 +1,19 @@
+package wire
+
+// Checksum computes the 16-bit one's-complement Internet checksum (RFC 1071)
+// of b. It is used for the IPv4 header checksum; the UDP checksum is left at
+// zero inside the simulator, which IPv4 permits.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(b[n-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

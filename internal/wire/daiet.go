@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The DAIET shuffle protocol (paper §4): map output partitions travel in
+// UDP packets carrying a small preamble ("the preamble specifies the number
+// of pairs present in the packet and the tree ID the packet belongs to")
+// followed by a sequence of fixed-size key-value pairs. The end of a
+// partition is marked by a special END packet.
+//
+// Layout (big-endian), DaietHeaderLen = 16 bytes:
+//
+//	 0               2       3       4               8
+//	+-------+-------+-------+-------+---------------+
+//	|     magic     |  ver  | type  |    tree ID    |
+//	+-------+-------+-------+-------+---------------+
+//	|      sequence number          | pairs |flags  |
+//	+-------------------------------+-------+-------+
+//	 8                              12      14     16
+//
+// The sequence number is zero in the base protocol; the reliability
+// extension (paper: "we do not address the issue of packet losses, which we
+// leave as future work") uses it for retransmission, and ACK/NACK types.
+const (
+	DaietMagic     = 0xDA17
+	DaietVersion   = 1
+	DaietHeaderLen = 16
+)
+
+// DaietType enumerates DAIET packet types.
+type DaietType uint8
+
+const (
+	// TypeData carries key-value pairs toward a reducer.
+	TypeData DaietType = 1
+	// TypeEnd marks the end of one sender's partition for a tree.
+	TypeEnd DaietType = 2
+	// TypeAck acknowledges a sequence number (reliability extension).
+	TypeAck DaietType = 3
+	// TypeNack requests retransmission from a sequence number (extension).
+	TypeNack DaietType = 4
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t DaietType) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeEnd:
+		return "END"
+	case TypeAck:
+		return "ACK"
+	case TypeNack:
+		return "NACK"
+	default:
+		return fmt.Sprintf("DaietType(%d)", uint8(t))
+	}
+}
+
+// Daiet header flags.
+const (
+	// FlagAggregated marks packets whose pairs were produced by in-network
+	// aggregation (a switch flush) rather than directly by a mapper.
+	FlagAggregated = 1 << 0
+	// FlagSpill marks pairs evicted from a switch's spillover bucket.
+	FlagSpill = 1 << 1
+)
+
+// Pair-geometry defaults from the paper's evaluation (§5): 16-byte keys
+// ("words of maximum 16 characters"), 4-byte integer values, and at most 10
+// pairs per packet ("current P4 hardware switches are expected to parse only
+// around 200-300 B of each packet").
+const (
+	DefaultKeyWidth   = 16
+	ValueWidth        = 4
+	DefaultMaxPairs   = 10
+	MaxParseBudget    = 300 // bytes a hardware parser can examine
+	DefaultPairWidth  = DefaultKeyWidth + ValueWidth
+	MaxSupportedPairs = 64 // sanity bound on NumPairs regardless of geometry
+)
+
+// Errors specific to DAIET decoding.
+var (
+	ErrBadMagic    = errors.New("wire: bad DAIET magic")
+	ErrBadDaietVer = errors.New("wire: unsupported DAIET version")
+	ErrPairBounds  = errors.New("wire: pair index out of range")
+)
+
+// DaietHeader is the fixed preamble of every DAIET packet.
+type DaietHeader struct {
+	Type     DaietType
+	TreeID   uint32
+	Seq      uint32
+	NumPairs uint16
+	Flags    uint16
+}
+
+// DecodeFrom parses the header at the front of b and returns the pair bytes.
+func (h *DaietHeader) DecodeFrom(b []byte) (pairs []byte, err error) {
+	if len(b) < DaietHeaderLen {
+		return nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != DaietMagic {
+		return nil, ErrBadMagic
+	}
+	if b[2] != DaietVersion {
+		return nil, ErrBadDaietVer
+	}
+	h.Type = DaietType(b[3])
+	h.TreeID = binary.BigEndian.Uint32(b[4:8])
+	h.Seq = binary.BigEndian.Uint32(b[8:12])
+	h.NumPairs = binary.BigEndian.Uint16(b[12:14])
+	h.Flags = binary.BigEndian.Uint16(b[14:16])
+	if h.NumPairs > MaxSupportedPairs {
+		return nil, fmt.Errorf("%w: NumPairs=%d", ErrBadLength, h.NumPairs)
+	}
+	return b[DaietHeaderLen:], nil
+}
+
+// SerializeTo prepends the header onto buf. NumPairs must already be set by
+// the caller to match the pairs previously appended.
+func (h *DaietHeader) SerializeTo(buf *Buffer) {
+	w := buf.Prepend(DaietHeaderLen)
+	binary.BigEndian.PutUint16(w[0:2], DaietMagic)
+	w[2] = DaietVersion
+	w[3] = byte(h.Type)
+	binary.BigEndian.PutUint32(w[4:8], h.TreeID)
+	binary.BigEndian.PutUint32(w[8:12], h.Seq)
+	binary.BigEndian.PutUint16(w[12:14], h.NumPairs)
+	binary.BigEndian.PutUint16(w[14:16], h.Flags)
+}
+
+// PairGeometry fixes the on-wire size of one key-value pair. The paper's
+// prototype hard-codes 16-byte keys; the geometry is parameterized here so
+// the key-width ablation can vary it.
+type PairGeometry struct {
+	KeyWidth int // bytes per key, >= 1
+}
+
+// DefaultGeometry is the paper's 16-byte-key geometry.
+var DefaultGeometry = PairGeometry{KeyWidth: DefaultKeyWidth}
+
+// PairWidth returns the bytes occupied by one pair.
+func (g PairGeometry) PairWidth() int { return g.KeyWidth + ValueWidth }
+
+// MaxPairsPerPacket returns how many pairs fit within the hardware parse
+// budget after the stack of headers, capped at MaxSupportedPairs.
+func (g PairGeometry) MaxPairsPerPacket() int {
+	overhead := EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen + DaietHeaderLen
+	n := (MaxParseBudget - overhead) / g.PairWidth()
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxSupportedPairs {
+		n = MaxSupportedPairs
+	}
+	return n
+}
+
+// Validate reports whether the geometry is usable.
+func (g PairGeometry) Validate() error {
+	if g.KeyWidth < 1 {
+		return fmt.Errorf("wire: key width must be >= 1, got %d", g.KeyWidth)
+	}
+	return nil
+}
+
+// PairView provides index-based, zero-copy access to the pair area of a
+// decoded DAIET packet. The view aliases the decoded buffer.
+type PairView struct {
+	geom  PairGeometry
+	pairs []byte
+	n     int
+}
+
+// NewPairView wraps the pair bytes that follow a decoded DaietHeader.
+// It validates that the buffer really contains n pairs.
+func NewPairView(g PairGeometry, pairBytes []byte, n int) (PairView, error) {
+	if err := g.Validate(); err != nil {
+		return PairView{}, err
+	}
+	need := n * g.PairWidth()
+	if need > len(pairBytes) {
+		return PairView{}, fmt.Errorf("%w: need %d bytes for %d pairs, have %d",
+			ErrTruncated, need, n, len(pairBytes))
+	}
+	return PairView{geom: g, pairs: pairBytes[:need], n: n}, nil
+}
+
+// Len returns the number of pairs in the view.
+func (v PairView) Len() int { return v.n }
+
+// Key returns the i-th key bytes (aliasing the packet buffer).
+func (v PairView) Key(i int) []byte {
+	if i < 0 || i >= v.n {
+		panic(ErrPairBounds)
+	}
+	off := i * v.geom.PairWidth()
+	return v.pairs[off : off+v.geom.KeyWidth]
+}
+
+// Value returns the i-th 32-bit value.
+func (v PairView) Value(i int) uint32 {
+	if i < 0 || i >= v.n {
+		panic(ErrPairBounds)
+	}
+	off := i*v.geom.PairWidth() + v.geom.KeyWidth
+	return binary.BigEndian.Uint32(v.pairs[off : off+ValueWidth])
+}
+
+// AppendPair appends one fixed-size pair to buf. Keys shorter than the
+// geometry's key width are zero-padded on the right (the paper: "the
+// programmer is forced to reserve for each key as many bytes as the largest
+// expected key"); longer keys are an error.
+func AppendPair(buf *Buffer, g PairGeometry, key []byte, value uint32) error {
+	if len(key) > g.KeyWidth {
+		return fmt.Errorf("wire: key of %d bytes exceeds geometry width %d", len(key), g.KeyWidth)
+	}
+	w := buf.Append(g.PairWidth())
+	n := copy(w, key)
+	for i := n; i < g.KeyWidth; i++ {
+		w[i] = 0
+	}
+	binary.BigEndian.PutUint32(w[g.KeyWidth:], value)
+	return nil
+}
+
+// TrimKey strips the zero padding AppendPair added, recovering the original
+// variable-length key. Keys that legitimately end in zero bytes are not
+// representable in the fixed-size scheme — exactly the limitation the paper
+// accepts for its prototype.
+func TrimKey(k []byte) []byte {
+	end := len(k)
+	for end > 0 && k[end-1] == 0 {
+		end--
+	}
+	return k[:end]
+}

@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file provides whole-packet composition and decomposition helpers for
+// the common case: DAIET pairs over UDP over IPv4 over Ethernet, plus the
+// TCP-lite segment header used by the TCP baseline.
+
+// UDPPortDaiet is the well-known destination port for the DAIET protocol.
+const UDPPortDaiet = 5201
+
+// DaietPacket is the fully decoded view of one DAIET-over-UDP frame. Header
+// structs are decoded by value; Pairs aliases the input buffer.
+type DaietPacket struct {
+	Eth   Ethernet
+	IP    IPv4
+	UDP   UDP
+	Hdr   DaietHeader
+	Pairs PairView
+}
+
+// DecodeDaietPacket decodes a full Ethernet frame carrying a DAIET packet,
+// using preallocated pkt storage (gopacket DecodingLayerParser style: no
+// allocation on success paths).
+func DecodeDaietPacket(g PairGeometry, frame []byte, pkt *DaietPacket) error {
+	p, err := pkt.Eth.DecodeFrom(frame)
+	if err != nil {
+		return fmt.Errorf("eth: %w", err)
+	}
+	if pkt.Eth.EtherType != EtherTypeIPv4 {
+		return ErrBadEtherType
+	}
+	if p, err = pkt.IP.DecodeFrom(p); err != nil {
+		return fmt.Errorf("ipv4: %w", err)
+	}
+	if pkt.IP.Protocol != ProtocolUDP {
+		return ErrBadProtocol
+	}
+	if p, err = pkt.UDP.DecodeFrom(p); err != nil {
+		return fmt.Errorf("udp: %w", err)
+	}
+	if p, err = pkt.Hdr.DecodeFrom(p); err != nil {
+		return fmt.Errorf("daiet: %w", err)
+	}
+	pkt.Pairs, err = NewPairView(g, p, int(pkt.Hdr.NumPairs))
+	if err != nil {
+		return fmt.Errorf("pairs: %w", err)
+	}
+	return nil
+}
+
+// BuildDaietFrame assembles a complete Ethernet frame for hdr and the pairs
+// already serialized in buf's payload area by AppendPair calls. src and dst
+// are fabric node IDs. The returned slice aliases buf.
+func BuildDaietFrame(buf *Buffer, hdr DaietHeader, srcNode, dstNode uint32, srcPort uint16) []byte {
+	hdr.SerializeTo(buf)
+	u := UDP{SrcPort: srcPort, DstPort: UDPPortDaiet}
+	u.SerializeTo(buf)
+	ip := IPv4{
+		Protocol: ProtocolUDP,
+		Src:      IPFromNode(srcNode),
+		Dst:      IPFromNode(dstNode),
+		TTL:      DefaultTTL,
+	}
+	ip.SerializeTo(buf)
+	e := Ethernet{
+		Dst:       MACFromNode(dstNode),
+		Src:       MACFromNode(srcNode),
+		EtherType: EtherTypeIPv4,
+	}
+	e.SerializeTo(buf)
+	return buf.Bytes()
+}
+
+// TCP-lite: the reliable-stream baseline's segment header. Real TCP options
+// and urgent pointers are irrelevant to the packet-count measurements, so
+// the header keeps only the fields the tcplite state machine uses.
+//
+// Layout (big-endian), TCPLiteHeaderLen = 18 bytes:
+//
+//	sport(2) dport(2) seq(4) ack(4) flags(2) window(2) length(2)
+const TCPLiteHeaderLen = 18
+
+// TCP-lite flag bits.
+const (
+	TCPFlagSYN = 1 << 0
+	TCPFlagACK = 1 << 1
+	TCPFlagFIN = 1 << 2
+	TCPFlagRST = 1 << 3
+)
+
+// TCPLite is the decoded TCP-lite segment header.
+type TCPLite struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint16
+	Window  uint16
+	Length  uint16 // payload bytes following the header
+}
+
+// DecodeFrom parses the header at the front of b and returns the payload.
+func (t *TCPLite) DecodeFrom(b []byte) (payload []byte, err error) {
+	if len(b) < TCPLiteHeaderLen {
+		return nil, ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.Seq = binary.BigEndian.Uint32(b[4:8])
+	t.Ack = binary.BigEndian.Uint32(b[8:12])
+	t.Flags = binary.BigEndian.Uint16(b[12:14])
+	t.Window = binary.BigEndian.Uint16(b[14:16])
+	t.Length = binary.BigEndian.Uint16(b[16:18])
+	if int(t.Length) > len(b)-TCPLiteHeaderLen {
+		return nil, ErrBadLength
+	}
+	return b[TCPLiteHeaderLen : TCPLiteHeaderLen+int(t.Length)], nil
+}
+
+// SerializeTo prepends the header onto buf, setting Length from the current
+// buffer contents.
+func (t *TCPLite) SerializeTo(buf *Buffer) {
+	payloadLen := buf.Len()
+	w := buf.Prepend(TCPLiteHeaderLen)
+	binary.BigEndian.PutUint16(w[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(w[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(w[4:8], t.Seq)
+	binary.BigEndian.PutUint32(w[8:12], t.Ack)
+	binary.BigEndian.PutUint16(w[12:14], t.Flags)
+	binary.BigEndian.PutUint16(w[14:16], t.Window)
+	t.Length = uint16(payloadLen)
+	binary.BigEndian.PutUint16(w[16:18], t.Length)
+}
+
+// ProtocolTCPLite is the IPv4 protocol number the fabric uses for tcplite.
+// 253 and 254 are reserved for experimentation by RFC 3692.
+const ProtocolTCPLite = 253
+
+// BuildTCPLiteFrame assembles a complete Ethernet frame for a tcplite
+// segment whose payload is already in buf.
+func BuildTCPLiteFrame(buf *Buffer, seg TCPLite, srcNode, dstNode uint32) []byte {
+	seg.SerializeTo(buf)
+	ip := IPv4{
+		Protocol: ProtocolTCPLite,
+		Src:      IPFromNode(srcNode),
+		Dst:      IPFromNode(dstNode),
+		TTL:      DefaultTTL,
+	}
+	ip.SerializeTo(buf)
+	e := Ethernet{
+		Dst:       MACFromNode(dstNode),
+		Src:       MACFromNode(srcNode),
+		EtherType: EtherTypeIPv4,
+	}
+	e.SerializeTo(buf)
+	return buf.Bytes()
+}

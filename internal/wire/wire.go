@@ -1,0 +1,241 @@
+// Package wire defines the byte-level packet formats used throughout the
+// reproduction: Ethernet, IPv4 and UDP headers plus the DAIET shuffle
+// protocol (a small preamble followed by a sequence of fixed-size key-value
+// pairs, §4 of the paper).
+//
+// The decoding style follows gopacket's DecodingLayer idiom: each header
+// type decodes *in place* from a byte slice into a preallocated struct (or
+// exposes index-based accessors over the original buffer) so the switch
+// dataplane's per-packet hot path performs no allocation. Decoders treat
+// the input as read-only; callers that reuse buffers must respect the
+// documented aliasing.
+//
+// Serialization uses a prepend-style Buffer (again mirroring gopacket):
+// payload first, then UDP, IPv4, Ethernet, each header prepended in front
+// of the bytes already present.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Ethernet constants.
+const (
+	EthernetHeaderLen = 14
+	EtherTypeIPv4     = 0x0800
+)
+
+// IPv4 constants.
+const (
+	IPv4HeaderLen = 20 // no options
+	ProtocolUDP   = 17
+	DefaultTTL    = 64
+)
+
+// UDP constants.
+const UDPHeaderLen = 8
+
+// Errors returned by decoders. Decoders never panic on hostile input.
+var (
+	ErrTruncated    = errors.New("wire: buffer too short")
+	ErrBadEtherType = errors.New("wire: unexpected ethertype")
+	ErrBadVersion   = errors.New("wire: unsupported IP version")
+	ErrBadProtocol  = errors.New("wire: unexpected IP protocol")
+	ErrBadLength    = errors.New("wire: length field inconsistent with buffer")
+)
+
+// MAC is a 6-byte link-layer address. The fabric derives MACs from node IDs.
+type MAC [6]byte
+
+// MACFromNode derives a locally-administered unicast MAC from a node ID.
+func MACFromNode(id uint32) MAC {
+	var m MAC
+	m[0] = 0x02 // locally administered, unicast
+	m[1] = 0xda
+	binary.BigEndian.PutUint32(m[2:], id)
+	return m
+}
+
+// NodeID recovers the node ID a MACFromNode address encodes.
+func (m MAC) NodeID() uint32 { return binary.BigEndian.Uint32(m[2:]) }
+
+// String renders the MAC in the conventional colon form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IPv4Addr is a 4-byte network address.
+type IPv4Addr [4]byte
+
+// IPFromNode maps a node ID into the fabric's 10.0.0.0/8 addressing plan.
+func IPFromNode(id uint32) IPv4Addr {
+	var a IPv4Addr
+	a[0] = 10
+	a[1] = byte(id >> 16)
+	a[2] = byte(id >> 8)
+	a[3] = byte(id)
+	return a
+}
+
+// NodeID recovers the node ID an IPFromNode address encodes.
+func (a IPv4Addr) NodeID() uint32 {
+	return uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+}
+
+// String renders the address in dotted-quad form.
+func (a IPv4Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Ethernet is the 14-byte link header.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// DecodeFrom parses the Ethernet header at the front of b and returns the
+// remaining payload.
+func (e *Ethernet) DecodeFrom(b []byte) (payload []byte, err error) {
+	if len(b) < EthernetHeaderLen {
+		return nil, ErrTruncated
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return b[EthernetHeaderLen:], nil
+}
+
+// SerializeTo prepends the Ethernet header onto buf.
+func (e *Ethernet) SerializeTo(buf *Buffer) {
+	h := buf.Prepend(EthernetHeaderLen)
+	copy(h[0:6], e.Dst[:])
+	copy(h[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(h[12:14], e.EtherType)
+}
+
+// IPv4 is the 20-byte (option-less) network header.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src      IPv4Addr
+	Dst      IPv4Addr
+}
+
+// DecodeFrom parses the IPv4 header at the front of b and returns the
+// payload as delimited by TotalLen. It rejects truncated buffers, non-v4
+// versions and headers with options (IHL != 5), which the fabric never
+// emits.
+func (ip *IPv4) DecodeFrom(b []byte) (payload []byte, err error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, ErrTruncated
+	}
+	vihl := b[0]
+	if vihl>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	if vihl&0x0f != 5 {
+		return nil, fmt.Errorf("%w: options unsupported (ihl=%d)", ErrBadLength, vihl&0x0f)
+	}
+	ip.TOS = b[1]
+	ip.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	ip.ID = binary.BigEndian.Uint16(b[4:6])
+	ip.TTL = b[8]
+	ip.Protocol = b[9]
+	ip.Checksum = binary.BigEndian.Uint16(b[10:12])
+	copy(ip.Src[:], b[12:16])
+	copy(ip.Dst[:], b[16:20])
+	if int(ip.TotalLen) < IPv4HeaderLen || int(ip.TotalLen) > len(b) {
+		return nil, ErrBadLength
+	}
+	return b[IPv4HeaderLen:ip.TotalLen], nil
+}
+
+// SerializeTo prepends the IPv4 header onto buf, setting TotalLen from the
+// current buffer contents and computing the header checksum.
+func (ip *IPv4) SerializeTo(buf *Buffer) {
+	payloadLen := buf.Len()
+	h := buf.Prepend(IPv4HeaderLen)
+	h[0] = 4<<4 | 5
+	h[1] = ip.TOS
+	total := IPv4HeaderLen + payloadLen
+	binary.BigEndian.PutUint16(h[2:4], uint16(total))
+	binary.BigEndian.PutUint16(h[4:6], ip.ID)
+	binary.BigEndian.PutUint16(h[6:8], 0) // flags/frag: DF not modelled
+	if ip.TTL == 0 {
+		ip.TTL = DefaultTTL
+	}
+	h[8] = ip.TTL
+	h[9] = ip.Protocol
+	binary.BigEndian.PutUint16(h[10:12], 0)
+	copy(h[12:16], ip.Src[:])
+	copy(h[16:20], ip.Dst[:])
+	ip.TotalLen = uint16(total)
+	ip.Checksum = Checksum(h[:IPv4HeaderLen])
+	binary.BigEndian.PutUint16(h[10:12], ip.Checksum)
+}
+
+// VerifyChecksum recomputes the header checksum over the raw header bytes
+// (which must be at least IPv4HeaderLen long) and reports whether it is
+// consistent.
+func VerifyIPv4Checksum(hdr []byte) bool {
+	if len(hdr) < IPv4HeaderLen {
+		return false
+	}
+	return Checksum(hdr[:IPv4HeaderLen]) == 0
+}
+
+// UDP is the 8-byte transport header.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Length  uint16
+	Chk     uint16
+}
+
+// DecodeFrom parses the UDP header at the front of b and returns the payload
+// delimited by Length.
+func (u *UDP) DecodeFrom(b []byte) (payload []byte, err error) {
+	if len(b) < UDPHeaderLen {
+		return nil, ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	u.Length = binary.BigEndian.Uint16(b[4:6])
+	u.Chk = binary.BigEndian.Uint16(b[6:8])
+	if int(u.Length) < UDPHeaderLen || int(u.Length) > len(b) {
+		return nil, ErrBadLength
+	}
+	return b[UDPHeaderLen:u.Length], nil
+}
+
+// SerializeTo prepends the UDP header onto buf, setting Length from the
+// current buffer contents. The checksum is left zero (legal over IPv4).
+func (u *UDP) SerializeTo(buf *Buffer) {
+	payloadLen := buf.Len()
+	h := buf.Prepend(UDPHeaderLen)
+	binary.BigEndian.PutUint16(h[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], u.DstPort)
+	u.Length = uint16(UDPHeaderLen + payloadLen)
+	binary.BigEndian.PutUint16(h[4:6], u.Length)
+	binary.BigEndian.PutUint16(h[6:8], 0)
+}
+
+// FlowKey writes the (src, dst, proto, sport, dport) 5-tuple into dst, which
+// must have capacity for 13 bytes, and returns the filled slice. The result
+// feeds ECMP hashing.
+func FlowKey(dst []byte, src, dstIP IPv4Addr, proto uint8, sport, dport uint16) []byte {
+	dst = dst[:0]
+	dst = append(dst, src[:]...)
+	dst = append(dst, dstIP[:]...)
+	dst = append(dst, proto)
+	dst = append(dst, byte(sport>>8), byte(sport))
+	dst = append(dst, byte(dport>>8), byte(dport))
+	return dst
+}

@@ -1,0 +1,437 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// Example from RFC 1071 §3: {0x0001, 0xf203, 0xf4f5, 0xf6f7} sums to
+	// 0xddf2 with carries folded; checksum is its complement 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Fatalf("checksum = %#x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	if got := Checksum([]byte{0xff}); got != ^uint16(0xff00) {
+		t.Fatalf("odd checksum = %#x", got)
+	}
+}
+
+func TestMACNodeRoundtrip(t *testing.T) {
+	f := func(id uint32) bool {
+		id &= 0xffffffff
+		return MACFromNode(id).NodeID() == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := MACFromNode(1).String(); s != "02:da:00:00:00:01" {
+		t.Fatalf("mac string: %s", s)
+	}
+}
+
+func TestIPNodeRoundtrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		id := raw & 0x00ffffff // 24-bit node space in 10.0.0.0/8
+		return IPFromNode(id).NodeID() == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := IPFromNode(0x010203).String(); s != "10.1.2.3" {
+		t.Fatalf("ip string: %s", s)
+	}
+}
+
+func TestEthernetRoundtrip(t *testing.T) {
+	buf := NewBuffer(DefaultHeadroom, 64)
+	buf.AppendBytes([]byte("payload"))
+	e := Ethernet{Dst: MACFromNode(2), Src: MACFromNode(1), EtherType: EtherTypeIPv4}
+	e.SerializeTo(buf)
+
+	var d Ethernet
+	rest, err := d.DecodeFrom(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != e {
+		t.Fatalf("roundtrip: got %+v want %+v", d, e)
+	}
+	if string(rest) != "payload" {
+		t.Fatalf("payload: %q", rest)
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	var d Ethernet
+	if _, err := d.DecodeFrom(make([]byte, 13)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestIPv4RoundtripAndChecksum(t *testing.T) {
+	buf := NewBuffer(DefaultHeadroom, 64)
+	buf.AppendBytes(bytes.Repeat([]byte{0xab}, 11))
+	ip := IPv4{Protocol: ProtocolUDP, Src: IPFromNode(7), Dst: IPFromNode(9), TTL: 17, ID: 321}
+	ip.SerializeTo(buf)
+
+	raw := buf.Bytes()
+	if !VerifyIPv4Checksum(raw) {
+		t.Fatal("serialized header fails checksum verification")
+	}
+	var d IPv4
+	payload, err := d.DecodeFrom(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Src != ip.Src || d.Dst != ip.Dst || d.Protocol != ProtocolUDP || d.TTL != 17 || d.ID != 321 {
+		t.Fatalf("decoded %+v", d)
+	}
+	if len(payload) != 11 {
+		t.Fatalf("payload len %d", len(payload))
+	}
+	// Corrupt a byte: checksum must now fail.
+	raw[8] ^= 0xff
+	if VerifyIPv4Checksum(raw) {
+		t.Fatal("corrupted header passes checksum")
+	}
+}
+
+func TestIPv4Errors(t *testing.T) {
+	var d IPv4
+	if _, err := d.DecodeFrom(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: %v", err)
+	}
+	b := make([]byte, 20)
+	b[0] = 6 << 4 // version 6
+	if _, err := d.DecodeFrom(b); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	b[0] = 4<<4 | 6 // options
+	if _, err := d.DecodeFrom(b); err == nil {
+		t.Fatal("want error for IHL != 5")
+	}
+	b[0] = 4<<4 | 5
+	b[3] = 200 // TotalLen 200 > len(b)
+	if _, err := d.DecodeFrom(b); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("length: %v", err)
+	}
+}
+
+func TestUDPRoundtrip(t *testing.T) {
+	buf := NewBuffer(DefaultHeadroom, 64)
+	buf.AppendBytes([]byte{1, 2, 3})
+	u := UDP{SrcPort: 4000, DstPort: UDPPortDaiet}
+	u.SerializeTo(buf)
+	var d UDP
+	payload, err := d.DecodeFrom(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcPort != 4000 || d.DstPort != UDPPortDaiet || d.Length != UDPHeaderLen+3 {
+		t.Fatalf("decoded %+v", d)
+	}
+	if len(payload) != 3 {
+		t.Fatalf("payload %v", payload)
+	}
+}
+
+func TestUDPLengthDelimitsPayload(t *testing.T) {
+	buf := NewBuffer(DefaultHeadroom, 64)
+	buf.AppendBytes([]byte{1, 2, 3})
+	u := UDP{}
+	u.SerializeTo(buf)
+	// Add trailing junk beyond the UDP datagram; decode must ignore it.
+	raw := append(append([]byte{}, buf.Bytes()...), 0xde, 0xad)
+	var d UDP
+	payload, err := d.DecodeFrom(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 3 {
+		t.Fatalf("payload %v", payload)
+	}
+}
+
+func TestDaietHeaderRoundtrip(t *testing.T) {
+	f := func(typ uint8, tree, seq uint32, pairs uint16, flags uint16) bool {
+		h := DaietHeader{
+			Type:     DaietType(typ),
+			TreeID:   tree,
+			Seq:      seq,
+			NumPairs: pairs % (MaxSupportedPairs + 1),
+			Flags:    flags,
+		}
+		buf := NewBuffer(DefaultHeadroom, 16)
+		h.SerializeTo(buf)
+		var d DaietHeader
+		_, err := d.DecodeFrom(buf.Bytes())
+		return err == nil && d == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaietHeaderRejects(t *testing.T) {
+	var d DaietHeader
+	if _, err := d.DecodeFrom(make([]byte, 8)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: %v", err)
+	}
+	buf := NewBuffer(DefaultHeadroom, 16)
+	(&DaietHeader{Type: TypeData}).SerializeTo(buf)
+	raw := append([]byte{}, buf.Bytes()...)
+	raw[0] = 0 // break magic
+	if _, err := d.DecodeFrom(raw); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("magic: %v", err)
+	}
+	raw[0], raw[1] = 0xDA, 0x17
+	raw[2] = 99 // break version
+	if _, err := d.DecodeFrom(raw); !errors.Is(err, ErrBadDaietVer) {
+		t.Fatalf("version: %v", err)
+	}
+	raw[2] = DaietVersion
+	raw[12], raw[13] = 0xff, 0xff // absurd NumPairs
+	if _, err := d.DecodeFrom(raw); err == nil {
+		t.Fatal("want error for NumPairs > MaxSupportedPairs")
+	}
+}
+
+func TestPairGeometry(t *testing.T) {
+	if DefaultGeometry.PairWidth() != 20 {
+		t.Fatalf("pair width %d", DefaultGeometry.PairWidth())
+	}
+	// 300-byte parse budget minus 58 bytes of headers leaves 242 -> 12 pairs
+	// of 20 bytes; the paper rounds this to "at most 10", our geometry math
+	// must land in the same band.
+	n := DefaultGeometry.MaxPairsPerPacket()
+	if n < 10 || n > 12 {
+		t.Fatalf("pairs per packet %d outside paper band", n)
+	}
+	if err := (PairGeometry{KeyWidth: 0}).Validate(); err == nil {
+		t.Fatal("want error for zero key width")
+	}
+	// Gigantic keys still fit at least one pair per packet.
+	if got := (PairGeometry{KeyWidth: 1000}).MaxPairsPerPacket(); got != 1 {
+		t.Fatalf("giant keys: %d", got)
+	}
+}
+
+func TestPairAppendAndView(t *testing.T) {
+	g := DefaultGeometry
+	buf := NewBuffer(DefaultHeadroom, 256)
+	if err := AppendPair(buf, g, []byte("hello"), 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendPair(buf, g, []byte("sixteen-byte-key"), 7); err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewPairView(g, buf.Bytes(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(TrimKey(v.Key(0))); got != "hello" {
+		t.Fatalf("key0 %q", got)
+	}
+	if v.Value(0) != 42 {
+		t.Fatalf("value0 %d", v.Value(0))
+	}
+	if got := string(TrimKey(v.Key(1))); got != "sixteen-byte-key" {
+		t.Fatalf("key1 %q", got)
+	}
+	if v.Value(1) != 7 {
+		t.Fatalf("value1 %d", v.Value(1))
+	}
+}
+
+func TestPairViewBounds(t *testing.T) {
+	g := DefaultGeometry
+	if _, err := NewPairView(g, make([]byte, 10), 1); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want truncated, got %v", err)
+	}
+	buf := NewBuffer(DefaultHeadroom, 64)
+	_ = AppendPair(buf, g, []byte("k"), 1)
+	v, _ := NewPairView(g, buf.Bytes(), 1)
+	for _, idx := range []int{-1, 1} {
+		func(i int) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Key(%d) must panic", i)
+				}
+			}()
+			v.Key(i)
+		}(idx)
+	}
+}
+
+func TestAppendPairRejectsOversizedKey(t *testing.T) {
+	buf := NewBuffer(DefaultHeadroom, 64)
+	err := AppendPair(buf, DefaultGeometry, bytes.Repeat([]byte{'x'}, 17), 1)
+	if err == nil {
+		t.Fatal("want error for oversized key")
+	}
+}
+
+// Property: a full frame (pairs -> DAIET -> UDP -> IP -> Eth) decodes back
+// to the same header fields and pair contents.
+func TestFullFrameRoundtripProperty(t *testing.T) {
+	g := DefaultGeometry
+	f := func(tree, seq uint32, rawPairs []uint32, src, dst uint32) bool {
+		n := len(rawPairs)
+		if n > 10 {
+			n = 10
+		}
+		src &= 0xffffff
+		dst &= 0xffffff
+		buf := NewBuffer(DefaultHeadroom, 512)
+		for i := 0; i < n; i++ {
+			key := []byte{byte('a' + i), 'k'}
+			if err := AppendPair(buf, g, key, rawPairs[i]); err != nil {
+				return false
+			}
+		}
+		hdr := DaietHeader{Type: TypeData, TreeID: tree, Seq: seq, NumPairs: uint16(n)}
+		frame := BuildDaietFrame(buf, hdr, src, dst, 3000)
+
+		var pkt DaietPacket
+		if err := DecodeDaietPacket(g, frame, &pkt); err != nil {
+			return false
+		}
+		if pkt.Hdr.TreeID != tree || pkt.Hdr.Seq != seq || int(pkt.Hdr.NumPairs) != n {
+			return false
+		}
+		if pkt.IP.Src.NodeID() != src || pkt.IP.Dst.NodeID() != dst {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if pkt.Pairs.Value(i) != rawPairs[i] {
+				return false
+			}
+			want := []byte{byte('a' + i), 'k'}
+			if !bytes.Equal(TrimKey(pkt.Pairs.Key(i)), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDaietPacketRejectsNonUDP(t *testing.T) {
+	buf := NewBuffer(DefaultHeadroom, 64)
+	frame := BuildTCPLiteFrame(buf, TCPLite{SrcPort: 1, DstPort: 2}, 1, 2)
+	var pkt DaietPacket
+	if err := DecodeDaietPacket(DefaultGeometry, frame, &pkt); !errors.Is(err, ErrBadProtocol) {
+		t.Fatalf("want ErrBadProtocol, got %v", err)
+	}
+}
+
+func TestTCPLiteRoundtrip(t *testing.T) {
+	f := func(sport, dport uint16, seq, ack uint32, flags, window uint16, payload []byte) bool {
+		if len(payload) > 2000 {
+			payload = payload[:2000]
+		}
+		buf := NewBuffer(DefaultHeadroom, len(payload)+32)
+		buf.AppendBytes(payload)
+		seg := TCPLite{SrcPort: sport, DstPort: dport, Seq: seq, Ack: ack, Flags: flags, Window: window}
+		frame := BuildTCPLiteFrame(buf, seg, 5, 6)
+
+		var e Ethernet
+		rest, err := e.DecodeFrom(frame)
+		if err != nil {
+			return false
+		}
+		var ip IPv4
+		if rest, err = ip.DecodeFrom(rest); err != nil || ip.Protocol != ProtocolTCPLite {
+			return false
+		}
+		var d TCPLite
+		got, err := d.DecodeFrom(rest)
+		if err != nil {
+			return false
+		}
+		return d.SrcPort == sport && d.DstPort == dport && d.Seq == seq &&
+			d.Ack == ack && d.Flags == flags && d.Window == window &&
+			bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPLiteErrors(t *testing.T) {
+	var d TCPLite
+	if _, err := d.DecodeFrom(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: %v", err)
+	}
+	b := make([]byte, TCPLiteHeaderLen)
+	b[16], b[17] = 0x00, 0x05 // claims 5 payload bytes that are absent
+	if _, err := d.DecodeFrom(b); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("length: %v", err)
+	}
+}
+
+func TestBufferPrependGrowth(t *testing.T) {
+	// Tiny headroom forces the grow path.
+	buf := NewBuffer(2, 4)
+	buf.AppendBytes([]byte("xyz"))
+	w := buf.Prepend(10)
+	for i := range w {
+		w[i] = byte(i)
+	}
+	got := buf.Bytes()
+	if len(got) != 13 {
+		t.Fatalf("len %d", len(got))
+	}
+	if got[0] != 0 || got[9] != 9 || string(got[10:]) != "xyz" {
+		t.Fatalf("contents %v", got)
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	buf := NewBuffer(DefaultHeadroom, 16)
+	buf.AppendBytes([]byte("abc"))
+	buf.Reset()
+	if buf.Len() != 0 {
+		t.Fatalf("len after reset %d", buf.Len())
+	}
+	// Reset must leave enough headroom for a full header stack.
+	buf.AppendBytes([]byte("p"))
+	e := Ethernet{EtherType: EtherTypeIPv4}
+	e.SerializeTo(buf)
+	if buf.Len() != EthernetHeaderLen+1 {
+		t.Fatalf("len %d", buf.Len())
+	}
+}
+
+func TestFlowKeyStable(t *testing.T) {
+	var storage [13]byte
+	k1 := FlowKey(storage[:0], IPFromNode(1), IPFromNode(2), ProtocolUDP, 10, 20)
+	k2 := FlowKey(make([]byte, 0, 13), IPFromNode(1), IPFromNode(2), ProtocolUDP, 10, 20)
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("flow keys differ")
+	}
+	k3 := FlowKey(make([]byte, 0, 13), IPFromNode(1), IPFromNode(2), ProtocolUDP, 10, 21)
+	if bytes.Equal(k1, k3) {
+		t.Fatal("different ports must give different keys")
+	}
+}
+
+func TestTrimKey(t *testing.T) {
+	if got := TrimKey([]byte{'a', 'b', 0, 0}); string(got) != "ab" {
+		t.Fatalf("got %q", got)
+	}
+	if got := TrimKey([]byte{0, 0}); len(got) != 0 {
+		t.Fatalf("got %q", got)
+	}
+	if got := TrimKey(nil); len(got) != 0 {
+		t.Fatalf("got %q", got)
+	}
+}

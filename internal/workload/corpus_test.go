@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/daiet/daiet/internal/hashing"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	c, err := Generate(CorpusSpec{Seed: 1, Reducers: 4, VocabPerReducer: 50, MeanMultiplicity: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.UniqueWords != 200 {
+		t.Fatalf("unique %d", c.UniqueWords)
+	}
+	mean := float64(c.TotalWords) / float64(c.UniqueWords)
+	if math.Abs(mean-5) > 0.5 {
+		t.Fatalf("mean multiplicity %.2f want ~5", mean)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := CorpusSpec{Seed: 42, Reducers: 3, VocabPerReducer: 30, MeanMultiplicity: 4}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Stream) != len(b.Stream) {
+		t.Fatal("stream lengths differ")
+	}
+	for i := range a.Stream {
+		if a.Stream[i] != b.Stream[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestPartitionAgreement(t *testing.T) {
+	// Every word in partition p's vocabulary must map back to partition p
+	// under the shared partitioner — otherwise the register-table sizing
+	// guarantee breaks.
+	c, err := Generate(CorpusSpec{Seed: 7, Reducers: 6, VocabPerReducer: 40, MeanMultiplicity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, vocab := range c.Vocab {
+		if len(vocab) != 40 {
+			t.Fatalf("partition %d has %d words", p, len(vocab))
+		}
+		for _, w := range vocab {
+			if got := PartitionOf(w, c.Spec.KeyWidth, 6); got != p {
+				t.Fatalf("word %q in vocab %d partitions to %d", w, p, got)
+			}
+		}
+	}
+}
+
+func TestCollisionFreePerPartition(t *testing.T) {
+	const tableSize = 512
+	c, err := Generate(CorpusSpec{
+		Seed: 3, Reducers: 4, VocabPerReducer: 100,
+		MeanMultiplicity: 2, TableSize: tableSize, CollisionFree: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, vocab := range c.Vocab {
+		seen := map[int]bool{}
+		for _, w := range vocab {
+			idx := hashing.Index(hashing.PadKey([]byte(w), c.Spec.KeyWidth), tableSize)
+			if seen[idx] {
+				t.Fatalf("partition %d: register collision for %q", p, w)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestGenerateRejectsImpossibleSpecs(t *testing.T) {
+	if _, err := Generate(CorpusSpec{Reducers: 1, VocabPerReducer: 100, TableSize: 50, CollisionFree: true}); err == nil {
+		t.Fatal("vocab > table size must fail")
+	}
+	if _, err := Generate(CorpusSpec{MaxWordLen: 20, KeyWidth: 16}); err == nil {
+		t.Fatal("word length > key width must fail")
+	}
+}
+
+func TestSplits(t *testing.T) {
+	c, err := Generate(CorpusSpec{Seed: 1, Reducers: 2, VocabPerReducer: 20, MeanMultiplicity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits := c.Splits(7)
+	total := 0
+	min, max := len(c.Stream), 0
+	for _, s := range splits {
+		total += len(s)
+		if len(s) < min {
+			min = len(s)
+		}
+		if len(s) > max {
+			max = len(s)
+		}
+	}
+	if total != len(c.Stream) {
+		t.Fatalf("splits lose words: %d vs %d", total, len(c.Stream))
+	}
+	if max-min > 1 {
+		t.Fatalf("unbalanced splits: min %d max %d", min, max)
+	}
+}
+
+func TestSkewedMultiplicity(t *testing.T) {
+	c, err := Generate(CorpusSpec{
+		Seed: 5, Reducers: 1, VocabPerReducer: 500, MeanMultiplicity: 8, Skewed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(c.TotalWords) / float64(c.UniqueWords)
+	if mean < 5 || mean > 12 {
+		t.Fatalf("skewed mean %.2f outside sanity band", mean)
+	}
+	// Skew implies some word appears much more often than the mean.
+	counts := map[string]int{}
+	for _, w := range c.Stream {
+		counts[w]++
+	}
+	maxC := 0
+	for _, n := range counts {
+		if n > maxC {
+			maxC = n
+		}
+	}
+	if maxC < int(2.5*mean) {
+		t.Fatalf("no heavy tail: max count %d mean %.1f", maxC, mean)
+	}
+}
+
+func TestPartitionOfPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	PartitionOf("x", 16, 0)
+}
