@@ -49,7 +49,7 @@ func BenchmarkFigure1bAdamOverlap(b *testing.B) {
 func BenchmarkFigure1WorkerSweep(b *testing.B) {
 	var at2, at5 float64
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Figure1WorkerSweep(7, 30)
+		pts, err := experiments.Figure1WorkerSweep(7, 30, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +98,7 @@ func BenchmarkFigure3WordCount(b *testing.B) {
 func BenchmarkAblationRegisterSize(b *testing.B) {
 	var smallRed, bigRed float64
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationRegisterSize(3, []int{64, 4096})
+		pts, err := experiments.AblationRegisterSize(3, []int{64, 4096}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func BenchmarkAblationRegisterSize(b *testing.B) {
 func BenchmarkAblationSpillover(b *testing.B) {
 	var spilled uint64
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationRegisterSize(3, []int{1})
+		pts, err := experiments.AblationRegisterSize(3, []int{1}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +128,7 @@ func BenchmarkAblationSpillover(b *testing.B) {
 func BenchmarkAblationPairsPerPacket(b *testing.B) {
 	var at2, at10 float64
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationPairsPerPacket(3, []int{2, 10})
+		pts, err := experiments.AblationPairsPerPacket(3, []int{2, 10}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +143,7 @@ func BenchmarkAblationPairsPerPacket(b *testing.B) {
 func BenchmarkAblationKeyWidth(b *testing.B) {
 	var red8, red16 float64
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationKeyWidth(3, []int{8, 16})
+		pts, err := experiments.AblationKeyWidth(3, []int{8, 16}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

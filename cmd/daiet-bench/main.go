@@ -10,193 +10,323 @@
 //	daiet-bench -experiment fig1c          # Figure 1(c): graph analytics
 //	daiet-bench -experiment fig3           # Figure 3: WordCount panels
 //	daiet-bench -experiment ablations      # design-choice ablations
+//	daiet-bench -experiment multirack      # leaf-spine extension
 //
 // Flags -seed and -scale control reproducibility and problem size; -steps
-// shortens the ML runs.
+// shortens the ML runs. -parallel sets the sharded runner's worker-pool
+// degree (0 = GOMAXPROCS, 1 = sequential); results are identical at any
+// degree. -json additionally writes machine-readable per-figure wall-clock
+// and headline metrics to BENCH_results.json so the performance trajectory
+// can be tracked across changes.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/daiet/daiet/internal/experiments"
+	"github.com/daiet/daiet/internal/runner"
 	"github.com/daiet/daiet/internal/stats"
 )
 
+// jsonPath is where -json writes the machine-readable report.
+const jsonPath = "BENCH_results.json"
+
 var (
-	experiment = flag.String("experiment", "all", "which experiment to run (fig1a|fig1b|fig1-workers|fig1c|fig3|ablations|all)")
+	experiment = flag.String("experiment", "all", "which experiment to run (fig1a|fig1b|fig1-workers|fig1c|fig3|ablations|multirack|all)")
 	seed       = flag.Uint64("seed", 7, "experiment seed (same seed, same results)")
 	scale      = flag.Float64("scale", 1.0, "problem-size multiplier for Figure 3")
 	steps      = flag.Int("steps", 200, "training steps for Figures 1(a)/1(b)")
 	graphScale = flag.Int("graph-scale", 16, "log2 vertices for Figure 1(c) (LiveJournal ~ 23)")
+	parallel   = flag.Int("parallel", 0, "experiment-runner parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	jsonOut    = flag.Bool("json", false, "write per-figure wall-clock and headline metrics to "+jsonPath)
 )
+
+// figParallel is the degree figure functions pass to experiment entry
+// points. When several figures fan out concurrently it is pinned to 1 so
+// the -parallel budget is spent once, at the figure level — otherwise
+// outer and inner fan-out would compound to parallel² goroutines.
+var figParallel int
+
+// figureJob is one runnable figure: it renders its report into w and
+// returns the headline metrics the JSON trajectory tracks.
+type figureJob struct {
+	name string
+	fn   func(w io.Writer) (map[string]float64, error)
+}
+
+// figureRecord is one figure's entry in BENCH_results.json.
+type figureRecord struct {
+	Name    string             `json:"name"`
+	WallMS  float64            `json:"wall_ms"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// benchReport is the BENCH_results.json schema.
+type benchReport struct {
+	Schema      int            `json:"schema"`
+	Seed        uint64         `json:"seed"`
+	Parallelism int            `json:"parallelism"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	TotalWallMS float64        `json:"total_wall_ms"`
+	Figures     []figureRecord `json:"figures"`
+}
 
 func main() {
 	log.SetFlags(0)
 	flag.Parse()
-	run := func(name string, fn func() error) {
-		switch *experiment {
-		case "all", name:
-			if err := fn(); err != nil {
-				log.Fatalf("%s: %v", name, err)
-			}
+
+	all := []figureJob{
+		{"fig1a", fig1a},
+		{"fig1b", fig1b},
+		{"fig1-workers", fig1Workers},
+		{"fig1c", fig1c},
+		{"fig3", fig3},
+		{"ablations", ablations},
+		{"multirack", multirack},
+	}
+	var jobs []figureJob
+	for _, j := range all {
+		if *experiment == "all" || *experiment == j.name {
+			jobs = append(jobs, j)
 		}
 	}
-	ran := false
-	mark := func(fn func() error) func() error {
-		return func() error { ran = true; return fn() }
-	}
-	run("fig1a", mark(fig1a))
-	run("fig1b", mark(fig1b))
-	run("fig1-workers", mark(fig1Workers))
-	run("fig1c", mark(fig1c))
-	run("fig3", mark(fig3))
-	run("ablations", mark(ablations))
-	run("multirack", mark(multirack))
-	if !ran {
+	if len(jobs) == 0 {
 		log.Fatalf("unknown experiment %q", *experiment)
 	}
-}
-
-func multirack() error {
-	header("Extension: hierarchical aggregation on a leaf-spine fabric (paper §1 clusters/racks)")
-	res, err := experiments.MultiRack(experiments.MultiRackConfig{Seed: *seed})
-	if err != nil {
-		return err
+	figParallel = *parallel
+	if len(jobs) > 1 && runner.Degree(*parallel) > 1 {
+		figParallel = 1
 	}
-	fmt.Printf("fabric: %d leaves x %d spines, %d hosts/leaf\n",
-		res.Leaves, res.Spines, res.HostsPerLeaf)
-	fmt.Printf("%-26s %14s %14s %10s\n", "", "baseline", "DAIET", "reduction")
-	fmt.Printf("%-26s %14d %14d %9.1f%%\n", "core (leaf-spine) bytes",
-		res.CoreBytesBaseline, res.CoreBytesDAIET, res.CoreReductionPct)
-	fmt.Printf("%-26s %14d %14d %9.1f%%\n", "edge (host-leaf) bytes",
-		res.EdgeBytesBaseline, res.EdgeBytesDAIET, res.EdgeReductionPct)
-	fmt.Printf("reducer pairs: %d -> %d\n", res.ReducerPairsBaseline, res.ReducerPairsDAIET)
-	return nil
-}
 
-func header(title string) {
-	fmt.Printf("\n==== %s ====\n", title)
-}
-
-func overlap(fig *experiments.OverlapFigure, paperMean string) {
-	fmt.Printf("mean overlap %.1f%% (paper: %s); range [%.1f%%, %.1f%%]\n",
-		fig.Summary.Mean, paperMean, fig.Summary.Min, fig.Summary.Max)
-	fmt.Printf("training loss %.3f -> %.3f, holdout accuracy %.2f\n",
-		fig.FirstLoss, fig.LastLoss, fig.FinalAccuracy)
-	// Decimated series: every 10th step, like reading the figure.
-	fmt.Printf("%-8s %s\n", "step", "overlap%")
-	for i := 0; i < fig.Series.Len(); i += 10 {
-		fmt.Printf("%-8.0f %.1f\n", fig.Series.X[i], fig.Series.Y[i])
+	// Independent figures fan out across the runner's pool; each shard
+	// renders into its own buffer so interleaved execution still prints in
+	// the canonical order. Per-figure wall-clock is measured inside the
+	// shard (concurrent figures contend for cores, so sharded wall-clock
+	// readings are upper bounds; -parallel 1 gives clean sequential times).
+	type outcome struct {
+		out []byte
+		rec figureRecord
 	}
-}
-
-func fig1a() error {
-	header("Figure 1(a): SGD (mini-batch 3, 5 workers) tensor-update overlap")
-	fig, err := experiments.Figure1a(*seed, *steps)
-	if err != nil {
-		return err
-	}
-	overlap(fig, "~42.5%, band 34-50%")
-	return nil
-}
-
-func fig1b() error {
-	header("Figure 1(b): Adam (mini-batch 100, 5 workers) tensor-update overlap")
-	fig, err := experiments.Figure1b(*seed, *steps)
-	if err != nil {
-		return err
-	}
-	overlap(fig, "~66.5%, band 62-72%")
-	return nil
-}
-
-func fig1Workers() error {
-	header("Figure 1 side experiment: overlap vs worker count (paper: increases)")
-	pts, err := experiments.Figure1WorkerSweep(*seed, 0)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-10s %s\n", "workers", "overlap%")
-	for _, p := range pts {
-		fmt.Printf("%-10d %.1f\n", p.Workers, p.OverlapPct)
-	}
-	return nil
-}
-
-func fig1c() error {
-	header("Figure 1(c): graph analytics potential traffic reduction (paper band 0.48-0.93)")
-	fig, err := experiments.Figure1c(experiments.Figure1cConfig{
-		Seed: *seed, Scale: *graphScale,
+	start := time.Now()
+	results, err := runner.Map(len(jobs), *parallel, func(shard int) (outcome, error) {
+		var buf bytes.Buffer
+		t0 := time.Now()
+		metrics, err := jobs[shard].fn(&buf)
+		if err != nil {
+			return outcome{}, fmt.Errorf("%s: %w", jobs[shard].name, err)
+		}
+		return outcome{
+			out: buf.Bytes(),
+			rec: figureRecord{
+				Name:    jobs[shard].name,
+				WallMS:  float64(time.Since(t0).Microseconds()) / 1000,
+				Metrics: metrics,
+			},
+		}, nil
 	})
 	if err != nil {
-		return err
+		log.Fatal(err)
 	}
-	fmt.Printf("R-MAT graph: %d vertices, %d edges (LiveJournal stand-in)\n\n",
-		fig.Vertices, fig.Edges)
-	stats.Table(os.Stdout, "iteration", fig.PageRank, fig.SSSP, fig.WCC)
-	return nil
+	totalMS := float64(time.Since(start).Microseconds()) / 1000
+
+	report := benchReport{
+		Schema:      1,
+		Seed:        *seed,
+		Parallelism: runner.Degree(*parallel),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		TotalWallMS: totalMS,
+	}
+	for _, r := range results {
+		os.Stdout.Write(r.out)
+		report.Figures = append(report.Figures, r.rec)
+	}
+	fmt.Printf("\ntotal wall clock: %.1f ms (parallelism %d)\n", totalMS, report.Parallelism)
+
+	if *jsonOut {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
 }
 
-func fig3() error {
-	header("Figure 3: WordCount, 24 mappers / 12 reducers, 16K register pairs")
-	res, err := experiments.Figure3(experiments.Figure3Config{Seed: *seed, Scale: *scale})
-	if err != nil {
-		return err
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n==== %s ====\n", title)
+}
+
+func overlap(w io.Writer, fig *experiments.OverlapFigure, paperMean string) {
+	fmt.Fprintf(w, "mean overlap %.1f%% (paper: %s); range [%.1f%%, %.1f%%]\n",
+		fig.Summary.Mean, paperMean, fig.Summary.Min, fig.Summary.Max)
+	fmt.Fprintf(w, "training loss %.3f -> %.3f, holdout accuracy %.2f\n",
+		fig.FirstLoss, fig.LastLoss, fig.FinalAccuracy)
+	// Decimated series: every 10th step, like reading the figure.
+	fmt.Fprintf(w, "%-8s %s\n", "step", "overlap%")
+	for i := 0; i < fig.Series.Len(); i += 10 {
+		fmt.Fprintf(w, "%-8.0f %.1f\n", fig.Series.X[i], fig.Series.Y[i])
 	}
-	fmt.Printf("corpus: %d words, %d unique (mean multiplicity %.1f); spilled pairs: %d\n\n",
+}
+
+func fig1a(w io.Writer) (map[string]float64, error) {
+	header(w, "Figure 1(a): SGD (mini-batch 3, 5 workers) tensor-update overlap")
+	fig, err := experiments.Figure1a(*seed, *steps)
+	if err != nil {
+		return nil, err
+	}
+	overlap(w, fig, "~42.5%, band 34-50%")
+	return map[string]float64{
+		"mean_overlap_pct": fig.Summary.Mean,
+		"final_accuracy":   fig.FinalAccuracy,
+	}, nil
+}
+
+func fig1b(w io.Writer) (map[string]float64, error) {
+	header(w, "Figure 1(b): Adam (mini-batch 100, 5 workers) tensor-update overlap")
+	fig, err := experiments.Figure1b(*seed, *steps)
+	if err != nil {
+		return nil, err
+	}
+	overlap(w, fig, "~66.5%, band 62-72%")
+	return map[string]float64{
+		"mean_overlap_pct": fig.Summary.Mean,
+		"final_accuracy":   fig.FinalAccuracy,
+	}, nil
+}
+
+func fig1Workers(w io.Writer) (map[string]float64, error) {
+	header(w, "Figure 1 side experiment: overlap vs worker count (paper: increases)")
+	pts, err := experiments.Figure1WorkerSweep(*seed, 0, figParallel)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "%-10s %s\n", "workers", "overlap%")
+	metrics := map[string]float64{}
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10d %.1f\n", p.Workers, p.OverlapPct)
+		metrics[fmt.Sprintf("overlap_pct_%dw", p.Workers)] = p.OverlapPct
+	}
+	return metrics, nil
+}
+
+func fig1c(w io.Writer) (map[string]float64, error) {
+	header(w, "Figure 1(c): graph analytics potential traffic reduction (paper band 0.48-0.93)")
+	fig, err := experiments.Figure1c(experiments.Figure1cConfig{
+		Seed: *seed, Scale: *graphScale, Parallelism: figParallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "R-MAT graph: %d vertices, %d edges (LiveJournal stand-in)\n\n",
+		fig.Vertices, fig.Edges)
+	stats.Table(w, "iteration", fig.PageRank, fig.SSSP, fig.WCC)
+	return map[string]float64{
+		"pagerank_mean_reduction": fig.PageRank.MeanY(),
+		"sssp_mean_reduction":     fig.SSSP.MeanY(),
+		"wcc_mean_reduction":      fig.WCC.MeanY(),
+	}, nil
+}
+
+func fig3(w io.Writer) (map[string]float64, error) {
+	header(w, "Figure 3: WordCount, 24 mappers / 12 reducers, 16K register pairs")
+	res, err := experiments.Figure3(experiments.Figure3Config{
+		Seed: *seed, Scale: *scale, Parallelism: figParallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "corpus: %d words, %d unique (mean multiplicity %.1f); spilled pairs: %d\n\n",
 		res.TotalWords, res.UniqueWords,
 		float64(res.TotalWords)/float64(res.UniqueWords), res.PairsSpilled)
 	panel := func(name, paper string, s stats.Summary) {
-		fmt.Printf("%-28s %s   (paper: %s)\n", name, s.String(), paper)
-		fmt.Printf("%-28s [%s]\n", "", stats.AsciiBox(s, 0, 100, 40))
+		fmt.Fprintf(w, "%-28s %s   (paper: %s)\n", name, s.String(), paper)
+		fmt.Fprintf(w, "%-28s [%s]\n", "", stats.AsciiBox(s, 0, 100, 40))
 	}
 	panel("data volume reduction %", "86.9-89.3, median ~88", res.DataReduction)
 	panel("reduce time reduction %", "median 83.6", res.ReduceTimeReduction)
 	panel("packets vs UDP baseline %", "88.1-90.5, median 90.5", res.PacketsVsUDP)
 	panel("packets vs TCP baseline %", "median 42", res.PacketsVsTCP)
-	return nil
+	return map[string]float64{
+		"data_reduction_median_pct": res.DataReduction.Median,
+		"reduce_time_median_pct":    res.ReduceTimeReduction.Median,
+		"packets_vs_udp_median_pct": res.PacketsVsUDP.Median,
+		"packets_vs_tcp_median_pct": res.PacketsVsTCP.Median,
+	}, nil
 }
 
-func ablations() error {
-	header("Ablation: register table size (paper §5: fewer cells, more unaggregated pairs)")
-	pts, err := experiments.AblationRegisterSize(*seed, []int{64, 256, 1024, 4096, 16384})
+func ablations(w io.Writer) (map[string]float64, error) {
+	metrics := map[string]float64{}
+	header(w, "Ablation: register table size (paper §5: fewer cells, more unaggregated pairs)")
+	pts, err := experiments.AblationRegisterSize(*seed, []int{64, 256, 1024, 4096, 16384}, figParallel)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("%-14s %14s %14s %14s\n", "table size", "data red. %", "pkt red. %", "spilled pairs")
+	fmt.Fprintf(w, "%-14s %14s %14s %14s\n", "table size", "data red. %", "pkt red. %", "spilled pairs")
 	for _, p := range pts {
-		fmt.Printf("%-14.0f %14.1f %14.1f %14d\n", p.X, p.DataReductionPct, p.PacketReductionPct, p.SpilledPairs)
+		fmt.Fprintf(w, "%-14.0f %14.1f %14.1f %14d\n", p.X, p.DataReductionPct, p.PacketReductionPct, p.SpilledPairs)
+		metrics[fmt.Sprintf("data_reduction_pct_%dcells", int(p.X))] = p.DataReductionPct
 	}
 
-	header("Ablation: pairs per packet (paper: 10 from the 200-300B parse budget)")
-	pts, err = experiments.AblationPairsPerPacket(*seed, []int{2, 5, 10, 12})
+	header(w, "Ablation: pairs per packet (paper: 10 from the 200-300B parse budget)")
+	pts, err = experiments.AblationPairsPerPacket(*seed, []int{2, 5, 10, 12}, figParallel)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("%-14s %14s %14s\n", "pairs/packet", "data red. %", "pkt red. %")
+	fmt.Fprintf(w, "%-14s %14s %14s\n", "pairs/packet", "data red. %", "pkt red. %")
 	for _, p := range pts {
-		fmt.Printf("%-14.0f %14.1f %14.1f\n", p.X, p.DataReductionPct, p.PacketReductionPct)
+		fmt.Fprintf(w, "%-14.0f %14.1f %14.1f\n", p.X, p.DataReductionPct, p.PacketReductionPct)
+		metrics[fmt.Sprintf("pkt_reduction_pct_%dpairs", int(p.X))] = p.PacketReductionPct
 	}
 
-	header("Ablation: fixed key width (paper §5: 16B keys waste bytes for short words)")
-	pts, err = experiments.AblationKeyWidth(*seed, []int{8, 16, 32})
+	header(w, "Ablation: fixed key width (paper §5: 16B keys waste bytes for short words)")
+	pts, err = experiments.AblationKeyWidth(*seed, []int{8, 16, 32}, figParallel)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("%-14s %14s %14s\n", "key width", "data red. %", "reducer pairs")
+	fmt.Fprintf(w, "%-14s %14s %14s\n", "key width", "data red. %", "reducer pairs")
 	for _, p := range pts {
-		fmt.Printf("%-14.0f %14.1f %14d\n", p.X, p.DataReductionPct, p.ReducerPairs)
+		fmt.Fprintf(w, "%-14.0f %14.1f %14d\n", p.X, p.DataReductionPct, p.ReducerPairs)
+		metrics[fmt.Sprintf("data_reduction_pct_%dB_keys", int(p.X))] = p.DataReductionPct
 	}
 
-	header("Ablation: worker-level combiner vs in-network aggregation (paper §1)")
+	header(w, "Ablation: worker-level combiner vs in-network aggregation (paper §1)")
 	wc, err := experiments.AblationWorkerCombiner(*seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("worker-level combining alone: %.1f%% pair reduction\n", wc.WorkerLevelReductionPct)
-	fmt.Printf("plus in-network aggregation:  %.1f%% pair reduction\n", wc.InNetworkReductionPct)
-	return nil
+	fmt.Fprintf(w, "worker-level combining alone: %.1f%% pair reduction\n", wc.WorkerLevelReductionPct)
+	fmt.Fprintf(w, "plus in-network aggregation:  %.1f%% pair reduction\n", wc.InNetworkReductionPct)
+	metrics["worker_level_reduction_pct"] = wc.WorkerLevelReductionPct
+	metrics["in_network_reduction_pct"] = wc.InNetworkReductionPct
+	return metrics, nil
+}
+
+func multirack(w io.Writer) (map[string]float64, error) {
+	header(w, "Extension: hierarchical aggregation on a leaf-spine fabric (paper §1 clusters/racks)")
+	res, err := experiments.MultiRack(experiments.MultiRackConfig{Seed: *seed, Parallelism: figParallel})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "fabric: %d leaves x %d spines, %d hosts/leaf\n",
+		res.Leaves, res.Spines, res.HostsPerLeaf)
+	fmt.Fprintf(w, "%-26s %14s %14s %10s\n", "", "baseline", "DAIET", "reduction")
+	fmt.Fprintf(w, "%-26s %14d %14d %9.1f%%\n", "core (leaf-spine) bytes",
+		res.CoreBytesBaseline, res.CoreBytesDAIET, res.CoreReductionPct)
+	fmt.Fprintf(w, "%-26s %14d %14d %9.1f%%\n", "edge (host-leaf) bytes",
+		res.EdgeBytesBaseline, res.EdgeBytesDAIET, res.EdgeReductionPct)
+	fmt.Fprintf(w, "reducer pairs: %d -> %d\n", res.ReducerPairsBaseline, res.ReducerPairsDAIET)
+	return map[string]float64{
+		"core_reduction_pct": res.CoreReductionPct,
+		"edge_reduction_pct": res.EdgeReductionPct,
+	}, nil
 }

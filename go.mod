@@ -1,0 +1,3 @@
+module github.com/daiet/daiet
+
+go 1.24

@@ -1,0 +1,31 @@
+package dataplane
+
+import "testing"
+
+// TestCtxPoolBounded guards the Switch free-list cap: retiring more
+// contexts than maxFreeCtxs must not grow the pool without bound
+// (recirculation-heavy workloads previously leaked one Ctx per burst).
+func TestCtxPoolBounded(t *testing.T) {
+	s := &Switch{}
+	for i := 0; i < 4*maxFreeCtxs; i++ {
+		s.putCtx(&Ctx{frame: make([]byte, 64)})
+	}
+	if len(s.free) != maxFreeCtxs {
+		t.Fatalf("free list has %d contexts, cap is %d", len(s.free), maxFreeCtxs)
+	}
+	// Recycled contexts must not retain their frames.
+	for _, c := range s.free {
+		if c.frame != nil {
+			t.Fatal("pooled ctx retains frame buffer")
+		}
+	}
+	// Draining and refilling stays within the cap.
+	for i := 0; i < maxFreeCtxs; i++ {
+		if c := s.getCtx(); c == nil {
+			t.Fatal("getCtx returned nil from non-empty pool")
+		}
+	}
+	if len(s.free) != 0 {
+		t.Fatalf("pool not drained: %d left", len(s.free))
+	}
+}

@@ -28,6 +28,13 @@ func (c Counters) Drops() uint64 {
 	return c.DropsProgram + c.DropsParse + c.DropsBudget + c.DropsRecirc + c.DropsError
 }
 
+// maxFreeCtxs bounds the per-switch Ctx free list. Recirculation-heavy
+// workloads can have many contexts in flight at once; without a cap every
+// retired context is retained forever, a slow leak on long-running fabrics.
+// The cap covers the realistic in-flight burst while letting excess
+// contexts (and the frame buffers they reference) return to the GC.
+const maxFreeCtxs = 64
+
 // Switch is a netsim.Node running a Pipeline over a RegisterFile: the
 // simulated programmable ASIC.
 type Switch struct {
@@ -82,6 +89,9 @@ func (s *Switch) getCtx() *Ctx {
 }
 
 func (s *Switch) putCtx(c *Ctx) {
+	if len(s.free) >= maxFreeCtxs {
+		return
+	}
 	c.frame = nil
 	s.free = append(s.free, c)
 }

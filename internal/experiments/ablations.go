@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/daiet/daiet/internal/mapreduce"
+	"github.com/daiet/daiet/internal/runner"
 	"github.com/daiet/daiet/internal/stats"
 	"github.com/daiet/daiet/internal/wire"
 	"github.com/daiet/daiet/internal/workload"
@@ -82,8 +83,10 @@ func runPair(splits [][]string, ccfg mapreduce.ClusterConfig) (AblationPoint, er
 // AblationRegisterSize sweeps the per-tree register table size. Fewer
 // cells mean more collisions (paper §5: fewer cells increase "the
 // possibility that a pair is not aggregated"), degrading reduction while
-// preserving correctness via spillover.
-func AblationRegisterSize(seed uint64, sizes []int) ([]AblationPoint, error) {
+// preserving correctness via spillover. Sweep points are independent
+// clusters over a shared read-only corpus, so parallelism (<= 0 means
+// GOMAXPROCS) shards them across the runner's pool.
+func AblationRegisterSize(seed uint64, sizes []int, parallelism int) ([]AblationPoint, error) {
 	const (
 		mappers, reducers = 8, 2
 		vocabPer          = 800
@@ -94,26 +97,25 @@ func AblationRegisterSize(seed uint64, sizes []int) ([]AblationPoint, error) {
 		return nil, err
 	}
 	splits := corpus.Splits(mappers)
-	var out []AblationPoint
-	for _, size := range sizes {
+	return runner.Map(len(sizes), parallelism, func(shard int) (AblationPoint, error) {
+		size := sizes[shard]
 		pt, err := runPair(splits, mapreduce.ClusterConfig{
 			NumMappers: mappers, NumReducers: reducers,
 			TableSize: size, Seed: seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table size %d: %w", size, err)
+			return pt, fmt.Errorf("experiments: table size %d: %w", size, err)
 		}
 		pt.Label = fmt.Sprintf("table=%d", size)
 		pt.X = float64(size)
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // AblationPairsPerPacket sweeps the packetization bound (the paper fixes
 // 10 from the 200-300 B parse budget). Fewer pairs per packet inflate
 // packet counts on both sides but leave the data reduction untouched.
-func AblationPairsPerPacket(seed uint64, counts []int) ([]AblationPoint, error) {
+func AblationPairsPerPacket(seed uint64, counts []int, parallelism int) ([]AblationPoint, error) {
 	const (
 		mappers, reducers = 8, 2
 		vocabPer          = 800
@@ -124,55 +126,58 @@ func AblationPairsPerPacket(seed uint64, counts []int) ([]AblationPoint, error) 
 		return nil, err
 	}
 	splits := corpus.Splits(mappers)
-	var out []AblationPoint
-	for _, n := range counts {
+	return runner.Map(len(counts), parallelism, func(shard int) (AblationPoint, error) {
+		n := counts[shard]
 		pt, err := runPair(splits, mapreduce.ClusterConfig{
 			NumMappers: mappers, NumReducers: reducers,
 			TableSize: tableSize, MaxPairsPerPacket: n, Seed: seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: pairs/packet %d: %w", n, err)
+			return pt, fmt.Errorf("experiments: pairs/packet %d: %w", n, err)
 		}
 		pt.Label = fmt.Sprintf("pairs=%d", n)
 		pt.X = float64(n)
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // AblationKeyWidth sweeps the fixed key width. The paper (§5) notes the
 // 16 B fixed keys waste bytes for short words; narrower geometries shrink
 // the on-wire volume for the same aggregation behaviour.
-func AblationKeyWidth(seed uint64, widths []int) ([]AblationPoint, error) {
+func AblationKeyWidth(seed uint64, widths []int, parallelism int) ([]AblationPoint, error) {
 	const (
 		mappers, reducers = 8, 2
 		vocabPer          = 800
 		tableSize         = 4096
 		maxWordLen        = 8 // short words so every width >= 8 is lossless
 	)
-	var out []AblationPoint
 	for _, w := range widths {
 		if w < maxWordLen {
 			return nil, fmt.Errorf("experiments: key width %d below max word length %d", w, maxWordLen)
 		}
+	}
+	// Each width regenerates its corpus (the pair geometry changes), so the
+	// whole point — corpus included — is one shard.
+	return runner.Map(len(widths), parallelism, func(shard int) (AblationPoint, error) {
+		w := widths[shard]
+		var pt AblationPoint
 		corpus, err := ablationCorpus(seed, reducers, vocabPer, 8.3, tableSize, maxWordLen, w, true)
 		if err != nil {
-			return nil, err
+			return pt, err
 		}
 		splits := corpus.Splits(mappers)
-		pt, err := runPair(splits, mapreduce.ClusterConfig{
+		pt, err = runPair(splits, mapreduce.ClusterConfig{
 			NumMappers: mappers, NumReducers: reducers,
 			TableSize: tableSize, Seed: seed,
 			Geometry: wire.PairGeometry{KeyWidth: w},
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: key width %d: %w", w, err)
+			return pt, fmt.Errorf("experiments: key width %d: %w", w, err)
 		}
 		pt.Label = fmt.Sprintf("keywidth=%d", w)
 		pt.X = float64(w)
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // WorkerCombinerResult contrasts worker-level combining (classic MapReduce

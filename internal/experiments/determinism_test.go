@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// The runner's contract: for the same seed, every figure entry point must
+// produce byte-identical summaries and counters whether its shards run
+// sequentially (parallelism 1) or across the full worker pool. Wall-clock
+// fields (reduce-phase timing) are the only nondeterministic quantities and
+// are excluded where they appear.
+
+// degrees are the parallelism levels compared against the sequential run.
+var degrees = []int{runtime.GOMAXPROCS(0), 3}
+
+func assertIdentical(t *testing.T, name, seq, par string, degree int) {
+	t.Helper()
+	if seq != par {
+		t.Fatalf("%s diverged at parallelism %d:\nsequential: %s\nparallel:   %s",
+			name, degree, seq, par)
+	}
+}
+
+func TestWorkerSweepDeterministic(t *testing.T) {
+	seqPts, err := Figure1WorkerSweep(7, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := fmt.Sprintf("%+v", seqPts)
+	for _, d := range degrees {
+		parPts, err := Figure1WorkerSweep(7, 30, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "worker sweep", seq, fmt.Sprintf("%+v", parPts), d)
+	}
+}
+
+func TestFigure1cDeterministic(t *testing.T) {
+	render := func(parallelism int) string {
+		fig, err := Figure1c(Figure1cConfig{Seed: 2, Scale: 12, Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v %+v %+v v=%d e=%d",
+			fig.PageRank, fig.SSSP, fig.WCC, fig.Vertices, fig.Edges)
+	}
+	seq := render(1)
+	for _, d := range degrees {
+		assertIdentical(t, "figure 1(c)", seq, render(d), d)
+	}
+}
+
+func TestFigure3Deterministic(t *testing.T) {
+	// Everything except the wall-clock reduce timings must match exactly:
+	// the summaries, raw samples, corpus facts, and switch counters.
+	render := func(parallelism int) string {
+		res, err := Figure3(Figure3Config{Seed: 1, Scale: 0.2, Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v %+v %+v data=%v udp=%v tcp=%v words=%d uniq=%d in=%d spill=%d",
+			res.DataReduction, res.PacketsVsUDP, res.PacketsVsTCP,
+			res.Samples.DataReduction, res.Samples.PacketsVsUDP, res.Samples.PacketsVsTCP,
+			res.TotalWords, res.UniqueWords, res.PairsIn, res.PairsSpilled)
+	}
+	seq := render(1)
+	for _, d := range degrees {
+		assertIdentical(t, "figure 3", seq, render(d), d)
+	}
+}
+
+func TestAblationsDeterministic(t *testing.T) {
+	renderReg := func(parallelism int) string {
+		pts, err := AblationRegisterSize(3, []int{64, 1024}, parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", pts)
+	}
+	renderPairs := func(parallelism int) string {
+		pts, err := AblationPairsPerPacket(3, []int{2, 10}, parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", pts)
+	}
+	renderWidth := func(parallelism int) string {
+		pts, err := AblationKeyWidth(3, []int{8, 16}, parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", pts)
+	}
+	seqReg, seqPairs, seqWidth := renderReg(1), renderPairs(1), renderWidth(1)
+	for _, d := range degrees {
+		assertIdentical(t, "register-size ablation", seqReg, renderReg(d), d)
+		assertIdentical(t, "pairs-per-packet ablation", seqPairs, renderPairs(d), d)
+		assertIdentical(t, "key-width ablation", seqWidth, renderWidth(d), d)
+	}
+}
+
+func TestMultiRackDeterministic(t *testing.T) {
+	render := func(parallelism int) string {
+		res, err := MultiRack(MultiRackConfig{Seed: 5, Vocab: 300, Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", *res)
+	}
+	seq := render(1)
+	for _, d := range degrees {
+		assertIdentical(t, "multirack", seq, render(d), d)
+	}
+}

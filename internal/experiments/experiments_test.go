@@ -32,7 +32,7 @@ func TestFigure1bBand(t *testing.T) {
 }
 
 func TestFigure1WorkerSweepMonotone(t *testing.T) {
-	pts, err := Figure1WorkerSweep(7, 40)
+	pts, err := Figure1WorkerSweep(7, 40, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestFigure3PaperBands(t *testing.T) {
 }
 
 func TestAblationRegisterSizeMonotone(t *testing.T) {
-	pts, err := AblationRegisterSize(3, []int{64, 512, 4096})
+	pts, err := AblationRegisterSize(3, []int{64, 512, 4096}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestAblationRegisterSizeMonotone(t *testing.T) {
 }
 
 func TestAblationPairsPerPacket(t *testing.T) {
-	pts, err := AblationPairsPerPacket(3, []int{2, 10})
+	pts, err := AblationPairsPerPacket(3, []int{2, 10}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestAblationPairsPerPacket(t *testing.T) {
 }
 
 func TestAblationKeyWidth(t *testing.T) {
-	pts, err := AblationKeyWidth(3, []int{8, 16})
+	pts, err := AblationKeyWidth(3, []int{8, 16}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestAblationKeyWidth(t *testing.T) {
 	if pts[0].ReducerPairs != pts[1].ReducerPairs {
 		t.Fatalf("pair counts differ: %+v", pts)
 	}
-	if _, err := AblationKeyWidth(3, []int{4}); err == nil {
+	if _, err := AblationKeyWidth(3, []int{4}, 0); err == nil {
 		t.Fatal("width below word length must fail")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/daiet/daiet/internal/graphgen"
 	"github.com/daiet/daiet/internal/mlps"
 	"github.com/daiet/daiet/internal/pregel"
+	"github.com/daiet/daiet/internal/runner"
 	"github.com/daiet/daiet/internal/stats"
 )
 
@@ -70,13 +71,17 @@ type WorkerSweepPoint struct {
 }
 
 // Figure1WorkerSweep reproduces the paper's side observation: "increasing
-// the number of workers from two to five ... the overlap increases".
-func Figure1WorkerSweep(seed uint64, steps int) ([]WorkerSweepPoint, error) {
+// the number of workers from two to five ... the overlap increases". Each
+// worker count is an independent training run; parallelism (<= 0 means
+// GOMAXPROCS) shards them across the runner's pool. The dataset is shared
+// read-only, and mlps.Train seeds each run from cfg.Seed alone, so results
+// are identical at any degree.
+func Figure1WorkerSweep(seed uint64, steps, parallelism int) ([]WorkerSweepPoint, error) {
 	ds := mlps.SyntheticMNIST(seed, 2500)
-	var out []WorkerSweepPoint
-	for _, w := range []int{2, 3, 4, 5} {
+	workerCounts := []int{2, 3, 4, 5}
+	return runner.Map(len(workerCounts), parallelism, func(shard int) (WorkerSweepPoint, error) {
 		cfg := mlps.Figure1aConfig(seed)
-		cfg.Workers = w
+		cfg.Workers = workerCounts[shard]
 		if steps > 0 {
 			cfg.Steps = steps
 		} else {
@@ -84,11 +89,10 @@ func Figure1WorkerSweep(seed uint64, steps int) ([]WorkerSweepPoint, error) {
 		}
 		res, err := mlps.Train(ds, cfg)
 		if err != nil {
-			return nil, err
+			return WorkerSweepPoint{}, err
 		}
-		out = append(out, WorkerSweepPoint{Workers: w, OverlapPct: mlps.MeanOverlap(res.Metrics)})
-	}
-	return out, nil
+		return WorkerSweepPoint{Workers: cfg.Workers, OverlapPct: mlps.MeanOverlap(res.Metrics)}, nil
+	})
 }
 
 // GraphFigure is Figure 1(c): per-iteration traffic reduction ratios for
@@ -108,6 +112,9 @@ type Figure1cConfig struct {
 	EdgeFactor int // default 14 (LiveJournal's edges/vertex)
 	Workers    int // default 4 (paper: GPS on 4 machines)
 	Iterations int // default 10 (Figure 1(c) x-axis)
+	// Parallelism shards the three graph algorithms across the runner's
+	// pool (<= 0: GOMAXPROCS, 1: sequential).
+	Parallelism int
 }
 
 func (c Figure1cConfig) withDefaults() Figure1cConfig {
@@ -146,17 +153,31 @@ func Figure1c(cfg Figure1cConfig) (*GraphFigure, error) {
 		Vertices: g.N,
 		Edges:    g.NumEdges(),
 	}
-	add := func(s *stats.Series, sts []pregel.SuperstepStats) {
-		for _, st := range sts {
-			s.Add(float64(st.Superstep), st.TrafficReduction)
-		}
+	// Materialize the graph's lazily-cached views before fanning out: the
+	// shards below share g read-only and must not race on the caches.
+	g.Und()
+	src := g.HighestDegreeVertex()
+
+	algos := []func() ([]pregel.SuperstepStats, error){
+		func() ([]pregel.SuperstepStats, error) { return pregel.PageRank(g, pcfg).Stats, nil },
+		func() ([]pregel.SuperstepStats, error) {
+			res, err := pregel.SSSP(g, src, pcfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Stats, nil
+		},
+		func() ([]pregel.SuperstepStats, error) { return pregel.WCC(g, pcfg).Stats, nil },
 	}
-	add(fig.PageRank, pregel.PageRank(g, pcfg).Stats)
-	ss, err := pregel.SSSP(g, g.HighestDegreeVertex(), pcfg)
+	perAlgo, err := runner.Map(len(algos), cfg.Parallelism,
+		func(shard int) ([]pregel.SuperstepStats, error) { return algos[shard]() })
 	if err != nil {
 		return nil, err
 	}
-	add(fig.SSSP, ss.Stats)
-	add(fig.WCC, pregel.WCC(g, pcfg).Stats)
+	for i, s := range []*stats.Series{fig.PageRank, fig.SSSP, fig.WCC} {
+		for _, st := range perAlgo[i] {
+			s.Add(float64(st.Superstep), st.TrafficReduction)
+		}
+	}
 	return fig, nil
 }

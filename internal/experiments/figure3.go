@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/daiet/daiet/internal/mapreduce"
+	"github.com/daiet/daiet/internal/runner"
 	"github.com/daiet/daiet/internal/stats"
 	"github.com/daiet/daiet/internal/workload"
 )
@@ -22,6 +23,9 @@ type Figure3Config struct {
 	MaxPairsPerPkt   int     // default 10
 	MSS              int     // default 1460 (TCP baseline segment payload)
 	Scale            float64 // multiplies VocabPerReducer (default 1)
+	// Parallelism shards the three modes (DAIET, UDP baseline, TCP
+	// baseline) across the runner's pool (<= 0: GOMAXPROCS, 1: sequential).
+	Parallelism int
 }
 
 func (c Figure3Config) withDefaults() Figure3Config {
@@ -100,7 +104,11 @@ func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 	}
 	splits := corpus.Splits(cfg.Mappers)
 
-	run := func(mode mapreduce.Mode) (*mapreduce.Result, error) {
+	// The three modes are independent trials over the same read-only splits:
+	// each shard builds its own cluster (and netsim engine), so the runner
+	// can fan them out without sharing any simulator state.
+	modes := []mapreduce.Mode{mapreduce.ModeDAIET, mapreduce.ModeUDPBaseline, mapreduce.ModeTCPBaseline}
+	results, err := runner.Map(len(modes), cfg.Parallelism, func(shard int) (*mapreduce.Result, error) {
 		cl, err := mapreduce.NewCluster(mapreduce.ClusterConfig{
 			NumMappers:        cfg.Mappers,
 			NumReducers:       cfg.Reducers,
@@ -112,21 +120,12 @@ func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return cl.RunJob(mapreduce.WordCount, splits, mode)
-	}
-
-	daiet, err := run(mapreduce.ModeDAIET)
+		return cl.RunJob(mapreduce.WordCount, splits, modes[shard])
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: daiet run: %w", err)
+		return nil, fmt.Errorf("experiments: figure 3: %w", err)
 	}
-	udp, err := run(mapreduce.ModeUDPBaseline)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: udp baseline: %w", err)
-	}
-	tcp, err := run(mapreduce.ModeTCPBaseline)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: tcp baseline: %w", err)
-	}
+	daiet, udp, tcp := results[0], results[1], results[2]
 
 	out := &Figure3Result{Cfg: cfg, TotalWords: corpus.TotalWords, UniqueWords: corpus.UniqueWords}
 	for i := range daiet.PerReducer {

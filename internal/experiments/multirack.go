@@ -5,6 +5,7 @@ import (
 
 	"github.com/daiet/daiet/internal/mapreduce"
 	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/runner"
 	"github.com/daiet/daiet/internal/stats"
 	"github.com/daiet/daiet/internal/topology"
 	"github.com/daiet/daiet/internal/workload"
@@ -45,6 +46,9 @@ type MultiRackConfig struct {
 	Reducers     int // default 4
 	Vocab        int // default 800 per reducer
 	TableSize    int // default 4096
+	// Parallelism shards the baseline and DAIET trials across the runner's
+	// pool (<= 0: GOMAXPROCS, 1: sequential).
+	Parallelism int
 }
 
 func (c MultiRackConfig) withDefaults() MultiRackConfig {
@@ -94,7 +98,14 @@ func MultiRack(cfg MultiRackConfig) (*MultiRackResult, error) {
 	}
 	splits := corpus.Splits(cfg.Mappers)
 
-	run := func(mode mapreduce.Mode) (*mapreduce.Result, *mapreduce.Cluster, error) {
+	// Both trials build their own fabric (and netsim engine) over the shared
+	// read-only splits, so the runner fans them out as independent shards.
+	type trial struct {
+		res *mapreduce.Result
+		cl  *mapreduce.Cluster
+	}
+	modes := []mapreduce.Mode{mapreduce.ModeUDPBaseline, mapreduce.ModeDAIET}
+	trials, err := runner.Map(len(modes), cfg.Parallelism, func(shard int) (trial, error) {
 		plan := topology.LeafSpine(cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf,
 			netsim.LinkConfig{QueueBytes: 64 << 20})
 		cl, err := mapreduce.NewCluster(mapreduce.ClusterConfig{
@@ -105,20 +116,16 @@ func MultiRack(cfg MultiRackConfig) (*MultiRackResult, error) {
 			Seed:        cfg.Seed,
 		})
 		if err != nil {
-			return nil, nil, err
+			return trial{}, err
 		}
-		res, err := cl.RunJob(mapreduce.WordCount, splits, mode)
-		return res, cl, err
-	}
-
-	baseRes, baseCl, err := run(mapreduce.ModeUDPBaseline)
+		res, err := cl.RunJob(mapreduce.WordCount, splits, modes[shard])
+		return trial{res: res, cl: cl}, err
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: multirack baseline: %w", err)
+		return nil, fmt.Errorf("experiments: multirack: %w", err)
 	}
-	daietRes, daietCl, err := run(mapreduce.ModeDAIET)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: multirack daiet: %w", err)
-	}
+	baseRes, baseCl := trials[0].res, trials[0].cl
+	daietRes, daietCl := trials[1].res, trials[1].cl
 
 	out := &MultiRackResult{
 		Leaves: cfg.Leaves, Spines: cfg.Spines, HostsPerLeaf: cfg.HostsPerLeaf,

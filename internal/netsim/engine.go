@@ -12,7 +12,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -34,23 +33,67 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a monomorphic binary min-heap ordered by (at, seq). It
+// replaces container/heap, whose interface{}-typed Push/Pop box every
+// event (one allocation per scheduled event) and dispatch comparisons
+// through an interface table — measurable overhead on the simulator's
+// hottest path. Events live inline in the backing slice; push and pop
+// allocate only when the slice itself grows.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// less orders events by timestamp, then by scheduling sequence, keeping
+// same-tick events in FIFO order and the simulation fully deterministic.
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push inserts e and restores the heap invariant by sifting up.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the popped callback's closure becomes collectable.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	*h = q
+
+	// Sift down from the root.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && q.less(right, left) {
+			min = right
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is the discrete-event core: a clock and an ordered event queue.
@@ -77,7 +120,7 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		panic(fmt.Sprintf("netsim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After runs fn d ticks from now.
@@ -88,7 +131,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	e.now = ev.at
 	e.Processed++
 	ev.fn()

@@ -1,0 +1,146 @@
+// Package runner is the sharded, worker-pool experiment runner: it fans
+// independent simulation instances across goroutines and merges their
+// results deterministically.
+//
+// The repository's experiments — figure reproductions, ablation sweeps,
+// multirack trials — are embarrassingly parallel: each trial builds its own
+// netsim.Engine (single-goroutine by design) over read-only shared inputs,
+// so trials never contend on simulator state. The runner exploits exactly
+// that structure. Results are always delivered in shard order, so for a
+// deterministic shard function the merged output is bit-identical whether
+// the pool runs with one worker or GOMAXPROCS workers; a regression test in
+// internal/experiments asserts this for every figure entry point.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/daiet/daiet/internal/hashing"
+	"github.com/daiet/daiet/internal/stats"
+)
+
+// Degree normalizes a parallelism degree: values <= 0 select GOMAXPROCS
+// (use every core), anything else is returned unchanged. All experiment
+// entry points funnel their Parallelism knobs through this.
+func Degree(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// ShardSeed derives an independent per-shard seed from a base experiment
+// seed. Shards must not share raw seed arithmetic (base+shard collides
+// across experiments that also increment seeds); SplitMix64 finalization
+// decorrelates them while staying reproducible.
+func ShardSeed(base uint64, shard int) uint64 {
+	return hashing.Mix64(base ^ (uint64(shard)+1)*0x9e3779b97f4a7c15)
+}
+
+// ShardError wraps a failure with the shard that produced it so parallel
+// sweeps report which configuration failed, not just that one did.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("runner: shard %d: %v", e.Shard, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Map runs fn for every shard in [0, n) across a pool of parallelism
+// workers (normalized via Degree) and returns the results in shard order.
+//
+// Error semantics are deterministic too: when shards fail, Map returns the
+// error from the lowest-numbered failing shard — the same error a
+// sequential loop would have surfaced first — wrapped in a *ShardError.
+// All shards are always driven to completion (no cancellation) so that a
+// retried run never observes partially-executed sweeps.
+func Map[T any](n, parallelism int, fn func(shard int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	workers := Degree(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Sequential fast path: no goroutines, identical semantics.
+		for shard := 0; shard < n; shard++ {
+			results[shard], errs[shard] = fn(shard)
+		}
+		return merge(results, errs)
+	}
+
+	// Work-stealing by atomic counter: workers pull the next shard index,
+	// so long shards don't serialize behind a static block partition.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				shard := int(next.Add(1)) - 1
+				if shard >= n {
+					return
+				}
+				results[shard], errs[shard] = run(shard, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return merge(results, errs)
+}
+
+// run executes one shard, converting a panic into an error so a single
+// diverging trial fails its shard instead of crashing the whole pool.
+func run[T any](shard int, fn func(shard int) (T, error)) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return fn(shard)
+}
+
+func merge[T any](results []T, errs []error) ([]T, error) {
+	for shard, err := range errs {
+		if err != nil {
+			return nil, &ShardError{Shard: shard, Err: err}
+		}
+	}
+	return results, nil
+}
+
+// Each is Map for shard functions with no result value.
+func Each(n, parallelism int, fn func(shard int) error) error {
+	_, err := Map(n, parallelism, func(shard int) (struct{}, error) {
+		return struct{}{}, fn(shard)
+	})
+	return err
+}
+
+// Trials runs n independent trials and merges their per-trial samples
+// through internal/stats: the samples are concatenated in shard order and
+// summarized. This is the one-call shape for "run the same experiment at n
+// seeds and box-plot the outcomes".
+func Trials(n, parallelism int, fn func(shard int) ([]float64, error)) (stats.Summary, []float64, error) {
+	perShard, err := Map(n, parallelism, fn)
+	if err != nil {
+		return stats.Summary{}, nil, err
+	}
+	var all []float64
+	for _, s := range perShard {
+		all = append(all, s...)
+	}
+	return stats.Summarize(all), all, nil
+}

@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/daiet/daiet/internal/stats"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	for _, par := range []int{1, 2, 7, 0} {
+		got, err := Map(100, par, func(shard int) (int, error) {
+			return shard * shard, nil
+		})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("par=%d: %d results", par, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("par=%d: shard %d returned %d", par, i, v)
+			}
+		}
+	}
+}
+
+func TestMapParallelMatchesSequential(t *testing.T) {
+	// The runner's core promise: identical merged output at any degree.
+	seq, err := Map(64, 1, func(shard int) (string, error) {
+		return fmt.Sprintf("shard-%d-seed-%d", shard, ShardSeed(7, shard)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(64, runtime.GOMAXPROCS(0), func(shard int) (string, error) {
+		return fmt.Sprintf("shard-%d-seed-%d", shard, ShardSeed(7, shard)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("shard %d: %q != %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapLowestShardErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, par := range []int{1, 8} {
+		_, err := Map(32, par, func(shard int) (int, error) {
+			if shard%2 == 1 { // shards 1, 3, 5, ... fail
+				return 0, fmt.Errorf("shard %d: %w", shard, sentinel)
+			}
+			return shard, nil
+		})
+		var se *ShardError
+		if !errors.As(err, &se) {
+			t.Fatalf("par=%d: error %T, want *ShardError", par, err)
+		}
+		if se.Shard != 1 {
+			t.Fatalf("par=%d: reported shard %d, want lowest failing shard 1", par, se.Shard)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("par=%d: error chain lost the cause", par)
+		}
+	}
+}
+
+func TestMapAllShardsRunDespiteErrors(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(50, 4, func(shard int) (int, error) {
+		ran.Add(1)
+		if shard == 0 {
+			return 0, errors.New("early failure")
+		}
+		return shard, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("only %d/50 shards ran; errors must not cancel the sweep", ran.Load())
+	}
+}
+
+func TestMapRecoversPanics(t *testing.T) {
+	_, err := Map(8, 4, func(shard int) (int, error) {
+		if shard == 3 {
+			panic("diverged")
+		}
+		return shard, nil
+	})
+	var se *ShardError
+	if !errors.As(err, &se) || se.Shard != 3 {
+		t.Fatalf("panic not attributed to shard 3: %v", err)
+	}
+}
+
+func TestMapZeroShards(t *testing.T) {
+	got, err := Map(0, 4, func(int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each(10, 3, func(shard int) error {
+		sum.Add(int64(shard))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum %d", sum.Load())
+	}
+}
+
+func TestTrialsMergesInShardOrder(t *testing.T) {
+	summary, all, err := Trials(4, 2, func(shard int) ([]float64, error) {
+		return []float64{float64(shard * 10), float64(shard*10 + 1)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 10, 11, 20, 21, 30, 31}
+	if len(all) != len(want) {
+		t.Fatalf("samples %v", all)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("samples out of shard order: %v", all)
+		}
+	}
+	if ref := stats.Summarize(want); summary != ref {
+		t.Fatalf("summary %+v != %+v", summary, ref)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	if Degree(0) != runtime.GOMAXPROCS(0) || Degree(-3) != runtime.GOMAXPROCS(0) {
+		t.Fatal("non-positive degree must resolve to GOMAXPROCS")
+	}
+	if Degree(5) != 5 {
+		t.Fatal("positive degree must pass through")
+	}
+}
+
+func TestShardSeedsDistinct(t *testing.T) {
+	seen := map[uint64]int{}
+	for base := uint64(0); base < 8; base++ {
+		for shard := 0; shard < 256; shard++ {
+			s := ShardSeed(base, shard)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: base=%d shard=%d == earlier %d", base, shard, prev)
+			}
+			seen[s] = shard
+		}
+	}
+	if ShardSeed(7, 3) != ShardSeed(7, 3) {
+		t.Fatal("ShardSeed not deterministic")
+	}
+}
