@@ -1,11 +1,12 @@
-// Benchmark harness: one testing.B benchmark per figure in the paper's
-// evaluation, plus the ablations DESIGN.md calls out and micro-benchmarks
-// of the dataplane hot path. Figure benchmarks report their headline
-// numbers via b.ReportMetric so `go test -bench` output doubles as a
-// results table; cmd/daiet-bench prints the full series.
+// Benchmark harness: every figure in the registry as a testing.B
+// sub-benchmark, plus micro-benchmarks of the dataplane hot path. Figure
+// benchmarks run through the same declarative Spec engine as
+// cmd/daiet-bench and report their headline means via b.ReportMetric, so
+// `go test -bench` output doubles as a results table; cmd/daiet-bench
+// prints the full tables with confidence intervals.
 //
 // Benchmarks run scaled-down inputs so `go test -bench=. ./...` completes
-// on a laptop; use cmd/daiet-bench -scale to grow them.
+// on a laptop; use cmd/daiet-bench -scale/-seeds to grow them.
 package daiet_test
 
 import (
@@ -16,156 +17,32 @@ import (
 	"github.com/daiet/daiet/internal/experiments"
 )
 
-// BenchmarkFigure1aSGDOverlap regenerates Figure 1(a): SGD tensor-update
-// overlap (paper: ~42.5%, band 34-50%).
-func BenchmarkFigure1aSGDOverlap(b *testing.B) {
-	var mean float64
-	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure1a(7, 50)
-		if err != nil {
-			b.Fatal(err)
-		}
-		mean = fig.Summary.Mean
+// BenchmarkFigures regenerates every registered figure at benchmark scale:
+// two seeds per point (enough for a non-degenerate interval) over a
+// reduced problem size. One sub-benchmark per registry entry — adding a
+// figure file adds its benchmark automatically.
+func BenchmarkFigures(b *testing.B) {
+	for _, spec := range experiments.Specs() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			var res *experiments.FigureResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = spec.Execute(experiments.RunConfig{
+					Seed:  7,
+					Seeds: 2,
+					Scale: 0.25,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Surface the first point's metrics as the headline numbers.
+			for _, name := range res.MetricNames {
+				b.ReportMetric(res.Points[0].Metrics[name].Mean, name)
+			}
+		})
 	}
-	b.ReportMetric(mean, "overlap%")
-}
-
-// BenchmarkFigure1bAdamOverlap regenerates Figure 1(b): Adam tensor-update
-// overlap (paper: ~66.5%, band 62-72%).
-func BenchmarkFigure1bAdamOverlap(b *testing.B) {
-	var mean float64
-	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure1b(7, 30)
-		if err != nil {
-			b.Fatal(err)
-		}
-		mean = fig.Summary.Mean
-	}
-	b.ReportMetric(mean, "overlap%")
-}
-
-// BenchmarkFigure1WorkerSweep regenerates the worker-count side experiment
-// (paper: overlap increases from 2 to 5 workers).
-func BenchmarkFigure1WorkerSweep(b *testing.B) {
-	var at2, at5 float64
-	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Figure1WorkerSweep(7, 30, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		at2, at5 = pts[0].OverlapPct, pts[len(pts)-1].OverlapPct
-	}
-	b.ReportMetric(at2, "overlap2w%")
-	b.ReportMetric(at5, "overlap5w%")
-}
-
-// BenchmarkFigure1cGraphReduction regenerates Figure 1(c): per-iteration
-// traffic reduction for PageRank / SSSP / WCC (paper band: 0.48-0.93).
-func BenchmarkFigure1cGraphReduction(b *testing.B) {
-	var pr, wcc float64
-	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure1c(experiments.Figure1cConfig{Seed: 7, Scale: 13})
-		if err != nil {
-			b.Fatal(err)
-		}
-		pr = fig.PageRank.MeanY()
-		wcc = fig.WCC.Y[0]
-	}
-	b.ReportMetric(pr, "pagerank-reduction")
-	b.ReportMetric(wcc, "wcc-start-reduction")
-}
-
-// BenchmarkFigure3WordCount regenerates Figure 3's four panels (paper:
-// 86.9-89.3% data reduction, 83.6% reduce-time reduction, 90.5% packets vs
-// the UDP baseline, 42% vs TCP).
-func BenchmarkFigure3WordCount(b *testing.B) {
-	var res *experiments.Figure3Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = experiments.Figure3(experiments.Figure3Config{Seed: 1, Scale: 0.25})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(res.DataReduction.Median, "data-red%")
-	b.ReportMetric(res.ReduceTimeReduction.Median, "time-red%")
-	b.ReportMetric(res.PacketsVsUDP.Median, "pkt-vs-udp%")
-	b.ReportMetric(res.PacketsVsTCP.Median, "pkt-vs-tcp%")
-}
-
-// BenchmarkAblationRegisterSize sweeps the register table size (paper §5:
-// fewer cells mean more unaggregated pairs).
-func BenchmarkAblationRegisterSize(b *testing.B) {
-	var smallRed, bigRed float64
-	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationRegisterSize(3, []int{64, 4096}, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		smallRed, bigRed = pts[0].DataReductionPct, pts[1].DataReductionPct
-	}
-	b.ReportMetric(smallRed, "red-64cells%")
-	b.ReportMetric(bigRed, "red-4096cells%")
-}
-
-// BenchmarkAblationSpillover measures the spillover path under a
-// collision-heavy configuration (table of 1 cell: everything but one key
-// spills; correctness is asserted by the unit tests).
-func BenchmarkAblationSpillover(b *testing.B) {
-	var spilled uint64
-	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationRegisterSize(3, []int{1}, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		spilled = pts[0].SpilledPairs
-	}
-	b.ReportMetric(float64(spilled), "spilled-pairs")
-}
-
-// BenchmarkAblationPairsPerPacket sweeps the packetization bound (paper:
-// 10 pairs from the parse budget).
-func BenchmarkAblationPairsPerPacket(b *testing.B) {
-	var at2, at10 float64
-	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationPairsPerPacket(3, []int{2, 10}, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		at2, at10 = pts[0].PacketReductionPct, pts[1].PacketReductionPct
-	}
-	b.ReportMetric(at2, "pktred-2pairs%")
-	b.ReportMetric(at10, "pktred-10pairs%")
-}
-
-// BenchmarkAblationKeyWidth compares 8-byte against 16-byte fixed keys
-// (paper §5: fixed 16B keys waste bytes for short words).
-func BenchmarkAblationKeyWidth(b *testing.B) {
-	var red8, red16 float64
-	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationKeyWidth(3, []int{8, 16}, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		red8, red16 = pts[0].DataReductionPct, pts[1].DataReductionPct
-	}
-	b.ReportMetric(red8, "red-8B-keys%")
-	b.ReportMetric(red16, "red-16B-keys%")
-}
-
-// BenchmarkAblationWorkerCombiner contrasts worker-level combining with
-// in-network aggregation (paper §1's motivating gap).
-func BenchmarkAblationWorkerCombiner(b *testing.B) {
-	var worker, network float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationWorkerCombiner(3)
-		if err != nil {
-			b.Fatal(err)
-		}
-		worker, network = res.WorkerLevelReductionPct, res.InNetworkReductionPct
-	}
-	b.ReportMetric(worker, "worker-level%")
-	b.ReportMetric(network, "in-network%")
 }
 
 // BenchmarkSwitchPipelinePerPacket measures the simulated dataplane's
@@ -241,20 +118,4 @@ func BenchmarkEndToEndAggregationRound(b *testing.B) {
 			b.Fatal("incomplete")
 		}
 	}
-}
-
-// BenchmarkMultiRackCoreReduction measures the clusters/racks deployment
-// extension: traffic removed from leaf-spine core links by hierarchical
-// aggregation.
-func BenchmarkMultiRackCoreReduction(b *testing.B) {
-	var core, edge float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.MultiRack(experiments.MultiRackConfig{Seed: 5, Vocab: 400})
-		if err != nil {
-			b.Fatal(err)
-		}
-		core, edge = res.CoreReductionPct, res.EdgeReductionPct
-	}
-	b.ReportMetric(core, "core-red%")
-	b.ReportMetric(edge, "edge-red%")
 }

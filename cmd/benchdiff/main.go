@@ -1,0 +1,137 @@
+// benchdiff compares two BENCH_results.json reports (the committed
+// baseline vs a fresh run) and gates performance regressions in CI: it
+// exits non-zero when total wall-clock regresses by more than
+// -max-regress-pct (default 20%). Headline-metric drift is reported —
+// means that left the baseline's 95% confidence interval — but does not
+// fail the build: metric movement is a finding, wall-clock regression is a
+// defect.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_results.json -current /tmp/new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"github.com/daiet/daiet/internal/benchfmt"
+)
+
+var (
+	baselinePath = flag.String("baseline", "BENCH_results.json", "committed baseline report")
+	currentPath  = flag.String("current", "", "freshly generated report (required)")
+	maxRegress   = flag.Float64("max-regress-pct", 20, "max tolerated total wall-clock regression in percent")
+)
+
+func load(path string) (*benchfmt.Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchfmt.Report
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != benchfmt.Schema {
+		return nil, fmt.Errorf("%s: schema %d, want %d (regenerate with daiet-bench -json)", path, r.Schema, benchfmt.Schema)
+	}
+	return &r, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	if *currentPath == "" {
+		log.Fatal("benchdiff: -current is required")
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Reports are only comparable when they ran the same experiment: same
+	// ensemble width and problem size (wall-clock and CIs both depend on
+	// them). Parallelism is allowed to differ but skews wall-clock, so flag
+	// it rather than silently comparing.
+	if base.Seeds != cur.Seeds || base.Scale != cur.Scale {
+		log.Fatalf("benchdiff: incomparable reports: baseline seeds=%d scale=%g vs current seeds=%d scale=%g",
+			base.Seeds, base.Scale, cur.Seeds, cur.Scale)
+	}
+	if base.Parallelism != cur.Parallelism {
+		fmt.Printf("note: parallelism differs (baseline %d, current %d); wall-clock deltas are skewed\n",
+			base.Parallelism, cur.Parallelism)
+	}
+
+	baseFigs := map[string]benchfmt.FigureRecord{}
+	for _, f := range base.Figures {
+		baseFigs[f.Name] = f
+	}
+
+	// Per-figure wall-clock movement (informational: single figures are
+	// noisy; the gate is on the total).
+	fmt.Printf("%-28s %12s %12s %9s\n", "figure", "base ms", "current ms", "delta")
+	for _, f := range cur.Figures {
+		b, ok := baseFigs[f.Name]
+		if !ok {
+			fmt.Printf("%-28s %12s %12.1f %9s\n", f.Name, "-", f.WallMS, "new")
+			continue
+		}
+		fmt.Printf("%-28s %12.1f %12.1f %8.1f%%\n",
+			f.Name, b.WallMS, f.WallMS, 100*(f.WallMS-b.WallMS)/b.WallMS)
+	}
+	for _, b := range base.Figures {
+		found := false
+		for _, f := range cur.Figures {
+			found = found || f.Name == b.Name
+		}
+		if !found {
+			fmt.Printf("%-28s %12.1f %12s %9s\n", b.Name, b.WallMS, "-", "GONE")
+		}
+	}
+
+	// Headline drift: current means outside the baseline's 95% CI.
+	var drifted int
+	for _, f := range cur.Figures {
+		b, ok := baseFigs[f.Name]
+		if !ok {
+			continue
+		}
+		names := make([]string, 0, len(f.Metrics))
+		for name := range f.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			be, ok := b.Metrics[name]
+			if !ok {
+				fmt.Printf("drift: %s/%s is new (%.3f)\n", f.Name, name, f.Metrics[name].Mean)
+				continue
+			}
+			ce := f.Metrics[name]
+			if ce.Mean < be.Lo || ce.Mean > be.Hi {
+				drifted++
+				fmt.Printf("drift: %s/%s mean %.3f outside baseline CI [%.3f, %.3f]\n",
+					f.Name, name, ce.Mean, be.Lo, be.Hi)
+			}
+		}
+	}
+	if drifted == 0 {
+		fmt.Println("headline metrics: all current means inside baseline CIs")
+	}
+
+	delta := 100 * (cur.TotalWallMS - base.TotalWallMS) / base.TotalWallMS
+	fmt.Printf("total wall clock: %.1f ms -> %.1f ms (%+.1f%%)\n",
+		base.TotalWallMS, cur.TotalWallMS, delta)
+	if delta > *maxRegress {
+		log.Fatalf("benchdiff: FAIL: total wall-clock regressed %.1f%% (budget %.0f%%)", delta, *maxRegress)
+	}
+	fmt.Println("benchdiff: OK")
+}

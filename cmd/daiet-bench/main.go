@@ -1,23 +1,24 @@
-// daiet-bench regenerates every figure in the paper's evaluation section
-// and prints the same rows/series the paper reports.
+// daiet-bench regenerates every figure in the paper's evaluation (plus the
+// repository's extensions) through the declarative sweep framework in
+// internal/experiments: each figure is a registered Spec, executed as a
+// multi-seed ensemble and reported as mean ± 95% confidence interval per
+// metric. This command contains no per-figure code — it is one loop over
+// the registry.
 //
 // Usage:
 //
-//	daiet-bench -experiment all            # everything (default)
-//	daiet-bench -experiment fig1a          # Figure 1(a): SGD overlap
-//	daiet-bench -experiment fig1b          # Figure 1(b): Adam overlap
-//	daiet-bench -experiment fig1-workers   # 2..5 workers side experiment
-//	daiet-bench -experiment fig1c          # Figure 1(c): graph analytics
-//	daiet-bench -experiment fig3           # Figure 3: WordCount panels
-//	daiet-bench -experiment ablations      # design-choice ablations
-//	daiet-bench -experiment multirack      # leaf-spine extension
+//	daiet-bench                            # every registered figure
+//	daiet-bench -experiment fig3           # one figure by registry name
+//	daiet-bench -seeds 10                  # wider ensembles
+//	daiet-bench -scale 0.25                # smaller problem sizes
 //
-// Flags -seed and -scale control reproducibility and problem size; -steps
-// shortens the ML runs. -parallel sets the sharded runner's worker-pool
-// degree (0 = GOMAXPROCS, 1 = sequential); results are identical at any
-// degree. -json additionally writes machine-readable per-figure wall-clock
-// and headline metrics to BENCH_results.json so the performance trajectory
-// can be tracked across changes.
+// -seed fixes the base seed (per-trial seeds derive from it, so the same
+// seed reproduces the same intervals); -parallel sets the sharded runner's
+// worker-pool degree (0 = GOMAXPROCS, 1 = sequential) — results are
+// identical at any degree. -json writes machine-readable per-figure
+// wall-clock and headline metrics (with CI bounds) to BENCH_results.json
+// so the performance trajectory is tracked across changes; CI diffs it
+// against the committed baseline via cmd/benchdiff.
 package main
 
 import (
@@ -25,110 +26,88 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
+	"github.com/daiet/daiet/internal/benchfmt"
 	"github.com/daiet/daiet/internal/experiments"
 	"github.com/daiet/daiet/internal/runner"
-	"github.com/daiet/daiet/internal/stats"
 )
 
 // jsonPath is where -json writes the machine-readable report.
 const jsonPath = "BENCH_results.json"
 
 var (
-	experiment = flag.String("experiment", "all", "which experiment to run (fig1a|fig1b|fig1-workers|fig1c|fig3|ablations|multirack|all)")
-	seed       = flag.Uint64("seed", 7, "experiment seed (same seed, same results)")
-	scale      = flag.Float64("scale", 1.0, "problem-size multiplier for Figure 3")
-	steps      = flag.Int("steps", 200, "training steps for Figures 1(a)/1(b)")
-	graphScale = flag.Int("graph-scale", 16, "log2 vertices for Figure 1(c) (LiveJournal ~ 23)")
+	experiment = flag.String("experiment", "all", "registry name of the figure to run, or \"all\"")
+	seed       = flag.Uint64("seed", 7, "base experiment seed (same seed, same results)")
+	seeds      = flag.Int("seeds", experiments.DefaultSeeds, "independent seeds per figure point (the CI ensemble)")
+	scale      = flag.Float64("scale", 1.0, "problem-size multiplier (1 = paper scale)")
 	parallel   = flag.Int("parallel", 0, "experiment-runner parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	jsonOut    = flag.Bool("json", false, "write per-figure wall-clock and headline metrics to "+jsonPath)
 )
-
-// figParallel is the degree figure functions pass to experiment entry
-// points. When several figures fan out concurrently it is pinned to 1 so
-// the -parallel budget is spent once, at the figure level — otherwise
-// outer and inner fan-out would compound to parallel² goroutines.
-var figParallel int
-
-// figureJob is one runnable figure: it renders its report into w and
-// returns the headline metrics the JSON trajectory tracks.
-type figureJob struct {
-	name string
-	fn   func(w io.Writer) (map[string]float64, error)
-}
-
-// figureRecord is one figure's entry in BENCH_results.json.
-type figureRecord struct {
-	Name    string             `json:"name"`
-	WallMS  float64            `json:"wall_ms"`
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// benchReport is the BENCH_results.json schema.
-type benchReport struct {
-	Schema      int            `json:"schema"`
-	Seed        uint64         `json:"seed"`
-	Parallelism int            `json:"parallelism"`
-	GOMAXPROCS  int            `json:"gomaxprocs"`
-	TotalWallMS float64        `json:"total_wall_ms"`
-	Figures     []figureRecord `json:"figures"`
-}
 
 func main() {
 	log.SetFlags(0)
 	flag.Parse()
 
-	all := []figureJob{
-		{"fig1a", fig1a},
-		{"fig1b", fig1b},
-		{"fig1-workers", fig1Workers},
-		{"fig1c", fig1c},
-		{"fig3", fig3},
-		{"ablations", ablations},
-		{"multirack", multirack},
-	}
-	var jobs []figureJob
-	for _, j := range all {
-		if *experiment == "all" || *experiment == j.name {
-			jobs = append(jobs, j)
+	var specs []*experiments.Spec
+	for _, s := range experiments.Specs() {
+		if *experiment == "all" || *experiment == s.Name {
+			specs = append(specs, s)
 		}
 	}
-	if len(jobs) == 0 {
-		log.Fatalf("unknown experiment %q", *experiment)
+	if len(specs) == 0 {
+		var names []string
+		for _, s := range experiments.Specs() {
+			names = append(names, s.Name)
+		}
+		sort.Strings(names)
+		log.Fatalf("unknown experiment %q (registered: %s)", *experiment, strings.Join(names, ", "))
 	}
-	figParallel = *parallel
-	if len(jobs) > 1 && runner.Degree(*parallel) > 1 {
+
+	// Figures fan out across the runner's pool; when several run
+	// concurrently, each figure's inner grid is pinned to 1 worker so the
+	// -parallel budget is spent once — otherwise outer and inner fan-out
+	// would compound to parallel² goroutines.
+	figParallel := *parallel
+	if len(specs) > 1 && runner.Degree(*parallel) > 1 {
 		figParallel = 1
 	}
 
-	// Independent figures fan out across the runner's pool; each shard
-	// renders into its own buffer so interleaved execution still prints in
-	// the canonical order. Per-figure wall-clock is measured inside the
-	// shard (concurrent figures contend for cores, so sharded wall-clock
-	// readings are upper bounds; -parallel 1 gives clean sequential times).
+	// Each shard renders into its own buffer so interleaved execution still
+	// prints in canonical (registry) order. Per-figure wall-clock is
+	// measured inside the shard: concurrent figures contend for cores, so
+	// sharded readings are upper bounds; -parallel 1 gives clean times.
 	type outcome struct {
 		out []byte
-		rec figureRecord
+		rec benchfmt.FigureRecord
 	}
 	start := time.Now()
-	results, err := runner.Map(len(jobs), *parallel, func(shard int) (outcome, error) {
-		var buf bytes.Buffer
+	results, err := runner.Map(len(specs), *parallel, func(shard int) (outcome, error) {
+		spec := specs[shard]
 		t0 := time.Now()
-		metrics, err := jobs[shard].fn(&buf)
+		res, err := spec.Execute(experiments.RunConfig{
+			Seed:        *seed,
+			Seeds:       *seeds,
+			Scale:       *scale,
+			Parallelism: figParallel,
+		})
 		if err != nil {
-			return outcome{}, fmt.Errorf("%s: %w", jobs[shard].name, err)
+			return outcome{}, err
 		}
+		var buf bytes.Buffer
+		res.WriteTable(&buf)
 		return outcome{
 			out: buf.Bytes(),
-			rec: figureRecord{
-				Name:    jobs[shard].name,
+			rec: benchfmt.FigureRecord{
+				Name:    spec.Name,
 				WallMS:  float64(time.Since(t0).Microseconds()) / 1000,
-				Metrics: metrics,
+				Seeds:   res.Seeds,
+				Metrics: res.Headline(),
 			},
 		}, nil
 	})
@@ -137,9 +116,11 @@ func main() {
 	}
 	totalMS := float64(time.Since(start).Microseconds()) / 1000
 
-	report := benchReport{
-		Schema:      1,
+	report := benchfmt.Report{
+		Schema:      benchfmt.Schema,
 		Seed:        *seed,
+		Seeds:       *seeds,
+		Scale:       *scale,
 		Parallelism: runner.Degree(*parallel),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		TotalWallMS: totalMS,
@@ -148,7 +129,8 @@ func main() {
 		os.Stdout.Write(r.out)
 		report.Figures = append(report.Figures, r.rec)
 	}
-	fmt.Printf("\ntotal wall clock: %.1f ms (parallelism %d)\n", totalMS, report.Parallelism)
+	fmt.Printf("\ntotal wall clock: %.1f ms (parallelism %d, %d seeds/point)\n",
+		totalMS, report.Parallelism, *seeds)
 
 	if *jsonOut {
 		blob, err := json.MarshalIndent(report, "", "  ")
@@ -160,173 +142,4 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", jsonPath)
 	}
-}
-
-func header(w io.Writer, title string) {
-	fmt.Fprintf(w, "\n==== %s ====\n", title)
-}
-
-func overlap(w io.Writer, fig *experiments.OverlapFigure, paperMean string) {
-	fmt.Fprintf(w, "mean overlap %.1f%% (paper: %s); range [%.1f%%, %.1f%%]\n",
-		fig.Summary.Mean, paperMean, fig.Summary.Min, fig.Summary.Max)
-	fmt.Fprintf(w, "training loss %.3f -> %.3f, holdout accuracy %.2f\n",
-		fig.FirstLoss, fig.LastLoss, fig.FinalAccuracy)
-	// Decimated series: every 10th step, like reading the figure.
-	fmt.Fprintf(w, "%-8s %s\n", "step", "overlap%")
-	for i := 0; i < fig.Series.Len(); i += 10 {
-		fmt.Fprintf(w, "%-8.0f %.1f\n", fig.Series.X[i], fig.Series.Y[i])
-	}
-}
-
-func fig1a(w io.Writer) (map[string]float64, error) {
-	header(w, "Figure 1(a): SGD (mini-batch 3, 5 workers) tensor-update overlap")
-	fig, err := experiments.Figure1a(*seed, *steps)
-	if err != nil {
-		return nil, err
-	}
-	overlap(w, fig, "~42.5%, band 34-50%")
-	return map[string]float64{
-		"mean_overlap_pct": fig.Summary.Mean,
-		"final_accuracy":   fig.FinalAccuracy,
-	}, nil
-}
-
-func fig1b(w io.Writer) (map[string]float64, error) {
-	header(w, "Figure 1(b): Adam (mini-batch 100, 5 workers) tensor-update overlap")
-	fig, err := experiments.Figure1b(*seed, *steps)
-	if err != nil {
-		return nil, err
-	}
-	overlap(w, fig, "~66.5%, band 62-72%")
-	return map[string]float64{
-		"mean_overlap_pct": fig.Summary.Mean,
-		"final_accuracy":   fig.FinalAccuracy,
-	}, nil
-}
-
-func fig1Workers(w io.Writer) (map[string]float64, error) {
-	header(w, "Figure 1 side experiment: overlap vs worker count (paper: increases)")
-	pts, err := experiments.Figure1WorkerSweep(*seed, 0, figParallel)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(w, "%-10s %s\n", "workers", "overlap%")
-	metrics := map[string]float64{}
-	for _, p := range pts {
-		fmt.Fprintf(w, "%-10d %.1f\n", p.Workers, p.OverlapPct)
-		metrics[fmt.Sprintf("overlap_pct_%dw", p.Workers)] = p.OverlapPct
-	}
-	return metrics, nil
-}
-
-func fig1c(w io.Writer) (map[string]float64, error) {
-	header(w, "Figure 1(c): graph analytics potential traffic reduction (paper band 0.48-0.93)")
-	fig, err := experiments.Figure1c(experiments.Figure1cConfig{
-		Seed: *seed, Scale: *graphScale, Parallelism: figParallel,
-	})
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(w, "R-MAT graph: %d vertices, %d edges (LiveJournal stand-in)\n\n",
-		fig.Vertices, fig.Edges)
-	stats.Table(w, "iteration", fig.PageRank, fig.SSSP, fig.WCC)
-	return map[string]float64{
-		"pagerank_mean_reduction": fig.PageRank.MeanY(),
-		"sssp_mean_reduction":     fig.SSSP.MeanY(),
-		"wcc_mean_reduction":      fig.WCC.MeanY(),
-	}, nil
-}
-
-func fig3(w io.Writer) (map[string]float64, error) {
-	header(w, "Figure 3: WordCount, 24 mappers / 12 reducers, 16K register pairs")
-	res, err := experiments.Figure3(experiments.Figure3Config{
-		Seed: *seed, Scale: *scale, Parallelism: figParallel,
-	})
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(w, "corpus: %d words, %d unique (mean multiplicity %.1f); spilled pairs: %d\n\n",
-		res.TotalWords, res.UniqueWords,
-		float64(res.TotalWords)/float64(res.UniqueWords), res.PairsSpilled)
-	panel := func(name, paper string, s stats.Summary) {
-		fmt.Fprintf(w, "%-28s %s   (paper: %s)\n", name, s.String(), paper)
-		fmt.Fprintf(w, "%-28s [%s]\n", "", stats.AsciiBox(s, 0, 100, 40))
-	}
-	panel("data volume reduction %", "86.9-89.3, median ~88", res.DataReduction)
-	panel("reduce time reduction %", "median 83.6", res.ReduceTimeReduction)
-	panel("packets vs UDP baseline %", "88.1-90.5, median 90.5", res.PacketsVsUDP)
-	panel("packets vs TCP baseline %", "median 42", res.PacketsVsTCP)
-	return map[string]float64{
-		"data_reduction_median_pct": res.DataReduction.Median,
-		"reduce_time_median_pct":    res.ReduceTimeReduction.Median,
-		"packets_vs_udp_median_pct": res.PacketsVsUDP.Median,
-		"packets_vs_tcp_median_pct": res.PacketsVsTCP.Median,
-	}, nil
-}
-
-func ablations(w io.Writer) (map[string]float64, error) {
-	metrics := map[string]float64{}
-	header(w, "Ablation: register table size (paper §5: fewer cells, more unaggregated pairs)")
-	pts, err := experiments.AblationRegisterSize(*seed, []int{64, 256, 1024, 4096, 16384}, figParallel)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(w, "%-14s %14s %14s %14s\n", "table size", "data red. %", "pkt red. %", "spilled pairs")
-	for _, p := range pts {
-		fmt.Fprintf(w, "%-14.0f %14.1f %14.1f %14d\n", p.X, p.DataReductionPct, p.PacketReductionPct, p.SpilledPairs)
-		metrics[fmt.Sprintf("data_reduction_pct_%dcells", int(p.X))] = p.DataReductionPct
-	}
-
-	header(w, "Ablation: pairs per packet (paper: 10 from the 200-300B parse budget)")
-	pts, err = experiments.AblationPairsPerPacket(*seed, []int{2, 5, 10, 12}, figParallel)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(w, "%-14s %14s %14s\n", "pairs/packet", "data red. %", "pkt red. %")
-	for _, p := range pts {
-		fmt.Fprintf(w, "%-14.0f %14.1f %14.1f\n", p.X, p.DataReductionPct, p.PacketReductionPct)
-		metrics[fmt.Sprintf("pkt_reduction_pct_%dpairs", int(p.X))] = p.PacketReductionPct
-	}
-
-	header(w, "Ablation: fixed key width (paper §5: 16B keys waste bytes for short words)")
-	pts, err = experiments.AblationKeyWidth(*seed, []int{8, 16, 32}, figParallel)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(w, "%-14s %14s %14s\n", "key width", "data red. %", "reducer pairs")
-	for _, p := range pts {
-		fmt.Fprintf(w, "%-14.0f %14.1f %14d\n", p.X, p.DataReductionPct, p.ReducerPairs)
-		metrics[fmt.Sprintf("data_reduction_pct_%dB_keys", int(p.X))] = p.DataReductionPct
-	}
-
-	header(w, "Ablation: worker-level combiner vs in-network aggregation (paper §1)")
-	wc, err := experiments.AblationWorkerCombiner(*seed)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(w, "worker-level combining alone: %.1f%% pair reduction\n", wc.WorkerLevelReductionPct)
-	fmt.Fprintf(w, "plus in-network aggregation:  %.1f%% pair reduction\n", wc.InNetworkReductionPct)
-	metrics["worker_level_reduction_pct"] = wc.WorkerLevelReductionPct
-	metrics["in_network_reduction_pct"] = wc.InNetworkReductionPct
-	return metrics, nil
-}
-
-func multirack(w io.Writer) (map[string]float64, error) {
-	header(w, "Extension: hierarchical aggregation on a leaf-spine fabric (paper §1 clusters/racks)")
-	res, err := experiments.MultiRack(experiments.MultiRackConfig{Seed: *seed, Parallelism: figParallel})
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(w, "fabric: %d leaves x %d spines, %d hosts/leaf\n",
-		res.Leaves, res.Spines, res.HostsPerLeaf)
-	fmt.Fprintf(w, "%-26s %14s %14s %10s\n", "", "baseline", "DAIET", "reduction")
-	fmt.Fprintf(w, "%-26s %14d %14d %9.1f%%\n", "core (leaf-spine) bytes",
-		res.CoreBytesBaseline, res.CoreBytesDAIET, res.CoreReductionPct)
-	fmt.Fprintf(w, "%-26s %14d %14d %9.1f%%\n", "edge (host-leaf) bytes",
-		res.EdgeBytesBaseline, res.EdgeBytesDAIET, res.EdgeReductionPct)
-	fmt.Fprintf(w, "reducer pairs: %d -> %d\n", res.ReducerPairsBaseline, res.ReducerPairsDAIET)
-	return map[string]float64{
-		"core_reduction_pct": res.CoreReductionPct,
-		"edge_reduction_pct": res.EdgeReductionPct,
-	}, nil
 }

@@ -1,0 +1,34 @@
+// Package benchfmt defines the BENCH_results.json schema shared by its
+// writer (cmd/daiet-bench) and its reader (cmd/benchdiff), so the two
+// binaries cannot drift apart silently — encoding/json ignores unknown
+// fields, which would otherwise turn a schema change into a CI gate that
+// compares zero values.
+package benchfmt
+
+import "github.com/daiet/daiet/internal/stats"
+
+// Schema is the current report version. Schema 2 replaced the
+// point-estimate metric values of schema 1 with Estimate objects
+// (mean/stderr/ci_lo/ci_hi/n) from the multi-seed sweep framework.
+const Schema = 2
+
+// FigureRecord is one figure's entry: wall-clock plus every headline
+// metric as a mean with confidence bounds.
+type FigureRecord struct {
+	Name    string                    `json:"name"`
+	WallMS  float64                   `json:"wall_ms"`
+	Seeds   int                       `json:"seeds"`
+	Metrics map[string]stats.Estimate `json:"metrics"`
+}
+
+// Report is the top-level BENCH_results.json document.
+type Report struct {
+	Schema      int            `json:"schema"`
+	Seed        uint64         `json:"seed"`
+	Seeds       int            `json:"seeds"`
+	Scale       float64        `json:"scale"`
+	Parallelism int            `json:"parallelism"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	TotalWallMS float64        `json:"total_wall_ms"`
+	Figures     []FigureRecord `json:"figures"`
+}

@@ -78,6 +78,7 @@ type ReliableStats struct {
 // and timer callbacks externally.
 type ReliableSender struct {
 	carrier  TimerCarrier
+	bc       BurstCarrier // non-nil when carrier supports bursts
 	cfg      ReliableConfig
 	geom     wire.PairGeometry
 	maxPairs int
@@ -119,8 +120,10 @@ func NewReliableSender(carrier TimerCarrier, treeID uint32, dst netsim.NodeID,
 			maxPairs = wire.DefaultMaxPairs
 		}
 	}
+	bc, _ := carrier.(BurstCarrier)
 	return &ReliableSender{
 		carrier:  carrier,
+		bc:       bc,
 		cfg:      cfg.withDefaults(),
 		geom:     geom,
 		maxPairs: maxPairs,
@@ -212,13 +215,27 @@ func (s *ReliableSender) pump() {
 	if s.failed != nil {
 		return
 	}
+	first := s.sent
 	for int(s.sent) < len(s.payloads) && int(s.sent) < s.cfg.Window {
-		p := s.payloads[s.sent]
-		s.carrier.SendUDP(s.dst, wire.UDPPortDaiet, wire.UDPPortDaiet, p)
-		s.Stats.Transmissions++
 		s.sent++
 	}
+	if s.sent > first {
+		s.transmit(s.payloads[first:s.sent])
+	}
 	s.armTimer()
+}
+
+// transmit hands payloads to the carrier, as one burst when supported —
+// window fills and go-back-N retransmissions are the bursty paths.
+func (s *ReliableSender) transmit(payloads [][]byte) {
+	if s.bc != nil && len(payloads) > 1 {
+		s.bc.SendUDPBurst(s.dst, wire.UDPPortDaiet, wire.UDPPortDaiet, payloads)
+	} else {
+		for _, p := range payloads {
+			s.carrier.SendUDP(s.dst, wire.UDPPortDaiet, wire.UDPPortDaiet, p)
+		}
+	}
+	s.Stats.Transmissions += uint64(len(payloads))
 }
 
 func (s *ReliableSender) armTimer() {
@@ -244,12 +261,9 @@ func (s *ReliableSender) onTimer(gen int) {
 		}
 		return
 	}
-	// Go-back-N: retransmit everything in flight.
-	for i := uint32(0); i < s.sent; i++ {
-		s.carrier.SendUDP(s.dst, wire.UDPPortDaiet, wire.UDPPortDaiet, s.payloads[i])
-		s.Stats.Transmissions++
-		s.Stats.Retransmissions++
-	}
+	// Go-back-N: retransmit everything in flight, as one burst.
+	s.transmit(s.payloads[:s.sent])
+	s.Stats.Retransmissions += uint64(s.sent)
 	s.armTimer()
 }
 

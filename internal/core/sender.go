@@ -18,6 +18,17 @@ type Carrier interface {
 	ID() netsim.NodeID
 }
 
+// BurstCarrier is an optional Carrier extension for carriers that can
+// accept a batch of datagrams in one call. transport.Host implements it by
+// handing the whole batch to the fabric at once, coalescing the per-packet
+// scheduling overhead into per-burst work; carriers without it (real
+// sockets) fall back to one SendUDP per payload. Payload order is
+// delivery-attempt order either way.
+type BurstCarrier interface {
+	Carrier
+	SendUDPBurst(dst netsim.NodeID, srcPort, dstPort uint16, payloads [][]byte)
+}
+
 // SenderStats counts a sender's output.
 type SenderStats struct {
 	PairsSent    uint64
@@ -36,6 +47,7 @@ type SenderStats struct {
 // budget's worth of pairs.
 type Sender struct {
 	carrier  Carrier
+	bc       BurstCarrier // non-nil when carrier supports bursts
 	geom     wire.PairGeometry
 	maxPairs int
 	treeID   uint32
@@ -46,6 +58,14 @@ type Sender struct {
 	buf   *wire.Buffer
 	n     int
 	ended bool
+
+	// maxBurst bounds how many sealed packets accumulate before they are
+	// handed to the carrier. 1 (the default) transmits every packet the
+	// moment it seals, the historical behaviour; bulk producers such as the
+	// MapReduce shuffle raise it via SetMaxBurst to amortize per-packet
+	// carrier and scheduling costs.
+	maxBurst int
+	pending  [][]byte
 
 	Stats SenderStats
 }
@@ -64,14 +84,31 @@ func NewSender(carrier Carrier, treeID uint32, dst netsim.NodeID,
 			maxPairs = wire.DefaultMaxPairs
 		}
 	}
+	bc, _ := carrier.(BurstCarrier)
 	return &Sender{
 		carrier:  carrier,
+		bc:       bc,
 		geom:     geom,
 		maxPairs: maxPairs,
 		treeID:   treeID,
 		dst:      dst,
 		srcPort:  wire.UDPPortDaiet,
+		maxBurst: 1,
 	}, nil
+}
+
+// SetMaxBurst sets how many sealed packets the sender batches per carrier
+// hand-off (minimum 1 = unbatched). Packets never linger past Flush or
+// End. Frame order is always preserved; wire timing is too as long as no
+// virtual time elapses between a packet's seal and its burst flush (true
+// for bulk producers that queue a whole stream before running the event
+// loop — a sender that Sends across event-loop steps should stay at 1, or
+// Flush at its timing boundaries).
+func (s *Sender) SetMaxBurst(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.maxBurst = n
 }
 
 // Send appends one pair to the current packet, transmitting it when full.
@@ -89,16 +126,17 @@ func (s *Sender) Send(key []byte, value uint32) error {
 	s.n++
 	s.Stats.PairsSent++
 	if s.n >= s.maxPairs {
-		s.flushData()
+		s.sealData()
 	}
 	return nil
 }
 
-// Flush transmits any partially filled packet.
+// Flush transmits any partially filled packet and drains the burst buffer.
 func (s *Sender) Flush() {
 	if s.n > 0 {
-		s.flushData()
+		s.sealData()
 	}
+	s.flushBurst()
 }
 
 // End flushes pending pairs and sends the END packet. Further Sends fail.
@@ -106,14 +144,17 @@ func (s *Sender) End() {
 	if s.ended {
 		return
 	}
-	s.Flush()
+	if s.n > 0 {
+		s.sealData()
+	}
 	s.ended = true
 	buf := wire.NewBuffer(wire.DefaultHeadroom, 0)
 	hdr := wire.DaietHeader{Type: wire.TypeEnd, TreeID: s.treeID, Seq: s.nextSeq()}
 	hdr.SerializeTo(buf)
 	s.Stats.EndPackets++
 	s.Stats.PayloadBytes += wire.DaietHeaderLen
-	s.carrier.SendUDP(s.dst, s.srcPort, wire.UDPPortDaiet, buf.Bytes())
+	s.pending = append(s.pending, buf.Bytes())
+	s.flushBurst()
 }
 
 func (s *Sender) nextSeq() uint32 {
@@ -122,7 +163,9 @@ func (s *Sender) nextSeq() uint32 {
 	return v
 }
 
-func (s *Sender) flushData() {
+// sealData finalizes the current buffer into a DATA packet and enqueues it,
+// flushing the burst when it reaches the configured size.
+func (s *Sender) sealData() {
 	hdr := wire.DaietHeader{
 		Type:     wire.TypeData,
 		TreeID:   s.treeID,
@@ -132,7 +175,25 @@ func (s *Sender) flushData() {
 	hdr.SerializeTo(s.buf)
 	s.Stats.DataPackets++
 	s.Stats.PayloadBytes += uint64(s.buf.Len())
-	s.carrier.SendUDP(s.dst, s.srcPort, wire.UDPPortDaiet, s.buf.Bytes())
+	s.pending = append(s.pending, s.buf.Bytes())
 	s.buf = nil
 	s.n = 0
+	if len(s.pending) >= s.maxBurst {
+		s.flushBurst()
+	}
+}
+
+// flushBurst hands every pending packet to the carrier, as one burst when
+// the carrier supports it.
+func (s *Sender) flushBurst() {
+	switch {
+	case len(s.pending) == 0:
+	case s.bc != nil && len(s.pending) > 1:
+		s.bc.SendUDPBurst(s.dst, s.srcPort, wire.UDPPortDaiet, s.pending)
+	default:
+		for _, p := range s.pending {
+			s.carrier.SendUDP(s.dst, s.srcPort, wire.UDPPortDaiet, p)
+		}
+	}
+	s.pending = s.pending[:0]
 }

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/daiet/daiet/internal/controller"
+	"github.com/daiet/daiet/internal/core"
+	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/topology"
+	"github.com/daiet/daiet/internal/transport"
+	"github.com/daiet/daiet/internal/wire"
+)
+
+// BenchmarkSenderBurst measures the send-side scheduling cost of streaming
+// one map task's pairs into the fabric at different burst sizes: maxBurst 1
+// is the historical one-carrier-call-per-packet path, larger bursts
+// coalesce per-packet carrier hand-offs and engine scheduling into
+// per-burst work. Delivered results are identical at every burst size
+// (asserted by the unit tests); only the constant factor moves.
+func BenchmarkSenderBurst(b *testing.B) {
+	const pairs = 4000
+	keys := make([][]byte, 256)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+	}
+	for _, burst := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("burst=%d", burst), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				nw := netsim.New(1)
+				programs := map[netsim.NodeID]*core.Program{}
+				hosts := map[netsim.NodeID]*transport.Host{}
+				plan := topology.SingleSwitch(2, netsim.LinkConfig{})
+				fab := plan.Realize(nw,
+					func(id netsim.NodeID) netsim.Node {
+						prog, err := core.NewProgram(core.ProgramConfig{})
+						if err != nil {
+							b.Fatal(err)
+						}
+						programs[id] = prog
+						return prog.Switch()
+					},
+					func(id netsim.NodeID) netsim.Node {
+						h := transport.NewHost()
+						hosts[id] = h
+						return h
+					})
+				if err := controller.New(fab, programs).InstallRouting(); err != nil {
+					b.Fatal(err)
+				}
+				worker, reducer := plan.Hosts[0], plan.Hosts[1]
+				s, err := core.NewSender(hosts[worker], uint32(reducer), reducer,
+					wire.DefaultGeometry, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.SetMaxBurst(burst)
+				for k := 0; k < pairs; k++ {
+					if err := s.Send(keys[k%len(keys)], uint32(k)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				s.End()
+				if err := nw.Run(0); err != nil {
+					b.Fatal(err)
+				}
+				events = nw.Eng.Processed
+			}
+			b.ReportMetric(float64(events)/float64(pairs/10), "events/pkt")
+		})
+	}
+}

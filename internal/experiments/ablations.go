@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/daiet/daiet/internal/mapreduce"
 	"github.com/daiet/daiet/internal/runner"
@@ -27,12 +28,20 @@ type AblationPoint struct {
 	ReducerPairs uint64
 }
 
-// ablationCorpus builds the shared corpus for an ablation run; collisions
-// are permitted when collisionFree is false (spillover ablations need
-// them).
+// ablationCorpusCache memoizes generated corpora: a corpus depends only on
+// its spec, not on the swept parameter, so the points × seeds grid of an
+// ablation Spec would otherwise regenerate identical corpora per point.
+// Generation is deterministic, so a concurrent duplicate computation
+// stores an identical value; the corpus is read-only after generation
+// (Splits allocates fresh slice headers over the shared stream).
+var ablationCorpusCache sync.Map // workload.CorpusSpec -> *workload.Corpus
+
+// ablationCorpus builds (or recalls) the shared corpus for an ablation
+// run; collisions are permitted when collisionFree is false (spillover
+// ablations need them).
 func ablationCorpus(seed uint64, reducers, vocabPer int, mult float64,
 	tableSize, maxWordLen, keyWidth int, collisionFree bool) (*workload.Corpus, error) {
-	return workload.Generate(workload.CorpusSpec{
+	spec := workload.CorpusSpec{
 		Seed:             seed,
 		Reducers:         reducers,
 		VocabPerReducer:  vocabPer,
@@ -41,7 +50,16 @@ func ablationCorpus(seed uint64, reducers, vocabPer int, mult float64,
 		MaxWordLen:       maxWordLen,
 		KeyWidth:         keyWidth,
 		CollisionFree:    collisionFree,
-	})
+	}
+	if v, ok := ablationCorpusCache.Load(spec); ok {
+		return v.(*workload.Corpus), nil
+	}
+	corpus, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	ablationCorpusCache.Store(spec, corpus)
+	return corpus, nil
 }
 
 // runPair runs DAIET and the UDP baseline over the same splits and reports
@@ -80,103 +98,120 @@ func runPair(splits [][]string, ccfg mapreduce.ClusterConfig) (AblationPoint, er
 	return pt, nil
 }
 
+// ablationMappers/ablationReducers/ablationVocab size every ablation: the
+// single source shared by the sweep functions and the registry Specs.
+const (
+	ablationMappers  = 8
+	ablationReducers = 2
+	ablationVocab    = 800
+)
+
+// ablationRegisterSizePoint runs one table-size configuration over its own
+// (seed-determined, collision-permitted) corpus: small tables must spill.
+func ablationRegisterSizePoint(seed uint64, size, vocabPer int) (AblationPoint, error) {
+	var pt AblationPoint
+	corpus, err := ablationCorpus(seed, ablationReducers, vocabPer, 8.3, 1<<20, 16, 16, false)
+	if err != nil {
+		return pt, err
+	}
+	pt, err = runPair(corpus.Splits(ablationMappers), mapreduce.ClusterConfig{
+		NumMappers: ablationMappers, NumReducers: ablationReducers,
+		TableSize: size, Seed: seed,
+	})
+	if err != nil {
+		return pt, fmt.Errorf("experiments: table size %d: %w", size, err)
+	}
+	pt.Label = fmt.Sprintf("table=%d", size)
+	pt.X = float64(size)
+	return pt, nil
+}
+
 // AblationRegisterSize sweeps the per-tree register table size. Fewer
 // cells mean more collisions (paper §5: fewer cells increase "the
 // possibility that a pair is not aggregated"), degrading reduction while
 // preserving correctness via spillover. Sweep points are independent
-// clusters over a shared read-only corpus, so parallelism (<= 0 means
-// GOMAXPROCS) shards them across the runner's pool.
+// (the corpus depends only on the seed, not the table size), so
+// parallelism (<= 0 means GOMAXPROCS) shards them across the runner's
+// pool.
 func AblationRegisterSize(seed uint64, sizes []int, parallelism int) ([]AblationPoint, error) {
-	const (
-		mappers, reducers = 8, 2
-		vocabPer          = 800
-	)
-	// The corpus is NOT collision-free: small tables must spill.
-	corpus, err := ablationCorpus(seed, reducers, vocabPer, 8.3, 1<<20, 16, 16, false)
-	if err != nil {
-		return nil, err
-	}
-	splits := corpus.Splits(mappers)
 	return runner.Map(len(sizes), parallelism, func(shard int) (AblationPoint, error) {
-		size := sizes[shard]
-		pt, err := runPair(splits, mapreduce.ClusterConfig{
-			NumMappers: mappers, NumReducers: reducers,
-			TableSize: size, Seed: seed,
-		})
-		if err != nil {
-			return pt, fmt.Errorf("experiments: table size %d: %w", size, err)
-		}
-		pt.Label = fmt.Sprintf("table=%d", size)
-		pt.X = float64(size)
-		return pt, nil
+		return ablationRegisterSizePoint(seed, sizes[shard], ablationVocab)
 	})
+}
+
+// ablationPairsPerPacketPoint runs one packetization bound over its own
+// collision-free corpus.
+func ablationPairsPerPacketPoint(seed uint64, pairs, vocabPer int) (AblationPoint, error) {
+	const tableSize = 4096
+	var pt AblationPoint
+	corpus, err := ablationCorpus(seed, ablationReducers, vocabPer, 8.3, tableSize, 16, 16, true)
+	if err != nil {
+		return pt, err
+	}
+	pt, err = runPair(corpus.Splits(ablationMappers), mapreduce.ClusterConfig{
+		NumMappers: ablationMappers, NumReducers: ablationReducers,
+		TableSize: tableSize, MaxPairsPerPacket: pairs, Seed: seed,
+	})
+	if err != nil {
+		return pt, fmt.Errorf("experiments: pairs/packet %d: %w", pairs, err)
+	}
+	pt.Label = fmt.Sprintf("pairs=%d", pairs)
+	pt.X = float64(pairs)
+	return pt, nil
 }
 
 // AblationPairsPerPacket sweeps the packetization bound (the paper fixes
 // 10 from the 200-300 B parse budget). Fewer pairs per packet inflate
 // packet counts on both sides but leave the data reduction untouched.
 func AblationPairsPerPacket(seed uint64, counts []int, parallelism int) ([]AblationPoint, error) {
-	const (
-		mappers, reducers = 8, 2
-		vocabPer          = 800
-		tableSize         = 4096
-	)
-	corpus, err := ablationCorpus(seed, reducers, vocabPer, 8.3, tableSize, 16, 16, true)
-	if err != nil {
-		return nil, err
-	}
-	splits := corpus.Splits(mappers)
 	return runner.Map(len(counts), parallelism, func(shard int) (AblationPoint, error) {
-		n := counts[shard]
-		pt, err := runPair(splits, mapreduce.ClusterConfig{
-			NumMappers: mappers, NumReducers: reducers,
-			TableSize: tableSize, MaxPairsPerPacket: n, Seed: seed,
-		})
-		if err != nil {
-			return pt, fmt.Errorf("experiments: pairs/packet %d: %w", n, err)
-		}
-		pt.Label = fmt.Sprintf("pairs=%d", n)
-		pt.X = float64(n)
-		return pt, nil
+		return ablationPairsPerPacketPoint(seed, counts[shard], ablationVocab)
 	})
+}
+
+// ablationKeyWidthMaxWordLen keeps words short enough that every swept
+// width >= 8 is lossless.
+const ablationKeyWidthMaxWordLen = 8
+
+// ablationKeyWidthPoint runs one fixed key width; the pair geometry
+// changes with the width, so each point regenerates its corpus.
+func ablationKeyWidthPoint(seed uint64, width, vocabPer int) (AblationPoint, error) {
+	const tableSize = 4096
+	var pt AblationPoint
+	if width < ablationKeyWidthMaxWordLen {
+		return pt, fmt.Errorf("experiments: key width %d below max word length %d",
+			width, ablationKeyWidthMaxWordLen)
+	}
+	corpus, err := ablationCorpus(seed, ablationReducers, vocabPer, 8.3, tableSize,
+		ablationKeyWidthMaxWordLen, width, true)
+	if err != nil {
+		return pt, err
+	}
+	pt, err = runPair(corpus.Splits(ablationMappers), mapreduce.ClusterConfig{
+		NumMappers: ablationMappers, NumReducers: ablationReducers,
+		TableSize: tableSize, Seed: seed,
+		Geometry: wire.PairGeometry{KeyWidth: width},
+	})
+	if err != nil {
+		return pt, fmt.Errorf("experiments: key width %d: %w", width, err)
+	}
+	pt.Label = fmt.Sprintf("keywidth=%d", width)
+	pt.X = float64(width)
+	return pt, nil
 }
 
 // AblationKeyWidth sweeps the fixed key width. The paper (§5) notes the
 // 16 B fixed keys waste bytes for short words; narrower geometries shrink
 // the on-wire volume for the same aggregation behaviour.
 func AblationKeyWidth(seed uint64, widths []int, parallelism int) ([]AblationPoint, error) {
-	const (
-		mappers, reducers = 8, 2
-		vocabPer          = 800
-		tableSize         = 4096
-		maxWordLen        = 8 // short words so every width >= 8 is lossless
-	)
 	for _, w := range widths {
-		if w < maxWordLen {
-			return nil, fmt.Errorf("experiments: key width %d below max word length %d", w, maxWordLen)
+		if w < ablationKeyWidthMaxWordLen {
+			return nil, fmt.Errorf("experiments: key width %d below max word length %d",
+				w, ablationKeyWidthMaxWordLen)
 		}
 	}
-	// Each width regenerates its corpus (the pair geometry changes), so the
-	// whole point — corpus included — is one shard.
 	return runner.Map(len(widths), parallelism, func(shard int) (AblationPoint, error) {
-		w := widths[shard]
-		var pt AblationPoint
-		corpus, err := ablationCorpus(seed, reducers, vocabPer, 8.3, tableSize, maxWordLen, w, true)
-		if err != nil {
-			return pt, err
-		}
-		splits := corpus.Splits(mappers)
-		pt, err = runPair(splits, mapreduce.ClusterConfig{
-			NumMappers: mappers, NumReducers: reducers,
-			TableSize: tableSize, Seed: seed,
-			Geometry: wire.PairGeometry{KeyWidth: w},
-		})
-		if err != nil {
-			return pt, fmt.Errorf("experiments: key width %d: %w", w, err)
-		}
-		pt.Label = fmt.Sprintf("keywidth=%d", w)
-		pt.X = float64(w)
-		return pt, nil
+		return ablationKeyWidthPoint(seed, widths[shard], ablationVocab)
 	})
 }
 
@@ -195,9 +230,12 @@ type WorkerCombinerResult struct {
 
 // AblationWorkerCombiner measures both levels on one corpus.
 func AblationWorkerCombiner(seed uint64) (*WorkerCombinerResult, error) {
+	return ablationWorkerCombiner(seed, 600)
+}
+
+func ablationWorkerCombiner(seed uint64, vocabPer int) (*WorkerCombinerResult, error) {
 	const (
 		mappers, reducers = 8, 2
-		vocabPer          = 600
 		tableSize         = 4096
 	)
 	corpus, err := ablationCorpus(seed, reducers, vocabPer, 8.3, tableSize, 16, 16, true)
@@ -261,4 +299,90 @@ func AblationWorkerCombiner(seed uint64) (*WorkerCombinerResult, error) {
 		WorkerLevelReductionPct: stats.ReductionPct(float64(emitted), float64(afterWorker)),
 		InNetworkReductionPct:   stats.ReductionPct(float64(emitted), float64(reducerPairs)),
 	}, nil
+}
+
+// ---- sweep-framework specs ----
+
+// ablationPoints converts numeric axis values into labelled Points.
+func ablationPoints(prefix string, xs []int) []Point {
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{Label: fmt.Sprintf("%s=%d", prefix, x), X: float64(x)}
+	}
+	return pts
+}
+
+func init() {
+	Register(&Spec{
+		Name:    "ablation-table-size",
+		Title:   "Ablation: register table size (paper §5: fewer cells, more unaggregated pairs)",
+		XLabel:  "table size",
+		Points:  ablationPoints("table", []int{64, 256, 1024, 4096, 16384}),
+		Metrics: []string{"data_reduction_pct", "pkt_reduction_pct", "spilled_pairs"},
+		Run: func(pt Point, seed uint64, scale float64) (map[string]float64, error) {
+			p, err := ablationRegisterSizePoint(seed, int(pt.X), scaledInt(ablationVocab, scale, 100))
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"data_reduction_pct": p.DataReductionPct,
+				"pkt_reduction_pct":  p.PacketReductionPct,
+				"spilled_pairs":      float64(p.SpilledPairs),
+			}, nil
+		},
+	})
+
+	Register(&Spec{
+		Name:    "ablation-pairs-per-packet",
+		Title:   "Ablation: pairs per packet (paper: 10 from the 200-300B parse budget)",
+		XLabel:  "pairs/packet",
+		Points:  ablationPoints("pairs", []int{2, 5, 10, 12}),
+		Metrics: []string{"data_reduction_pct", "pkt_reduction_pct"},
+		Run: func(pt Point, seed uint64, scale float64) (map[string]float64, error) {
+			p, err := ablationPairsPerPacketPoint(seed, int(pt.X), scaledInt(ablationVocab, scale, 100))
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"data_reduction_pct": p.DataReductionPct,
+				"pkt_reduction_pct":  p.PacketReductionPct,
+			}, nil
+		},
+	})
+
+	Register(&Spec{
+		Name:    "ablation-key-width",
+		Title:   "Ablation: fixed key width (paper §5: 16B keys waste bytes for short words)",
+		XLabel:  "key width",
+		Points:  ablationPoints("width", []int{8, 16, 32}),
+		Metrics: []string{"data_reduction_pct", "reducer_pairs"},
+		Run: func(pt Point, seed uint64, scale float64) (map[string]float64, error) {
+			p, err := ablationKeyWidthPoint(seed, int(pt.X), scaledInt(ablationVocab, scale, 100))
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"data_reduction_pct": p.DataReductionPct,
+				"reducer_pairs":      float64(p.ReducerPairs),
+			}, nil
+		},
+	})
+
+	Register(&Spec{
+		Name:    "ablation-combiner",
+		Title:   "Ablation: worker-level combiner vs in-network aggregation (paper §1)",
+		XLabel:  "comparison",
+		Points:  []Point{{Label: "combiner", X: 0}},
+		Metrics: []string{"worker_level_reduction_pct", "in_network_reduction_pct"},
+		Run: func(_ Point, seed uint64, scale float64) (map[string]float64, error) {
+			res, err := ablationWorkerCombiner(seed, scaledInt(600, scale, 100))
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"worker_level_reduction_pct": res.WorkerLevelReductionPct,
+				"in_network_reduction_pct":   res.InNetworkReductionPct,
+			}, nil
+		},
+	})
 }

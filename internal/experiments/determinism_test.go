@@ -102,6 +102,34 @@ func TestAblationsDeterministic(t *testing.T) {
 	}
 }
 
+// TestSpecEngineDeterministic extends the contract to the sweep engine:
+// every registered figure, executed through Spec.Execute, must produce
+// identical results (up to declared Volatile metrics) at any parallelism
+// degree. This covers the figures' own inner fan-out too, since the specs
+// pin it to 1 and put all parallelism in the grid.
+func TestSpecEngineDeterministic(t *testing.T) {
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := RunConfig{Seed: 7, Seeds: 2, Scale: 0.08, Parallelism: 1}
+			res, err := spec.Execute(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := res.DeterministicString(spec.Volatile)
+			for _, d := range degrees {
+				cfg.Parallelism = d
+				res, err := spec.Execute(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertIdentical(t, spec.Name, seq, res.DeterministicString(spec.Volatile), d)
+			}
+		})
+	}
+}
+
 func TestMultiRackDeterministic(t *testing.T) {
 	render := func(parallelism int) string {
 		res, err := MultiRack(MultiRackConfig{Seed: 5, Vocab: 300, Parallelism: parallelism})

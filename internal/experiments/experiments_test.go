@@ -204,6 +204,56 @@ func TestMultiRackCoreReduction(t *testing.T) {
 	}
 }
 
+func TestIncastLossFreeAtTestbedBuffers(t *testing.T) {
+	// Testbed-sized buffers: the synchronized burst fits, nothing drops,
+	// nothing retransmits — the regime every other figure runs in.
+	res, err := Incast(IncastConfig{Seed: 3, Senders: 6, PairsPerSender: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FramesDropped != 0 || res.Retransmissions != 0 {
+		t.Fatalf("loss-free run dropped %d frames, retransmitted %d",
+			res.FramesDropped, res.Retransmissions)
+	}
+	if res.DropRatePct != 0 {
+		t.Fatalf("drop rate %.2f%% at testbed buffers", res.DropRatePct)
+	}
+}
+
+func TestIncastSmallBuffersDropAndRecover(t *testing.T) {
+	small, err := Incast(IncastConfig{Seed: 3, Senders: 6, PairsPerSender: 300, QueueBytes: 2048})
+	if err != nil {
+		t.Fatal(err) // Incast itself verifies exactly-once aggregation
+	}
+	if small.FramesDropped == 0 || small.Retransmissions == 0 {
+		t.Fatalf("2 KiB queues never dropped (%d) or retransmitted (%d)",
+			small.FramesDropped, small.Retransmissions)
+	}
+	big, err := Incast(IncastConfig{Seed: 3, Senders: 6, PairsPerSender: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loss recovery costs time: the lossy round must finish strictly later.
+	if small.Completion <= big.Completion {
+		t.Fatalf("completion %v not inflated vs loss-free %v", small.Completion, big.Completion)
+	}
+}
+
+func TestIncastDropRateMonotoneInQueue(t *testing.T) {
+	var prev *IncastResult
+	for _, q := range []int{2048, 8192, 65536} {
+		res, err := Incast(IncastConfig{Seed: 5, Senders: 6, PairsPerSender: 300, QueueBytes: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && res.DropRatePct > prev.DropRatePct {
+			t.Fatalf("drop rate grew with queue size: %d B -> %.2f%%, larger queue -> %.2f%%",
+				q, prev.DropRatePct, res.DropRatePct)
+		}
+		prev = res
+	}
+}
+
 func TestMultiRackValidation(t *testing.T) {
 	if _, err := MultiRack(MultiRackConfig{Leaves: 1, HostsPerLeaf: 2, Mappers: 8, Reducers: 8}); err == nil {
 		t.Fatal("oversubscribed placement must fail")

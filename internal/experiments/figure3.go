@@ -151,3 +151,35 @@ func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 	}
 	return out, nil
 }
+
+func init() {
+	Register(&Spec{
+		Name:   "fig3",
+		Title:  "Figure 3: WordCount, 24 mappers / 12 reducers, 16K register pairs (paper: ~88% data, 83.6% time, 90.5%/42% packets)",
+		XLabel: "workload",
+		Points: []Point{{Label: "wordcount", X: 0}},
+		Metrics: []string{
+			"data_reduction_median_pct",
+			"reduce_time_median_pct",
+			"packets_vs_udp_median_pct",
+			"packets_vs_tcp_median_pct",
+		},
+		// Reduce-phase timing is host wall-clock: real between runs, excluded
+		// from determinism comparisons.
+		Volatile: []string{"reduce_time_median_pct"},
+		Run: func(_ Point, seed uint64, scale float64) (map[string]float64, error) {
+			// The grid is the fan-out level; each trial runs its three modes
+			// sequentially.
+			res, err := Figure3(Figure3Config{Seed: seed, Scale: scale, Parallelism: 1})
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"data_reduction_median_pct": res.DataReduction.Median,
+				"reduce_time_median_pct":    res.ReduceTimeReduction.Median,
+				"packets_vs_udp_median_pct": res.PacketsVsUDP.Median,
+				"packets_vs_tcp_median_pct": res.PacketsVsTCP.Median,
+			}, nil
+		},
+	})
+}

@@ -160,3 +160,27 @@ func linkBytes(cl *mapreduce.Cluster) (core, edge uint64) {
 	}
 	return core, edge
 }
+
+func init() {
+	Register(&Spec{
+		Name:    "multirack",
+		Title:   "Extension: hierarchical aggregation on a leaf-spine fabric (paper §1 clusters/racks)",
+		XLabel:  "fabric",
+		Points:  []Point{{Label: "leafspine", X: 0}},
+		Metrics: []string{"core_reduction_pct", "edge_reduction_pct"},
+		Run: func(_ Point, seed uint64, scale float64) (map[string]float64, error) {
+			res, err := MultiRack(MultiRackConfig{
+				Seed:        seed,
+				Vocab:       scaledInt(800, scale, 100),
+				Parallelism: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"core_reduction_pct": res.CoreReductionPct,
+				"edge_reduction_pct": res.EdgeReductionPct,
+			}, nil
+		},
+	})
+}

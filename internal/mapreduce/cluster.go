@@ -280,6 +280,10 @@ func (c *Cluster) shuffleDaiet(job Job, agg core.AggFunc, spills [][]*spill, agg
 			if err != nil {
 				return nil, nil, err
 			}
+			// Bulk producer: the whole stream is queued at t=0 before the
+			// event loop runs, so batching the carrier hand-offs leaves wire
+			// order and timing unchanged.
+			s.SetMaxBurst(32)
 			sp := spills[m][ri]
 			for i := 0; i < sp.n; i++ {
 				k, v := sp.record(i)

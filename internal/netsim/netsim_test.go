@@ -169,6 +169,81 @@ func TestQueueOverflowDrops(t *testing.T) {
 	}
 }
 
+func TestQueueDrainsOverTime(t *testing.T) {
+	// Queue occupancy must fall as frames serialize, even though drains are
+	// applied lazily (no per-frame engine event): a queue that was full at
+	// t=0 accepts new frames once earlier ones have left.
+	nw := New(1)
+	a, b := &sink{}, &sink{}
+	nw.AddNode(1, a)
+	nw.AddNode(2, b)
+	nw.Connect(1, 2, LinkConfig{
+		BandwidthBps: 1_000_000, // 8 µs per byte => 800 µs per 100 B frame
+		QueueBytes:   300,
+	})
+	for i := 0; i < 4; i++ {
+		nw.Send(1, 0, make([]byte, 100)) // fourth overflows
+	}
+	if st := nw.PortStats(1, 0); st.DropsFull != 1 {
+		t.Fatalf("expected 1 drop at t=0, got %+v", st)
+	}
+	// After the first frame serializes, one slot is free again.
+	nw.Eng.RunUntil(Duration(800 * time.Microsecond))
+	nw.Send(1, 0, make([]byte, 100))
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.PortStats(1, 0)
+	if st.DropsFull != 1 || st.TxFrames != 4 {
+		t.Fatalf("stats %+v; want the post-drain frame accepted", st)
+	}
+	if len(b.frames) != 4 {
+		t.Fatalf("delivered %d", len(b.frames))
+	}
+}
+
+func TestSendBurstMatchesRepeatedSend(t *testing.T) {
+	run := func(burst bool) ([]Time, LinkStats) {
+		nw := New(1)
+		a, b := &sink{}, &sink{}
+		nw.AddNode(1, a)
+		nw.AddNode(2, b)
+		nw.Connect(1, 2, LinkConfig{
+			BandwidthBps: 1_000_000_000,
+			Propagation:  time.Microsecond,
+			QueueBytes:   300, // two 125 B frames fit, the third drops
+		})
+		frames := [][]byte{make([]byte, 125), make([]byte, 125), make([]byte, 125)}
+		if burst {
+			nw.SendBurst(1, 0, frames)
+		} else {
+			for _, f := range frames {
+				nw.Send(1, 0, f)
+			}
+		}
+		if err := nw.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return b.times, nw.PortStats(1, 0)
+	}
+	seqTimes, seqStats := run(false)
+	burstTimes, burstStats := run(true)
+	if seqStats != burstStats {
+		t.Fatalf("stats diverge: %+v vs %+v", seqStats, burstStats)
+	}
+	if seqStats.DropsFull != 1 {
+		t.Fatalf("overflow not exercised: %+v", seqStats)
+	}
+	if len(seqTimes) != len(burstTimes) {
+		t.Fatalf("deliveries %d vs %d", len(seqTimes), len(burstTimes))
+	}
+	for i := range seqTimes {
+		if seqTimes[i] != burstTimes[i] {
+			t.Fatalf("arrival %d: %v vs %v", i, seqTimes[i], burstTimes[i])
+		}
+	}
+}
+
 func TestLossInjectionDeterministic(t *testing.T) {
 	run := func(seed uint64) uint64 {
 		nw := New(seed)

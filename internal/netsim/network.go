@@ -51,6 +51,13 @@ type LinkStats struct {
 	DropsLoss uint64 // injected random losses
 }
 
+// txRec is one accepted frame's serialization record: the time its bytes
+// finish leaving the queue, and how many there were.
+type txRec struct {
+	done Time
+	size int
+}
+
 // halfLink is one direction of a link: a serializing transmitter feeding a
 // propagation delay into the peer node's port.
 type halfLink struct {
@@ -61,6 +68,34 @@ type halfLink struct {
 	queued   int  // bytes accepted but not yet fully serialized
 	stats    LinkStats
 	rng      *rand.Rand
+
+	// inflight records accepted frames not yet drained from the queue
+	// accounting. Occupancy is only ever consulted at admission time, so
+	// instead of scheduling one engine event per frame to decrement queued
+	// (half of all send-side events before this existed), drains are applied
+	// lazily at the next admission: pop every record whose serialization
+	// finished at or before now. head indexes the first live record; the
+	// slice compacts when the dead prefix dominates.
+	inflight []txRec
+	head     int
+}
+
+// drainTo applies every queue drain due at or before now.
+func (hl *halfLink) drainTo(now Time) {
+	i := hl.head
+	for i < len(hl.inflight) && hl.inflight[i].done <= now {
+		hl.queued -= hl.inflight[i].size
+		i++
+	}
+	hl.head = i
+	if i == len(hl.inflight) {
+		hl.inflight = hl.inflight[:0]
+		hl.head = 0
+	} else if i >= 32 && i*2 >= len(hl.inflight) {
+		n := copy(hl.inflight, hl.inflight[i:])
+		hl.inflight = hl.inflight[:n]
+		hl.head = 0
+	}
 }
 
 // Port names one endpoint of a link from a node's point of view.
@@ -134,12 +169,32 @@ func (nw *Network) Connect(a, b NodeID, cfg LinkConfig) (aPort, bPort int) {
 // of the frame slice. Frames that overflow the port queue or hit injected
 // loss are counted and dropped.
 func (nw *Network) Send(from NodeID, portNum int, frame []byte) {
+	nw.send(nw.outHalf(from, portNum), frame)
+}
+
+// SendBurst transmits several frames out of (from, portNum) back-to-back,
+// as if Send were called once per frame, amortizing the port lookup and
+// queue-drain bookkeeping over the burst. Batched senders (core.Sender and
+// friends) funnel here.
+func (nw *Network) SendBurst(from NodeID, portNum int, frames [][]byte) {
+	hl := nw.outHalf(from, portNum)
+	for _, frame := range frames {
+		nw.send(hl, frame)
+	}
+}
+
+func (nw *Network) outHalf(from NodeID, portNum int) *halfLink {
 	ports := nw.ports[from]
 	if portNum < 0 || portNum >= len(ports) {
 		panic(fmt.Sprintf("netsim: node %d has no port %d", from, portNum))
 	}
-	hl := ports[portNum].out
+	return ports[portNum].out
+}
+
+func (nw *Network) send(hl *halfLink, frame []byte) {
 	size := len(frame)
+	now := nw.Eng.Now()
+	hl.drainTo(now)
 
 	if hl.queued+size > hl.cfg.QueueBytes {
 		hl.stats.DropsFull++
@@ -150,7 +205,6 @@ func (nw *Network) Send(from NodeID, portNum int, frame []byte) {
 		return
 	}
 
-	now := nw.Eng.Now()
 	start := hl.busyTill
 	if start < now {
 		start = now
@@ -162,12 +216,12 @@ func (nw *Network) Send(from NodeID, portNum int, frame []byte) {
 	done := start + txTime
 	hl.busyTill = done
 	hl.queued += size
+	hl.inflight = append(hl.inflight, txRec{done: done, size: size})
 	hl.stats.TxFrames++
 	hl.stats.TxBytes += uint64(size)
 
 	arrival := done + Duration(hl.cfg.Propagation)
 	dst, dstPort := hl.dstNode, hl.dstPort
-	nw.Eng.Schedule(done, func() { hl.queued -= size })
 	nw.Eng.Schedule(arrival, func() {
 		if n := nw.nodes[dst]; n != nil {
 			n.HandleFrame(dstPort, frame)

@@ -129,6 +129,29 @@ func Each(n, parallelism int, fn func(shard int) error) error {
 	return err
 }
 
+// Grid runs fn for every (point, trial) pair of a points × trials sweep
+// across the worker pool and returns results indexed [point][trial]. It is
+// the per-point multi-seed primitive under the experiments Spec engine:
+// each figure axis point is executed at several seeds, and the flat shard
+// numbering (point*trials + trial) makes the fan-out deterministic — the
+// merged grid is identical at any parallelism degree.
+func Grid[T any](points, trials, parallelism int, fn func(point, trial int) (T, error)) ([][]T, error) {
+	if points <= 0 || trials <= 0 {
+		return nil, nil
+	}
+	flat, err := Map(points*trials, parallelism, func(shard int) (T, error) {
+		return fn(shard/trials, shard%trials)
+	})
+	if err != nil {
+		return nil, err
+	}
+	grid := make([][]T, points)
+	for p := 0; p < points; p++ {
+		grid[p] = flat[p*trials : (p+1)*trials : (p+1)*trials]
+	}
+	return grid, nil
+}
+
 // Trials runs n independent trials and merges their per-trial samples
 // through internal/stats: the samples are concatenated in shard order and
 // summarized. This is the one-call shape for "run the same experiment at n

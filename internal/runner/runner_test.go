@@ -143,6 +143,52 @@ func TestTrialsMergesInShardOrder(t *testing.T) {
 	}
 }
 
+func TestGridShapeAndOrder(t *testing.T) {
+	for _, par := range []int{1, 3, 0} {
+		grid, err := Grid(4, 3, par, func(point, trial int) (string, error) {
+			return fmt.Sprintf("p%d-t%d", point, trial), nil
+		})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if len(grid) != 4 {
+			t.Fatalf("par=%d: %d points", par, len(grid))
+		}
+		for p := range grid {
+			if len(grid[p]) != 3 {
+				t.Fatalf("par=%d: point %d has %d trials", par, p, len(grid[p]))
+			}
+			for tr, v := range grid[p] {
+				if want := fmt.Sprintf("p%d-t%d", p, tr); v != want {
+					t.Fatalf("par=%d: grid[%d][%d] = %q want %q", par, p, tr, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGridErrorAttribution(t *testing.T) {
+	_, err := Grid(3, 2, 4, func(point, trial int) (int, error) {
+		if point == 1 && trial == 1 {
+			return 0, errors.New("trial diverged")
+		}
+		return 0, nil
+	})
+	var se *ShardError
+	if !errors.As(err, &se) || se.Shard != 3 { // flat shard 1*2+1
+		t.Fatalf("error not attributed to flat shard 3: %v", err)
+	}
+}
+
+func TestGridEmptyAxes(t *testing.T) {
+	for _, dims := range [][2]int{{0, 3}, {3, 0}, {0, 0}} {
+		got, err := Grid(dims[0], dims[1], 2, func(int, int) (int, error) { return 0, nil })
+		if err != nil || got != nil {
+			t.Fatalf("dims %v: got %v, %v", dims, got, err)
+		}
+	}
+}
+
 func TestDegree(t *testing.T) {
 	if Degree(0) != runtime.GOMAXPROCS(0) || Degree(-3) != runtime.GOMAXPROCS(0) {
 		t.Fatal("non-positive degree must resolve to GOMAXPROCS")

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %.6f want %.6f (±%.6f)", name, got, want, tol)
+	}
+}
+
+func TestSampleStdDevKnownValues(t *testing.T) {
+	// {1,2,3,4,5}: sample variance 2.5, sample sd sqrt(2.5).
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, "sample variance", SampleVariance(xs), 2.5, 1e-12)
+	approx(t, "sample stddev", SampleStdDev(xs), math.Sqrt(2.5), 1e-12)
+	// Population form divides by n instead: sqrt(2).
+	approx(t, "population stddev", StdDev(xs), math.Sqrt(2), 1e-12)
+}
+
+func TestStdErrKnownValue(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, "stderr", StdErr(xs), math.Sqrt(2.5/5), 1e-12) // 0.70710...
+}
+
+func TestMeanCI95KnownValue(t *testing.T) {
+	// n=5, mean 3, stderr sqrt(0.5), t(4) = 2.776:
+	// margin = 2.776 * 0.70711 = 1.9629...
+	xs := []float64{1, 2, 3, 4, 5}
+	e := MeanCI95(xs)
+	if e.N != 5 {
+		t.Fatalf("n = %d", e.N)
+	}
+	approx(t, "mean", e.Mean, 3, 1e-12)
+	approx(t, "lo", e.Lo, 3-2.776*math.Sqrt(0.5), 1e-9)
+	approx(t, "hi", e.Hi, 3+2.776*math.Sqrt(0.5), 1e-9)
+	approx(t, "margin", e.Margin(), 2.776*math.Sqrt(0.5), 1e-9)
+}
+
+func TestMeanCI95TwoSamples(t *testing.T) {
+	// n=2: mean 5, sample sd sqrt(2)·... xs={4,6}: variance 2, sd sqrt(2),
+	// stderr 1, t(1) = 12.706.
+	e := MeanCI95([]float64{4, 6})
+	approx(t, "mean", e.Mean, 5, 1e-12)
+	approx(t, "stderr", e.StdErr, 1, 1e-12)
+	approx(t, "lo", e.Lo, 5-12.706, 1e-9)
+	approx(t, "hi", e.Hi, 5+12.706, 1e-9)
+}
+
+func TestMeanCI95SingleSample(t *testing.T) {
+	e := MeanCI95([]float64{42})
+	if e.N != 1 || e.Mean != 42 || e.Lo != 42 || e.Hi != 42 || e.StdErr != 0 {
+		t.Fatalf("degenerate estimate %+v", e)
+	}
+}
+
+func TestMeanCI95Empty(t *testing.T) {
+	if e := MeanCI95(nil); e != (Estimate{}) {
+		t.Fatalf("empty input produced %+v", e)
+	}
+}
+
+func TestMeanCI95ZeroVariance(t *testing.T) {
+	// Identical samples: interval collapses to the mean.
+	e := MeanCI95([]float64{7, 7, 7, 7})
+	if e.StdErr != 0 || e.Lo != 7 || e.Hi != 7 {
+		t.Fatalf("zero-variance estimate %+v", e)
+	}
+}
+
+func TestTCritical95Table(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{0, 0}, {-3, 0},
+		{1, 12.706}, {4, 2.776}, {9, 2.262}, {30, 2.042},
+		{35, 2.021}, {50, 2.000}, {100, 1.980}, {10000, 1.960},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); got != c.want {
+			t.Fatalf("t(%d) = %v want %v", c.df, got, c.want)
+		}
+	}
+	// Monotone non-increasing over the table range.
+	for df := 2; df <= 200; df++ {
+		if TCritical95(df) > TCritical95(df-1) {
+			t.Fatalf("t not non-increasing at df %d", df)
+		}
+	}
+}
+
+func TestEdgeCasesStayFinite(t *testing.T) {
+	for _, xs := range [][]float64{nil, {}, {1}, {1, 1}} {
+		e := MeanCI95(xs)
+		for name, v := range map[string]float64{
+			"mean": e.Mean, "stderr": e.StdErr, "lo": e.Lo, "hi": e.Hi,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s not finite for %v: %+v", name, xs, e)
+			}
+		}
+	}
+}

@@ -96,15 +96,40 @@ func (h *Host) After(d time.Duration, fn func()) {
 	h.nw.Eng.After(netsim.Duration(d), fn)
 }
 
-// SendFrame transmits a prebuilt Ethernet frame out of the uplink.
-func (h *Host) SendFrame(frame []byte) {
+// txAccount records one egress frame in the NIC counters; every transmit
+// path (single-frame and burst) funnels through it.
+func (h *Host) txAccount(frame []byte) {
 	h.Stats.FramesTx++
 	h.Stats.BytesTx += uint64(len(frame))
+}
+
+// SendFrame transmits a prebuilt Ethernet frame out of the uplink.
+func (h *Host) SendFrame(frame []byte) {
+	h.txAccount(frame)
 	h.nw.Send(h.id, h.uplink, frame)
 }
 
 // SendUDP builds and transmits one UDP datagram to dst.
 func (h *Host) SendUDP(dst netsim.NodeID, srcPort, dstPort uint16, payload []byte) {
+	h.SendFrame(h.buildUDPFrame(dst, srcPort, dstPort, payload))
+}
+
+// SendUDPBurst builds and transmits one UDP datagram per payload to dst,
+// handing the whole batch to the fabric in one call (core.BurstCarrier).
+// Frames are emitted in payload order, exactly as repeated SendUDP would.
+func (h *Host) SendUDPBurst(dst netsim.NodeID, srcPort, dstPort uint16, payloads [][]byte) {
+	if len(payloads) == 0 {
+		return
+	}
+	frames := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		frames[i] = h.buildUDPFrame(dst, srcPort, dstPort, p)
+		h.txAccount(frames[i])
+	}
+	h.nw.SendBurst(h.id, h.uplink, frames)
+}
+
+func (h *Host) buildUDPFrame(dst netsim.NodeID, srcPort, dstPort uint16, payload []byte) []byte {
 	buf := wire.NewBuffer(wire.DefaultHeadroom, len(payload))
 	buf.AppendBytes(payload)
 	u := wire.UDP{SrcPort: srcPort, DstPort: dstPort}
@@ -122,7 +147,7 @@ func (h *Host) SendUDP(dst netsim.NodeID, srcPort, dstPort uint16, payload []byt
 		EtherType: wire.EtherTypeIPv4,
 	}
 	e.SerializeTo(buf)
-	h.SendFrame(buf.Bytes())
+	return buf.Bytes()
 }
 
 // HandleFrame implements netsim.Node: decode and demux one received frame.
