@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/daiet/daiet/internal/benchfmt"
+	"github.com/daiet/daiet/internal/stats"
+)
+
+func TestRegressPct(t *testing.T) {
+	cases := []struct {
+		base, cur, want float64
+	}{
+		{100, 100, 0},
+		{100, 130, 30},
+		{100, 50, -50},
+		{200, 260, 30},
+		{0, 50, 0},  // no meaningful baseline: never gates
+		{-1, 50, 0}, // defensive: corrupt baseline
+	}
+	for _, c := range cases {
+		if got := regressPct(c.base, c.cur); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("regressPct(%g, %g) = %g, want %g", c.base, c.cur, got, c.want)
+		}
+	}
+}
+
+func report(totalMS float64, figs map[string]float64) *benchfmt.Report {
+	r := &benchfmt.Report{
+		Schema: benchfmt.Schema, Seeds: 5, Scale: 1, Parallelism: 1, SimWorkers: 1,
+		TotalWallMS: totalMS,
+	}
+	names := make([]string, 0, len(figs))
+	for name := range figs {
+		names = append(names, name)
+	}
+	sort.Strings(names) // stable figure order keeps fixtures deterministic
+	for _, name := range names {
+		r.Figures = append(r.Figures, benchfmt.FigureRecord{
+			Name: name, WallMS: figs[name], Seeds: 5,
+			Metrics: map[string]stats.Estimate{"m": {N: 5, Mean: 1, Lo: 0.5, Hi: 1.5}},
+		})
+	}
+	return r
+}
+
+func TestBudgetsCheck(t *testing.T) {
+	b := budgets{maxTotalPct: 20, maxFigurePct: 30, minFigureMS: 5}
+
+	base := report(1000, map[string]float64{"fig": 500, "tiny": 1})
+
+	// Inside every budget: no failures.
+	if f := b.check(base, report(1100, map[string]float64{"fig": 600, "tiny": 3})); len(f) != 0 {
+		t.Fatalf("unexpected failures: %v", f)
+	}
+	// Figure over its budget, total inside: exactly the figure fails.
+	f := b.check(base, report(1100, map[string]float64{"fig": 700, "tiny": 1}))
+	if len(f) != 1 || !strings.Contains(f[0], "figure fig") {
+		t.Fatalf("want one per-figure failure, got %v", f)
+	}
+	// Exactly at the boundary: 30% is within budget (gate is strict >).
+	if f := b.check(base, report(1000, map[string]float64{"fig": 650, "tiny": 1})); len(f) != 0 {
+		t.Fatalf("30%% must pass a 30%% budget: %v", f)
+	}
+	// Sub-threshold figures are exempt however much they regress.
+	if f := b.check(base, report(1000, map[string]float64{"fig": 500, "tiny": 4})); len(f) != 0 {
+		t.Fatalf("tiny figure must be exempt: %v", f)
+	}
+	// Total over budget.
+	f = b.check(base, report(1300, map[string]float64{"fig": 500, "tiny": 1}))
+	if len(f) != 1 || !strings.Contains(f[0], "total wall-clock") {
+		t.Fatalf("want one total failure, got %v", f)
+	}
+	// Both budgets blown: two failures.
+	f = b.check(base, report(1300, map[string]float64{"fig": 800, "tiny": 1}))
+	if len(f) != 2 {
+		t.Fatalf("want two failures, got %v", f)
+	}
+	// New and removed figures never gate.
+	if f := b.check(base, report(1000, map[string]float64{"other": 900})); len(f) != 0 {
+		t.Fatalf("figure churn must not gate: %v", f)
+	}
+}
+
+func TestIsVolatile(t *testing.T) {
+	f := benchfmt.FigureRecord{Volatile: []string{"wall_ms", "reduce_time_median_pct"}}
+	for key, want := range map[string]bool{
+		"wall_ms":                true, // single-point figure: bare name
+		"wall_ms_4w":             true, // sweep figure: label-qualified
+		"reduce_time_median_pct": true,
+		"wall_msx":               false, // prefix without separator is a different metric
+		"core_reduction_pct":     false,
+	} {
+		if got := f.IsVolatile(key); got != want {
+			t.Fatalf("IsVolatile(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+// writeFixture marshals a report into dir and returns its path.
+func writeFixture(t *testing.T, dir, name string, r *benchfmt.Report) string {
+	t.Helper()
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunCLI exercises the whole tool against fixture reports on disk —
+// flags, loading, comparability checks, and both gate outcomes.
+func TestRunCLI(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFixture(t, dir, "base.json", report(1000, map[string]float64{"fig": 500}))
+
+	// Pass: modest movement.
+	cur := writeFixture(t, dir, "ok.json", report(1050, map[string]float64{"fig": 550}))
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "benchdiff: OK") {
+		t.Fatalf("missing OK:\n%s", out.String())
+	}
+
+	// Fail: one figure regresses 60% while the total stays inside budget.
+	cur = writeFixture(t, dir, "figslow.json", report(1100, map[string]float64{"fig": 800}))
+	out.Reset()
+	err := run([]string{"-baseline", base, "-current", cur}, &out)
+	if err == nil || !strings.Contains(out.String(), "FAIL: figure fig") {
+		t.Fatalf("per-figure gate did not fire: err=%v\n%s", err, out.String())
+	}
+
+	// The per-figure budget is tunable from the CLI.
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-current", cur, "-max-figure-regress-pct", "80"}, &out); err != nil {
+		t.Fatalf("raised budget still failed: %v\n%s", err, out.String())
+	}
+
+	// Fail: total regresses beyond budget.
+	cur = writeFixture(t, dir, "totalslow.json", report(1500, map[string]float64{"fig": 500}))
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("total gate did not fire")
+	}
+
+	// Incomparable reports are rejected.
+	bad := report(1000, map[string]float64{"fig": 500})
+	bad.Seeds = 3
+	curBad := writeFixture(t, dir, "seeds.json", bad)
+	if err := run([]string{"-baseline", base, "-current", curBad}, &out); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+
+	// Schema drift is rejected.
+	old := report(1000, map[string]float64{"fig": 500})
+	old.Schema = benchfmt.Schema - 1
+	curOld := writeFixture(t, dir, "schema.json", old)
+	if err := run([]string{"-baseline", base, "-current", curOld}, &out); err == nil {
+		t.Fatal("old schema accepted")
+	}
+
+	// -current is mandatory.
+	if err := run([]string{"-baseline", base}, &out); err == nil {
+		t.Fatal("missing -current accepted")
+	}
+}

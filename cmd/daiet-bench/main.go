@@ -14,11 +14,13 @@
 //
 // -seed fixes the base seed (per-trial seeds derive from it, so the same
 // seed reproduces the same intervals); -parallel sets the sharded runner's
-// worker-pool degree (0 = GOMAXPROCS, 1 = sequential) — results are
-// identical at any degree. -json writes machine-readable per-figure
-// wall-clock and headline metrics (with CI bounds) to BENCH_results.json
-// so the performance trajectory is tracked across changes; CI diffs it
-// against the committed baseline via cmd/benchdiff.
+// worker-pool degree (0 = GOMAXPROCS, 1 = sequential) and -sim-workers the
+// intra-simulation partition degree (event-engine domains per fabric) —
+// results are identical at any combination. -json writes machine-readable
+// per-figure wall-clock and headline metrics (with CI bounds) to the -out
+// path (default BENCH_results.json) so the performance trajectory is
+// tracked across changes; CI diffs it against the committed baseline via
+// cmd/benchdiff and uploads a parallel-vs-sequential comparison.
 package main
 
 import (
@@ -38,8 +40,8 @@ import (
 	"github.com/daiet/daiet/internal/runner"
 )
 
-// jsonPath is where -json writes the machine-readable report.
-const jsonPath = "BENCH_results.json"
+// defaultJSONPath is where -json writes the machine-readable report.
+const defaultJSONPath = "BENCH_results.json"
 
 var (
 	experiment = flag.String("experiment", "all", "registry name of the figure to run, or \"all\"")
@@ -47,7 +49,9 @@ var (
 	seeds      = flag.Int("seeds", experiments.DefaultSeeds, "independent seeds per figure point (the CI ensemble)")
 	scale      = flag.Float64("scale", 1.0, "problem-size multiplier (1 = paper scale)")
 	parallel   = flag.Int("parallel", 0, "experiment-runner parallelism (0 = GOMAXPROCS, 1 = sequential)")
-	jsonOut    = flag.Bool("json", false, "write per-figure wall-clock and headline metrics to "+jsonPath)
+	simWorkers = flag.Int("sim-workers", 1, "intra-simulation parallelism: event-engine domains per fabric (results identical at any value)")
+	jsonOut    = flag.Bool("json", false, "write per-figure wall-clock and headline metrics to the -out path")
+	outPath    = flag.String("out", defaultJSONPath, "path for the -json report")
 )
 
 func main() {
@@ -95,6 +99,7 @@ func main() {
 			Seeds:       *seeds,
 			Scale:       *scale,
 			Parallelism: figParallel,
+			SimWorkers:  *simWorkers,
 		})
 		if err != nil {
 			return outcome{}, err
@@ -104,10 +109,11 @@ func main() {
 		return outcome{
 			out: buf.Bytes(),
 			rec: benchfmt.FigureRecord{
-				Name:    spec.Name,
-				WallMS:  float64(time.Since(t0).Microseconds()) / 1000,
-				Seeds:   res.Seeds,
-				Metrics: res.Headline(),
+				Name:     spec.Name,
+				WallMS:   float64(time.Since(t0).Microseconds()) / 1000,
+				Seeds:    res.Seeds,
+				Volatile: spec.Volatile,
+				Metrics:  res.Headline(),
 			},
 		}, nil
 	})
@@ -122,6 +128,7 @@ func main() {
 		Seeds:       *seeds,
 		Scale:       *scale,
 		Parallelism: runner.Degree(*parallel),
+		SimWorkers:  *simWorkers,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		TotalWallMS: totalMS,
 	}
@@ -137,9 +144,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s\n", jsonPath)
+		fmt.Printf("wrote %s\n", *outPath)
 	}
 }

@@ -10,15 +10,33 @@ import "github.com/daiet/daiet/internal/stats"
 // Schema is the current report version. Schema 2 replaced the
 // point-estimate metric values of schema 1 with Estimate objects
 // (mean/stderr/ci_lo/ci_hi/n) from the multi-seed sweep framework.
-const Schema = 2
+// Schema 3 added SimWorkers (the intra-simulation partition degree), which
+// skews wall-clock exactly like Parallelism does.
+const Schema = 3
 
 // FigureRecord is one figure's entry: wall-clock plus every headline
 // metric as a mean with confidence bounds.
 type FigureRecord struct {
-	Name    string                    `json:"name"`
-	WallMS  float64                   `json:"wall_ms"`
-	Seeds   int                       `json:"seeds"`
-	Metrics map[string]stats.Estimate `json:"metrics"`
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+	Seeds  int     `json:"seeds"`
+	// Volatile lists the headline-metric name prefixes derived from host
+	// wall-clock (the Spec's Volatile metrics): real between runs and
+	// across machines, so benchdiff's CI-drift check skips them.
+	Volatile []string                  `json:"volatile,omitempty"`
+	Metrics  map[string]stats.Estimate `json:"metrics"`
+}
+
+// IsVolatile reports whether headline metric key derives from a volatile
+// metric. Sweep figures qualify headline keys with the point label
+// (e.g. "wall_ms_4w"), so volatile names match as prefixes.
+func (f FigureRecord) IsVolatile(key string) bool {
+	for _, v := range f.Volatile {
+		if key == v || (len(key) > len(v)+1 && key[:len(v)+1] == v+"_") {
+			return true
+		}
+	}
+	return false
 }
 
 // Report is the top-level BENCH_results.json document.
@@ -28,6 +46,7 @@ type Report struct {
 	Seeds       int            `json:"seeds"`
 	Scale       float64        `json:"scale"`
 	Parallelism int            `json:"parallelism"`
+	SimWorkers  int            `json:"sim_workers"`
 	GOMAXPROCS  int            `json:"gomaxprocs"`
 	TotalWallMS float64        `json:"total_wall_ms"`
 	Figures     []FigureRecord `json:"figures"`

@@ -160,7 +160,7 @@ func (s *Switch) process(ctx *Ctx) {
 		s.Counters.Recirculated++
 		s.trace(trace.KindRecirculate, int64(ctx.RecircCount), 0, "")
 		ctx.resetForPass()
-		s.nw.Eng.After(s.RecircLatency, func() { s.process(ctx) })
+		s.nw.NodeAfter(s.id, s.RecircLatency, func() { s.process(ctx) })
 	default:
 		s.Counters.DropsProgram++
 		s.trace(trace.KindDrop, int64(ctx.InPort), 0, "program drop")

@@ -108,7 +108,7 @@ const (
 
 // ablationRegisterSizePoint runs one table-size configuration over its own
 // (seed-determined, collision-permitted) corpus: small tables must spill.
-func ablationRegisterSizePoint(seed uint64, size, vocabPer int) (AblationPoint, error) {
+func ablationRegisterSizePoint(seed uint64, size, vocabPer, sim int) (AblationPoint, error) {
 	var pt AblationPoint
 	corpus, err := ablationCorpus(seed, ablationReducers, vocabPer, 8.3, 1<<20, 16, 16, false)
 	if err != nil {
@@ -116,7 +116,7 @@ func ablationRegisterSizePoint(seed uint64, size, vocabPer int) (AblationPoint, 
 	}
 	pt, err = runPair(corpus.Splits(ablationMappers), mapreduce.ClusterConfig{
 		NumMappers: ablationMappers, NumReducers: ablationReducers,
-		TableSize: size, Seed: seed,
+		TableSize: size, Seed: seed, SimWorkers: sim,
 	})
 	if err != nil {
 		return pt, fmt.Errorf("experiments: table size %d: %w", size, err)
@@ -135,13 +135,13 @@ func ablationRegisterSizePoint(seed uint64, size, vocabPer int) (AblationPoint, 
 // pool.
 func AblationRegisterSize(seed uint64, sizes []int, parallelism int) ([]AblationPoint, error) {
 	return runner.Map(len(sizes), parallelism, func(shard int) (AblationPoint, error) {
-		return ablationRegisterSizePoint(seed, sizes[shard], ablationVocab)
+		return ablationRegisterSizePoint(seed, sizes[shard], ablationVocab, 1)
 	})
 }
 
 // ablationPairsPerPacketPoint runs one packetization bound over its own
 // collision-free corpus.
-func ablationPairsPerPacketPoint(seed uint64, pairs, vocabPer int) (AblationPoint, error) {
+func ablationPairsPerPacketPoint(seed uint64, pairs, vocabPer, sim int) (AblationPoint, error) {
 	const tableSize = 4096
 	var pt AblationPoint
 	corpus, err := ablationCorpus(seed, ablationReducers, vocabPer, 8.3, tableSize, 16, 16, true)
@@ -150,7 +150,7 @@ func ablationPairsPerPacketPoint(seed uint64, pairs, vocabPer int) (AblationPoin
 	}
 	pt, err = runPair(corpus.Splits(ablationMappers), mapreduce.ClusterConfig{
 		NumMappers: ablationMappers, NumReducers: ablationReducers,
-		TableSize: tableSize, MaxPairsPerPacket: pairs, Seed: seed,
+		TableSize: tableSize, MaxPairsPerPacket: pairs, Seed: seed, SimWorkers: sim,
 	})
 	if err != nil {
 		return pt, fmt.Errorf("experiments: pairs/packet %d: %w", pairs, err)
@@ -165,7 +165,7 @@ func ablationPairsPerPacketPoint(seed uint64, pairs, vocabPer int) (AblationPoin
 // packet counts on both sides but leave the data reduction untouched.
 func AblationPairsPerPacket(seed uint64, counts []int, parallelism int) ([]AblationPoint, error) {
 	return runner.Map(len(counts), parallelism, func(shard int) (AblationPoint, error) {
-		return ablationPairsPerPacketPoint(seed, counts[shard], ablationVocab)
+		return ablationPairsPerPacketPoint(seed, counts[shard], ablationVocab, 1)
 	})
 }
 
@@ -175,7 +175,7 @@ const ablationKeyWidthMaxWordLen = 8
 
 // ablationKeyWidthPoint runs one fixed key width; the pair geometry
 // changes with the width, so each point regenerates its corpus.
-func ablationKeyWidthPoint(seed uint64, width, vocabPer int) (AblationPoint, error) {
+func ablationKeyWidthPoint(seed uint64, width, vocabPer, sim int) (AblationPoint, error) {
 	const tableSize = 4096
 	var pt AblationPoint
 	if width < ablationKeyWidthMaxWordLen {
@@ -189,7 +189,7 @@ func ablationKeyWidthPoint(seed uint64, width, vocabPer int) (AblationPoint, err
 	}
 	pt, err = runPair(corpus.Splits(ablationMappers), mapreduce.ClusterConfig{
 		NumMappers: ablationMappers, NumReducers: ablationReducers,
-		TableSize: tableSize, Seed: seed,
+		TableSize: tableSize, Seed: seed, SimWorkers: sim,
 		Geometry: wire.PairGeometry{KeyWidth: width},
 	})
 	if err != nil {
@@ -211,7 +211,7 @@ func AblationKeyWidth(seed uint64, widths []int, parallelism int) ([]AblationPoi
 		}
 	}
 	return runner.Map(len(widths), parallelism, func(shard int) (AblationPoint, error) {
-		return ablationKeyWidthPoint(seed, widths[shard], ablationVocab)
+		return ablationKeyWidthPoint(seed, widths[shard], ablationVocab, 1)
 	})
 }
 
@@ -230,10 +230,10 @@ type WorkerCombinerResult struct {
 
 // AblationWorkerCombiner measures both levels on one corpus.
 func AblationWorkerCombiner(seed uint64) (*WorkerCombinerResult, error) {
-	return ablationWorkerCombiner(seed, 600)
+	return ablationWorkerCombiner(seed, 600, 1)
 }
 
-func ablationWorkerCombiner(seed uint64, vocabPer int) (*WorkerCombinerResult, error) {
+func ablationWorkerCombiner(seed uint64, vocabPer, sim int) (*WorkerCombinerResult, error) {
 	const (
 		mappers, reducers = 8, 2
 		tableSize         = 4096
@@ -283,6 +283,7 @@ func ablationWorkerCombiner(seed uint64, vocabPer int) (*WorkerCombinerResult, e
 	}
 	cl, err := mapreduce.NewCluster(mapreduce.ClusterConfig{
 		NumMappers: mappers, NumReducers: reducers, TableSize: tableSize, Seed: seed,
+		SimWorkers: sim,
 	})
 	if err != nil {
 		return nil, err
@@ -319,8 +320,8 @@ func init() {
 		XLabel:  "table size",
 		Points:  ablationPoints("table", []int{64, 256, 1024, 4096, 16384}),
 		Metrics: []string{"data_reduction_pct", "pkt_reduction_pct", "spilled_pairs"},
-		Run: func(pt Point, seed uint64, scale float64) (map[string]float64, error) {
-			p, err := ablationRegisterSizePoint(seed, int(pt.X), scaledInt(ablationVocab, scale, 100))
+		Run: func(pt Point, tr Trial) (map[string]float64, error) {
+			p, err := ablationRegisterSizePoint(tr.Seed, int(pt.X), scaledInt(ablationVocab, tr.Scale, 100), tr.SimWorkers)
 			if err != nil {
 				return nil, err
 			}
@@ -338,8 +339,8 @@ func init() {
 		XLabel:  "pairs/packet",
 		Points:  ablationPoints("pairs", []int{2, 5, 10, 12}),
 		Metrics: []string{"data_reduction_pct", "pkt_reduction_pct"},
-		Run: func(pt Point, seed uint64, scale float64) (map[string]float64, error) {
-			p, err := ablationPairsPerPacketPoint(seed, int(pt.X), scaledInt(ablationVocab, scale, 100))
+		Run: func(pt Point, tr Trial) (map[string]float64, error) {
+			p, err := ablationPairsPerPacketPoint(tr.Seed, int(pt.X), scaledInt(ablationVocab, tr.Scale, 100), tr.SimWorkers)
 			if err != nil {
 				return nil, err
 			}
@@ -356,8 +357,8 @@ func init() {
 		XLabel:  "key width",
 		Points:  ablationPoints("width", []int{8, 16, 32}),
 		Metrics: []string{"data_reduction_pct", "reducer_pairs"},
-		Run: func(pt Point, seed uint64, scale float64) (map[string]float64, error) {
-			p, err := ablationKeyWidthPoint(seed, int(pt.X), scaledInt(ablationVocab, scale, 100))
+		Run: func(pt Point, tr Trial) (map[string]float64, error) {
+			p, err := ablationKeyWidthPoint(tr.Seed, int(pt.X), scaledInt(ablationVocab, tr.Scale, 100), tr.SimWorkers)
 			if err != nil {
 				return nil, err
 			}
@@ -374,8 +375,8 @@ func init() {
 		XLabel:  "comparison",
 		Points:  []Point{{Label: "combiner", X: 0}},
 		Metrics: []string{"worker_level_reduction_pct", "in_network_reduction_pct"},
-		Run: func(_ Point, seed uint64, scale float64) (map[string]float64, error) {
-			res, err := ablationWorkerCombiner(seed, scaledInt(600, scale, 100))
+		Run: func(_ Point, tr Trial) (map[string]float64, error) {
+			res, err := ablationWorkerCombiner(tr.Seed, scaledInt(600, tr.Scale, 100), tr.SimWorkers)
 			if err != nil {
 				return nil, err
 			}

@@ -143,3 +143,83 @@ func TestMultiRackDeterministic(t *testing.T) {
 		assertIdentical(t, "multirack", seq, render(d), d)
 	}
 }
+
+// ---- intra-simulation (partitioned event engine) conformance ----
+//
+// The contract extends inside a single simulation: partitioning one fabric
+// across event-engine domains (netsim.Network.Partition) must leave every
+// non-volatile result byte-identical. simWorkerCounts are the domain counts
+// compared against the sequential engine.
+
+var simWorkerCounts = []int{2, 4}
+
+// TestSpecEngineSimWorkersDeterministic is the registry-wide conformance
+// suite: every figure, executed through Spec.Execute with Partitions(1) vs
+// Partitions(4) fabrics (and with the trial-level worker pool layered on
+// top), produces byte-identical non-volatile metrics.
+func TestSpecEngineSimWorkersDeterministic(t *testing.T) {
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := RunConfig{Seed: 7, Seeds: 2, Scale: 0.08, Parallelism: 1, SimWorkers: 1}
+			res, err := spec.Execute(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := res.DeterministicString(spec.Volatile)
+			for _, w := range simWorkerCounts {
+				for _, par := range []int{1, 3} {
+					cfg.SimWorkers, cfg.Parallelism = w, par
+					res, err := spec.Execute(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := res.DeterministicString(spec.Volatile)
+					if seq != got {
+						t.Fatalf("%s diverged at sim-workers %d (parallelism %d):\nsequential: %s\npartitioned: %s",
+							spec.Name, w, par, seq, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultiRackSimWorkersDeterministic compares the full result struct —
+// every counter, not just the registry metrics — across domain counts.
+func TestMultiRackSimWorkersDeterministic(t *testing.T) {
+	render := func(simWorkers int) string {
+		res, err := MultiRack(MultiRackConfig{Seed: 5, Vocab: 300, Parallelism: 1, SimWorkers: simWorkers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", *res)
+	}
+	seq := render(1)
+	for _, w := range simWorkerCounts {
+		assertIdentical(t, "multirack sim-workers", seq, render(w), w)
+	}
+}
+
+// TestIncastSimWorkersDeterministic covers the loss/retransmission path:
+// drop counts, retransmissions and virtual completion time must survive
+// partitioning bit-for-bit even under synchronized fan-in with overflowing
+// queues.
+func TestIncastSimWorkersDeterministic(t *testing.T) {
+	render := func(simWorkers int) string {
+		res, err := Incast(IncastConfig{
+			Seed: 3, Senders: 8, PairsPerSender: 300,
+			QueueBytes: 4096, SimWorkers: simWorkers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Cfg.SimWorkers = 0 // the knob itself is the only allowed difference
+		return fmt.Sprintf("%+v", *res)
+	}
+	seq := render(1)
+	for _, w := range simWorkerCounts {
+		assertIdentical(t, "incast sim-workers", seq, render(w), w)
+	}
+}

@@ -223,12 +223,12 @@ func overlapSpec(name, label, title string, mkCfg func(seed uint64) mlps.TrainCo
 		XLabel:  "optimizer",
 		Points:  []Point{{Label: label, X: 0}},
 		Metrics: []string{"mean_overlap_pct", "final_accuracy", "first_loss", "last_loss"},
-		Run: func(_ Point, seed uint64, scale float64) (map[string]float64, error) {
-			cfg := mkCfg(seed)
-			cfg.Steps = scaledInt(cfg.Steps, scale, 10)
+		Run: func(_ Point, tr Trial) (map[string]float64, error) {
+			cfg := mkCfg(tr.Seed)
+			cfg.Steps = scaledInt(cfg.Steps, tr.Scale, 10)
 			// The dataset must cover one full step for every worker plus
 			// held-out samples, whatever the scale.
-			samples := scaledInt(4000, scale, 2*cfg.Workers*cfg.BatchSize)
+			samples := scaledInt(4000, tr.Scale, 2*cfg.Workers*cfg.BatchSize)
 			fig, err := overlapFigure(name, cfg, samples)
 			if err != nil {
 				return nil, err
@@ -257,11 +257,11 @@ func init() {
 		XLabel:  "workers",
 		Points:  []Point{{Label: "2w", X: 2}, {Label: "3w", X: 3}, {Label: "4w", X: 4}, {Label: "5w", X: 5}},
 		Metrics: []string{"overlap_pct"},
-		Run: func(pt Point, seed uint64, scale float64) (map[string]float64, error) {
-			cfg := mlps.Figure1aConfig(seed)
+		Run: func(pt Point, tr Trial) (map[string]float64, error) {
+			cfg := mlps.Figure1aConfig(tr.Seed)
 			cfg.Workers = int(pt.X)
-			cfg.Steps = scaledInt(100, scale, 10)
-			ds := mlps.SyntheticMNIST(seed, scaledInt(2500, scale, 300))
+			cfg.Steps = scaledInt(100, tr.Scale, 10)
+			ds := mlps.SyntheticMNIST(tr.Seed, scaledInt(2500, tr.Scale, 300))
 			res, err := mlps.Train(ds, cfg)
 			if err != nil {
 				return nil, err
@@ -278,15 +278,15 @@ func init() {
 		Metrics: []string{
 			"mean_traffic_reduction", "start_traffic_reduction",
 		},
-		Run: func(pt Point, seed uint64, scale float64) (map[string]float64, error) {
+		Run: func(pt Point, tr Trial) (map[string]float64, error) {
 			// RMAT sizes in powers of two, so the linear scale knob maps to
 			// the nearest covering exponent: scale 1 is the paper's 2^16
 			// vertices, smaller scales shrink proportionally (floor 2^10).
-			vertices := scaledInt(1<<16, scale, 1<<10)
+			vertices := scaledInt(1<<16, tr.Scale, 1<<10)
 			g, err := fig1cGraph(graphgen.RMATConfig{
 				Scale:      bits.Len(uint(vertices - 1)),
 				EdgeFactor: 14,
-				Seed:       seed,
+				Seed:       tr.Seed,
 			})
 			if err != nil {
 				return nil, err

@@ -26,6 +26,9 @@ type Figure3Config struct {
 	// Parallelism shards the three modes (DAIET, UDP baseline, TCP
 	// baseline) across the runner's pool (<= 0: GOMAXPROCS, 1: sequential).
 	Parallelism int
+	// SimWorkers partitions each mode's fabric into parallel event-engine
+	// domains (default 1; results are identical at any value).
+	SimWorkers int
 }
 
 func (c Figure3Config) withDefaults() Figure3Config {
@@ -116,6 +119,7 @@ func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 			MaxPairsPerPacket: cfg.MaxPairsPerPkt,
 			MSS:               cfg.MSS,
 			Seed:              cfg.Seed,
+			SimWorkers:        cfg.SimWorkers,
 		})
 		if err != nil {
 			return nil, err
@@ -167,10 +171,11 @@ func init() {
 		// Reduce-phase timing is host wall-clock: real between runs, excluded
 		// from determinism comparisons.
 		Volatile: []string{"reduce_time_median_pct"},
-		Run: func(_ Point, seed uint64, scale float64) (map[string]float64, error) {
+		Run: func(_ Point, tr Trial) (map[string]float64, error) {
 			// The grid is the fan-out level; each trial runs its three modes
 			// sequentially.
-			res, err := Figure3(Figure3Config{Seed: seed, Scale: scale, Parallelism: 1})
+			res, err := Figure3(Figure3Config{Seed: tr.Seed, Scale: tr.Scale,
+				Parallelism: 1, SimWorkers: tr.SimWorkers})
 			if err != nil {
 				return nil, err
 			}

@@ -54,6 +54,11 @@ type IncastConfig struct {
 	// RootQueueBytes sizes the unswept switch→reducer hop (default 64 MiB).
 	RootQueueBytes int
 	TableSize      int // per-tree register cells (default 4096)
+	// SimWorkers partitions the fabric into parallel event-engine domains
+	// (default 1). A single-switch incast has no rack cut, so the senders
+	// themselves spread across domains; results are byte-identical at any
+	// value.
+	SimWorkers int
 }
 
 func (c IncastConfig) withDefaults() IncastConfig {
@@ -139,6 +144,9 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 	if buildErr != nil {
 		return nil, buildErr
 	}
+	if err := fab.Partitions(cfg.SimWorkers); err != nil {
+		return nil, err
+	}
 	ctl := controller.New(fab, programs)
 	if err := ctl.InstallRouting(); err != nil {
 		return nil, err
@@ -211,7 +219,7 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 		return nil, fmt.Errorf("experiments: incast: %w", err)
 	}
 
-	res := &IncastResult{Cfg: cfg, Completion: nw.Eng.Now()}
+	res := &IncastResult{Cfg: cfg, Completion: nw.Now()}
 	for i, s := range senders {
 		if !s.Done() {
 			return nil, fmt.Errorf("experiments: incast: sender %d incomplete: %v", i, s.Err())
@@ -280,11 +288,12 @@ func init() {
 			"retransmissions_per_kpkt",
 			"completion_inflation_x",
 		},
-		Run: func(pt Point, seed uint64, scale float64) (map[string]float64, error) {
+		Run: func(pt Point, tr Trial) (map[string]float64, error) {
 			base := IncastConfig{
-				Seed:           seed,
-				Senders:        scaledInt(24, scale, 4),
-				PairsPerSender: scaledInt(1200, scale, 120),
+				Seed:           tr.Seed,
+				Senders:        scaledInt(24, tr.Scale, 4),
+				PairsPerSender: scaledInt(1200, tr.Scale, 120),
+				SimWorkers:     tr.SimWorkers,
 			}
 			small := base
 			small.QueueBytes = int(pt.X)

@@ -49,6 +49,10 @@ type MultiRackConfig struct {
 	// Parallelism shards the baseline and DAIET trials across the runner's
 	// pool (<= 0: GOMAXPROCS, 1: sequential).
 	Parallelism int
+	// SimWorkers partitions each trial's leaf-spine fabric into parallel
+	// event-engine domains along the rack cut (default 1: sequential).
+	// Results are byte-identical at any value; only wall-clock changes.
+	SimWorkers int
 }
 
 func (c MultiRackConfig) withDefaults() MultiRackConfig {
@@ -114,6 +118,7 @@ func MultiRack(cfg MultiRackConfig) (*MultiRackResult, error) {
 			Plan:        plan,
 			TableSize:   cfg.TableSize,
 			Seed:        cfg.Seed,
+			SimWorkers:  cfg.SimWorkers,
 		})
 		if err != nil {
 			return trial{}, err
@@ -168,11 +173,12 @@ func init() {
 		XLabel:  "fabric",
 		Points:  []Point{{Label: "leafspine", X: 0}},
 		Metrics: []string{"core_reduction_pct", "edge_reduction_pct"},
-		Run: func(_ Point, seed uint64, scale float64) (map[string]float64, error) {
+		Run: func(_ Point, tr Trial) (map[string]float64, error) {
 			res, err := MultiRack(MultiRackConfig{
-				Seed:        seed,
-				Vocab:       scaledInt(800, scale, 100),
+				Seed:        tr.Seed,
+				Vocab:       scaledInt(800, tr.Scale, 100),
 				Parallelism: 1,
+				SimWorkers:  tr.SimWorkers,
 			})
 			if err != nil {
 				return nil, err

@@ -48,12 +48,26 @@ type Spec struct {
 	// Volatile names the subset of Metrics derived from host wall-clock
 	// (reduce-phase timings): they are excluded from determinism
 	// comparisons, which assert bit-identical results across parallelism
-	// degrees.
+	// degrees and intra-sim worker counts.
 	Volatile []string
-	// Run executes one trial of pt at one derived seed. scale in (0, 1]
-	// shrinks the problem size (1 = the paper-scale run; smoke tests use
-	// small fractions). It returns a value for every declared metric.
-	Run func(pt Point, seed uint64, scale float64) (map[string]float64, error)
+	// Run executes one trial of pt under the given Trial parameters. It
+	// returns a value for every declared metric.
+	Run func(pt Point, tr Trial) (map[string]float64, error)
+}
+
+// Trial carries one trial's execution parameters into a Spec's Run.
+type Trial struct {
+	// Seed is the trial's derived seed (same seed, same results).
+	Seed uint64
+	// Scale in (0, 1] shrinks the problem size (1 = the paper-scale run;
+	// smoke tests use small fractions).
+	Scale float64
+	// SimWorkers partitions each simulated fabric the trial builds into
+	// this many parallel event-engine domains (1 = the sequential engine).
+	// The determinism contract covers it: every non-Volatile metric is
+	// byte-identical at any worker count. Figures that do not build a
+	// netsim fabric ignore it.
+	SimWorkers int
 }
 
 // RunConfig parameterizes one Spec execution.
@@ -62,6 +76,11 @@ type RunConfig struct {
 	Seeds       int     // trials per point (default DefaultSeeds)
 	Scale       float64 // problem-size multiplier (default 1)
 	Parallelism int     // runner degree (<= 0: GOMAXPROCS, 1: sequential)
+	// SimWorkers is the intra-simulation parallelism: each trial's fabric
+	// runs partitioned across this many event-engine domains (default 1).
+	// It composes with Parallelism (trials × domains goroutines), and never
+	// changes results — only wall-clock.
+	SimWorkers int
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -70,6 +89,9 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if c.Scale <= 0 {
 		c.Scale = 1
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = 1
 	}
 	return c
 }
@@ -106,7 +128,7 @@ func (s *Spec) Execute(cfg RunConfig) (*FigureResult, error) {
 	grid, err := runner.Grid(len(s.Points), cfg.Seeds, cfg.Parallelism,
 		func(point, trial int) (map[string]float64, error) {
 			seed := runner.ShardSeed(cfg.Seed, trial)
-			m, err := s.Run(s.Points[point], seed, cfg.Scale)
+			m, err := s.Run(s.Points[point], Trial{Seed: seed, Scale: cfg.Scale, SimWorkers: cfg.SimWorkers})
 			if err != nil {
 				return nil, fmt.Errorf("%s[%s] trial %d (seed %#x): %w",
 					s.Name, s.Points[point].Label, trial, seed, err)

@@ -30,6 +30,7 @@ var wantSpecs = []string{
 	"fig3",
 	"incast",
 	"multirack",
+	"parallel-sim",
 }
 
 func TestRegistryEnumeratesEveryFigure(t *testing.T) {
@@ -120,7 +121,7 @@ func TestExecuteRejectsMissingMetric(t *testing.T) {
 		Name:    "broken",
 		Points:  []Point{{Label: "p"}},
 		Metrics: []string{"present", "absent"},
-		Run: func(Point, uint64, float64) (map[string]float64, error) {
+		Run: func(Point, Trial) (map[string]float64, error) {
 			return map[string]float64{"present": 1}, nil
 		},
 	}
@@ -131,7 +132,7 @@ func TestExecuteRejectsMissingMetric(t *testing.T) {
 }
 
 func TestRegisterValidates(t *testing.T) {
-	run := func(Point, uint64, float64) (map[string]float64, error) { return nil, nil }
+	run := func(Point, Trial) (map[string]float64, error) { return nil, nil }
 	cases := map[string]*Spec{
 		"empty name": {Points: []Point{{}}, Metrics: []string{"m"}, Run: run},
 		"no run":     {Name: "x1", Points: []Point{{}}, Metrics: []string{"m"}},

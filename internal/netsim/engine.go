@@ -5,7 +5,8 @@
 // Design goals, in order: determinism (same seed, same result — experiments
 // are asserted in tests), measurement fidelity for the quantities the paper
 // reports (packets and bytes arriving at tree roots, queueing behaviour),
-// and speed (single-threaded event loop, no goroutine-per-packet).
+// and speed (an event loop with no goroutine-per-packet; optionally one
+// event loop per fabric partition, see Network.Partition).
 //
 // Frames are raw []byte throughout; nodes parse them with internal/wire and
 // internal/dataplane, never via Go-struct side channels.
@@ -13,6 +14,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,15 +27,27 @@ func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
 // String renders the time as a time.Duration for diagnostics.
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is one scheduled callback. seq breaks ties so that events scheduled
-// earlier run earlier, keeping the simulation fully deterministic.
+// event is one scheduled callback. Events are totally ordered by
+// (at, src, seq): src names the deterministic origin that scheduled the
+// event (a node, a half-link, or 0 for setup code) and seq is that origin's
+// own schedule counter. Because both components are derived from the
+// origin's causal history — never from the global interleaving of the event
+// loop — the order is identical whether the fabric runs on one event heap
+// or on one heap per partition domain. That invariance is what makes
+// partitioned runs byte-identical to sequential ones (asserted by the
+// conformance tests in this package and in internal/experiments).
 type event struct {
 	at  Time
+	src uint64
 	seq uint64
-	fn  func()
+	// exec is the origin context the callback runs under: events the
+	// callback schedules are keyed (exec, exec's counter). For timers this
+	// equals src; for frame deliveries it is the destination node.
+	exec uint64
+	fn   func()
 }
 
-// eventHeap is a monomorphic binary min-heap ordered by (at, seq). It
+// eventHeap is a monomorphic binary min-heap ordered by (at, src, seq). It
 // replaces container/heap, whose interface{}-typed Push/Pop box every
 // event (one allocation per scheduled event) and dispatch comparisons
 // through an interface table — measurable overhead on the simulator's
@@ -41,11 +55,15 @@ type event struct {
 // allocate only when the slice itself grows.
 type eventHeap []event
 
-// less orders events by timestamp, then by scheduling sequence, keeping
-// same-tick events in FIFO order and the simulation fully deterministic.
+// less orders events by timestamp, then by the partition-invariant
+// (origin, sequence) key, keeping same-tick events in a deterministic order
+// that does not depend on how the fabric is partitioned.
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].src != h[j].src {
+		return h[i].src < h[j].src
 	}
 	return h[i].seq < h[j].seq
 }
@@ -96,31 +114,95 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// budget is the event bound shared by every domain of a partitioned run:
+// the total executed across all domains may not exceed max. Domains charge
+// it per event, so the bound is honored exactly — a domain stops the moment
+// the fleet-wide count would pass max, well within one lookahead window.
+type budget struct {
+	used atomic.Uint64
+	max  uint64
+}
+
+// charge reserves one event against the budget, reporting false when the
+// budget is exhausted (the reservation is rolled back so the count equals
+// events actually executed).
+func (b *budget) charge() bool {
+	if b.used.Add(1) > b.max {
+		b.used.Add(^uint64(0)) // undo; this event will not run
+		return false
+	}
+	return true
+}
+
 // Engine is the discrete-event core: a clock and an ordered event queue.
-// It is not safe for concurrent use; the entire simulation runs on the
-// caller's goroutine.
+// It is not safe for concurrent use; a simulation runs either entirely on
+// the caller's goroutine or, when the Network is partitioned, with one
+// Engine per domain, each confined to its domain's goroutine between
+// barriers.
 type Engine struct {
 	now    Time
-	seq    uint64
 	events eventHeap
 	// Processed counts executed events, a cheap progress/livelock indicator.
 	Processed uint64
+
+	// origin is the ordering-origin context of the currently executing
+	// event (0 outside event execution, i.e. during setup). counter caches
+	// the per-origin schedule counter so the hot path pays one map lookup
+	// per origin *switch*, not per scheduled event.
+	origin   uint64
+	counter  *uint64
+	counters map[uint64]*uint64
 }
 
 // NewEngine returns an engine at time zero with an empty queue.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	e := &Engine{counters: make(map[uint64]*uint64)}
+	e.counter = e.counterFor(0)
+	return e
+}
+
+func (e *Engine) counterFor(origin uint64) *uint64 {
+	c := e.counters[origin]
+	if c == nil {
+		c = new(uint64)
+		e.counters[origin] = c
+	}
+	return c
+}
+
+// setOrigin switches the scheduling context to origin (the executing
+// event's exec field).
+func (e *Engine) setOrigin(origin uint64) {
+	if origin != e.origin {
+		e.origin = origin
+		e.counter = e.counterFor(origin)
+	}
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Schedule runs fn at time at. Scheduling in the past is a programming
-// error and panics: allowing it would silently reorder causality.
+// error and panics: allowing it would silently reorder causality. The event
+// is keyed under the current origin context, so callbacks scheduled by one
+// node (or by setup code) keep their relative order under any partitioning.
 func (e *Engine) Schedule(at Time, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("netsim: schedule at %v before now %v", at, e.now))
 	}
-	e.seq++
-	e.events.push(event{at: at, seq: e.seq, fn: fn})
+	*e.counter++
+	e.events.push(event{at: at, src: e.origin, seq: *e.counter, exec: e.origin, fn: fn})
+}
+
+// scheduleKeyed enqueues an event under an explicit (src, seq) ordering key
+// and exec context. The Network uses it for frame deliveries, whose keys
+// derive from the transmitting half-link — identical no matter which domain
+// heap the event lands in.
+func (e *Engine) scheduleKeyed(at Time, src, seq, exec uint64, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("netsim: schedule at %v before now %v", at, e.now))
+	}
+	e.events.push(event{at: at, src: src, seq: seq, exec: exec, fn: fn})
 }
 
 // After runs fn d ticks from now.
@@ -134,16 +216,23 @@ func (e *Engine) Step() bool {
 	ev := e.events.pop()
 	e.now = ev.at
 	e.Processed++
+	e.setOrigin(ev.exec)
 	ev.fn()
 	return true
 }
 
 // Run drains the event queue. maxEvents bounds runaway simulations
 // (retransmission livelock under 100% loss, for example); it returns an
-// error when the bound is hit and nil when the queue empties.
+// error when events remain beyond the bound and nil when the queue
+// empties — a simulation of exactly maxEvents events succeeds, matching
+// the partitioned engine's total-budget semantics.
 func (e *Engine) Run(maxEvents uint64) error {
+	defer e.setOrigin(0)
 	for i := uint64(0); ; i++ {
 		if maxEvents > 0 && i >= maxEvents {
+			if len(e.events) == 0 {
+				return nil
+			}
 			return fmt.Errorf("netsim: event budget %d exhausted at t=%v (%d pending)",
 				maxEvents, e.now, len(e.events))
 		}
@@ -162,6 +251,32 @@ func (e *Engine) RunUntil(deadline Time) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+	e.setOrigin(0)
+}
+
+// runWindow executes every queued event strictly earlier than horizon,
+// charging each against the shared budget (nil = unlimited). It reports
+// whether the budget ran out mid-window. This is one domain's share of one
+// conservative lookahead window; the caller provides the barrier.
+func (e *Engine) runWindow(horizon Time, bud *budget) (exhausted bool) {
+	for len(e.events) > 0 && e.events[0].at < horizon {
+		if bud != nil && !bud.charge() {
+			e.setOrigin(0)
+			return true
+		}
+		e.Step()
+	}
+	e.setOrigin(0)
+	return false
+}
+
+// next returns the timestamp of the earliest queued event, or ok=false when
+// the queue is empty.
+func (e *Engine) next() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
 }
 
 // Pending returns the number of queued events.

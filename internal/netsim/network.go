@@ -12,6 +12,11 @@ import (
 // space so they map into the 10.0.0.0/8 addressing plan of internal/wire.
 type NodeID uint32
 
+// halfLinkKeyBase offsets half-link ordering origins above the 24-bit node
+// ID space, so frame-delivery keys can never collide with node or setup
+// scheduling origins.
+const halfLinkKeyBase uint64 = 1 << 32
+
 // Node is anything attached to the fabric. Attach is called exactly once,
 // when the node is added; HandleFrame is called by the event loop whenever a
 // frame arrives on one of the node's ports. The frame slice is owned by the
@@ -59,15 +64,30 @@ type txRec struct {
 }
 
 // halfLink is one direction of a link: a serializing transmitter feeding a
-// propagation delay into the peer node's port.
+// propagation delay into the peer node's port. All of a half-link's mutable
+// state is owned by the source node's partition domain: only code running
+// in that domain transmits on it.
 type halfLink struct {
 	cfg      LinkConfig
+	srcNode  NodeID
 	dstNode  NodeID
 	dstPort  int
 	busyTill Time // when the transmitter finishes its current backlog
 	queued   int  // bytes accepted but not yet fully serialized
 	stats    LinkStats
 	rng      *rand.Rand
+
+	// key is the half-link's ordering origin (halfLinkKeyBase | index) and
+	// txSeq its per-accepted-frame sequence. Together they key every frame
+	// delivery this half-link produces, so arrival order at the destination
+	// heap is deterministic and independent of partitioning.
+	key   uint64
+	txSeq uint64
+
+	// srcDom/dstDom are the partition domains of the two endpoints, nil
+	// while the network is unpartitioned.
+	srcDom *domain
+	dstDom *domain
 
 	// inflight records accepted frames not yet drained from the queue
 	// accounting. Occupancy is only ever consulted at admission time, so
@@ -105,11 +125,21 @@ type port struct {
 
 // Network glues nodes together with links on top of an Engine.
 type Network struct {
+	// Eng is the single sequential event engine. After Partition it is nil:
+	// each domain owns its own engine, and callers use Now/NodeNow/NodeAfter
+	// (which also work unpartitioned) instead of touching Eng directly.
 	Eng   *Engine
 	nodes map[NodeID]Node
 	ports map[NodeID][]*port
 	half  []*halfLink
 	seed  uint64
+
+	// Partitioned mode (see partition.go). domains is nil until Partition
+	// is called with more than one group; nodeDom maps every node to its
+	// domain; lookahead is the conservative window width.
+	domains   []*domain
+	nodeDom   map[NodeID]*domain
+	lookahead Time
 }
 
 // New creates an empty network over a fresh engine. seed drives all loss
@@ -126,6 +156,9 @@ func New(seed uint64) *Network {
 // AddNode attaches n under the given ID. Duplicate IDs are a configuration
 // error and panic.
 func (nw *Network) AddNode(id NodeID, n Node) {
+	if nw.domains != nil {
+		panic("netsim: AddNode after Partition")
+	}
 	if _, dup := nw.nodes[id]; dup {
 		panic(fmt.Sprintf("netsim: duplicate node id %d", id))
 	}
@@ -142,6 +175,9 @@ func (nw *Network) NumPorts(id NodeID) int { return len(nw.ports[id]) }
 // Connect joins a and b with a bidirectional link and returns the port
 // numbers allocated on each side. Both nodes must already be added.
 func (nw *Network) Connect(a, b NodeID, cfg LinkConfig) (aPort, bPort int) {
+	if nw.domains != nil {
+		panic("netsim: Connect after Partition")
+	}
 	if _, ok := nw.nodes[a]; !ok {
 		panic(fmt.Sprintf("netsim: connect: unknown node %d", a))
 	}
@@ -155,9 +191,11 @@ func (nw *Network) Connect(a, b NodeID, cfg LinkConfig) (aPort, bPort int) {
 	mk := func(salt uint64) *rand.Rand {
 		return rand.New(rand.NewSource(int64(hashing.Mix64(nw.seed ^ salt))))
 	}
-	ab := &halfLink{cfg: cfg, dstNode: b, dstPort: bPort,
+	ab := &halfLink{cfg: cfg, srcNode: a, dstNode: b, dstPort: bPort,
+		key: halfLinkKeyBase | uint64(len(nw.half)),
 		rng: mk(uint64(a)<<32 | uint64(b)<<8 | uint64(aPort))}
-	ba := &halfLink{cfg: cfg, dstNode: a, dstPort: aPort,
+	ba := &halfLink{cfg: cfg, srcNode: b, dstNode: a, dstPort: aPort,
+		key: halfLinkKeyBase | uint64(len(nw.half)+1),
 		rng: mk(uint64(b)<<32 | uint64(a)<<8 | uint64(bPort) | 1<<63)}
 	nw.ports[a] = append(nw.ports[a], &port{out: ab})
 	nw.ports[b] = append(nw.ports[b], &port{out: ba})
@@ -192,8 +230,12 @@ func (nw *Network) outHalf(from NodeID, portNum int) *halfLink {
 }
 
 func (nw *Network) send(hl *halfLink, frame []byte) {
+	eng := nw.Eng
+	if hl.srcDom != nil {
+		eng = hl.srcDom.eng
+	}
 	size := len(frame)
-	now := nw.Eng.Now()
+	now := eng.Now()
 	hl.drainTo(now)
 
 	if hl.queued+size > hl.cfg.QueueBytes {
@@ -219,14 +261,104 @@ func (nw *Network) send(hl *halfLink, frame []byte) {
 	hl.inflight = append(hl.inflight, txRec{done: done, size: size})
 	hl.stats.TxFrames++
 	hl.stats.TxBytes += uint64(size)
+	hl.txSeq++
 
 	arrival := done + Duration(hl.cfg.Propagation)
 	dst, dstPort := hl.dstNode, hl.dstPort
-	nw.Eng.Schedule(arrival, func() {
-		if n := nw.nodes[dst]; n != nil {
+	n := nw.nodes[dst]
+	fn := func() {
+		if n != nil {
 			n.HandleFrame(dstPort, frame)
 		}
-	})
+	}
+	if hl.srcDom == nil || hl.dstDom == hl.srcDom {
+		// Same event heap: deliver locally under the half-link's key.
+		eng.scheduleKeyed(arrival, hl.key, hl.txSeq, uint64(dst), fn)
+		return
+	}
+	// Cross-domain: mail the delivery to the destination domain. The event
+	// carries its full ordering key, so the barrier can push it into the
+	// peer heap in any order without perturbing determinism.
+	hl.srcDom.out[hl.dstDom.idx] = append(hl.srcDom.out[hl.dstDom.idx],
+		event{at: arrival, src: hl.key, seq: hl.txSeq, exec: uint64(dst), fn: fn})
+}
+
+// engFor returns the engine that owns node id's events: the domain engine
+// when partitioned, the single sequential engine otherwise.
+func (nw *Network) engFor(id NodeID) *Engine {
+	if nw.nodeDom != nil {
+		d := nw.nodeDom[id]
+		if d == nil {
+			panic(fmt.Sprintf("netsim: node %d not covered by any partition", id))
+		}
+		return d.eng
+	}
+	return nw.Eng
+}
+
+// NodeAfter schedules fn d ticks from node id's current virtual time, on
+// the event heap that owns the node. Node-resident timers (host timeouts,
+// switch recirculation) must use this instead of touching Eng so they land
+// on the right domain when the fabric is partitioned.
+//
+// Confinement contract: during a partitioned Run, a node callback may only
+// schedule on its OWN node (id must belong to the domain executing the
+// callback). Scheduling on another domain's node would mutate a heap that
+// domain's goroutine owns — a data race the CI -race stress tests catch —
+// and would stamp the event with a foreign, interleaving-dependent origin,
+// breaking the partition-invariant order. Cross-node influence must travel
+// as frames (Send), never as timers. Setup code (before Run) may schedule
+// on any node.
+func (nw *Network) NodeAfter(id NodeID, d Time, fn func()) {
+	nw.engFor(id).After(d, fn)
+}
+
+// NodeNow returns node id's current virtual time (its domain clock).
+func (nw *Network) NodeNow(id NodeID) Time {
+	return nw.engFor(id).Now()
+}
+
+// Now returns the fabric-wide virtual time: the latest domain clock. After
+// Run drains every queue this equals the timestamp of the last executed
+// event, exactly as in a sequential run.
+func (nw *Network) Now() Time {
+	if nw.domains == nil {
+		return nw.Eng.Now()
+	}
+	var t Time
+	for _, d := range nw.domains {
+		if d.eng.Now() > t {
+			t = d.eng.Now()
+		}
+	}
+	return t
+}
+
+// Processed returns the total number of events executed across all event
+// heaps.
+func (nw *Network) Processed() uint64 {
+	if nw.domains == nil {
+		return nw.Eng.Processed
+	}
+	var n uint64
+	for _, d := range nw.domains {
+		n += d.eng.Processed
+	}
+	return n
+}
+
+// Pending returns the total number of queued events across all event heaps
+// (excluding undelivered cross-domain mail, which only exists transiently
+// inside Run).
+func (nw *Network) Pending() int {
+	if nw.domains == nil {
+		return nw.Eng.Pending()
+	}
+	n := 0
+	for _, d := range nw.domains {
+		n += d.eng.Pending()
+	}
+	return n
 }
 
 // PortStats returns a copy of the transmit-direction statistics of
@@ -251,5 +383,13 @@ func (nw *Network) TotalStats() LinkStats {
 	return t
 }
 
-// Run drains the event loop (see Engine.Run).
-func (nw *Network) Run(maxEvents uint64) error { return nw.Eng.Run(maxEvents) }
+// Run drains the event loop: sequentially on the single engine, or — after
+// Partition — as a conservative parallel simulation, one goroutine per
+// domain (see partition.go). maxEvents bounds the total executed event
+// count across all domains; 0 means unlimited.
+func (nw *Network) Run(maxEvents uint64) error {
+	if nw.domains == nil {
+		return nw.Eng.Run(maxEvents)
+	}
+	return nw.runPartitioned(maxEvents)
+}

@@ -1,0 +1,229 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Partitioned parallel execution: the fabric is split into node-disjoint
+// domains, each with its own event heap and goroutine, synchronized with
+// conservative link-latency lookahead windows (Kohring-style protocol-level
+// parallelism). Every frame crossing a domain boundary is in flight for at
+// least one serialization tick plus the link's propagation delay, so each
+// domain may safely execute all events strictly earlier than
+//
+//	horizon = (earliest pending event anywhere) + lookahead
+//
+// where lookahead is the minimum in-flight latency over all cut links:
+// nothing executed inside the window can cause an event before the horizon
+// in another domain. Cross-domain deliveries travel through per-domain-pair
+// mailboxes and are folded into the destination heap at the barrier between
+// windows.
+//
+// Determinism: events are totally ordered by (timestamp, origin, origin
+// sequence) — see engine.go — and a mailed delivery carries the same key it
+// would have had on a single shared heap. Each domain therefore executes
+// exactly the events a sequential run would hand its nodes, in exactly the
+// same order, making partitioned metrics byte-identical to sequential ones
+// (asserted by TestPartitionConformanceProperty here and by the registry
+// conformance tests in internal/experiments).
+
+// domain is one partition: an engine, its node set, and one outbox per peer
+// domain. Outboxes are written only by this domain's goroutine during a
+// window and drained only at the barrier, so they need no locks.
+type domain struct {
+	idx   int
+	eng   *Engine
+	nodes []NodeID
+	out   [][]event // out[j]: deliveries destined for domain j
+}
+
+// maxTime is the horizon sentinel when no cross-domain links exist (a
+// single domain, or disconnected groups): run everything in one window.
+const maxTime = Time(math.MaxInt64)
+
+// Partition splits the fabric into one event-engine domain per node group
+// and switches Run to the conservative parallel algorithm. It must be
+// called after every AddNode/Connect and before any traffic is injected;
+// with fewer than two non-empty groups it is a no-op and the network keeps
+// its sequential single-engine fast path.
+//
+// Every node must appear in exactly one group. Any grouping is valid —
+// correctness never depends on where the fabric is cut — but the lookahead
+// window equals the minimum latency over cut links, so cuts across
+// longer-latency links (rack boundaries; see topology.Plan.PartitionGroups)
+// synchronize less often and parallelize better.
+func (nw *Network) Partition(groups [][]NodeID) error {
+	nonEmpty := make([][]NodeID, 0, len(groups))
+	for _, g := range groups {
+		if len(g) > 0 {
+			nonEmpty = append(nonEmpty, g)
+		}
+	}
+	if len(nonEmpty) <= 1 {
+		return nil
+	}
+	if nw.domains != nil {
+		return fmt.Errorf("netsim: network already partitioned into %d domains", len(nw.domains))
+	}
+	if nw.Eng.Processed != 0 || nw.Eng.Pending() != 0 {
+		return fmt.Errorf("netsim: Partition after events were scheduled (%d pending, %d processed)",
+			nw.Eng.Pending(), nw.Eng.Processed)
+	}
+
+	doms := make([]*domain, len(nonEmpty))
+	nodeDom := make(map[NodeID]*domain, len(nw.nodes))
+	for i, g := range nonEmpty {
+		d := &domain{idx: i, eng: NewEngine(), out: make([][]event, len(nonEmpty))}
+		doms[i] = d
+		for _, id := range g {
+			if _, ok := nw.nodes[id]; !ok {
+				return fmt.Errorf("netsim: partition group %d names unknown node %d", i, id)
+			}
+			if _, dup := nodeDom[id]; dup {
+				return fmt.Errorf("netsim: node %d appears in two partition groups", id)
+			}
+			nodeDom[id] = d
+			d.nodes = append(d.nodes, id)
+		}
+	}
+	if len(nodeDom) != len(nw.nodes) {
+		return fmt.Errorf("netsim: partition covers %d of %d nodes", len(nodeDom), len(nw.nodes))
+	}
+
+	lookahead := maxTime
+	for _, hl := range nw.half {
+		hl.srcDom = nodeDom[hl.srcNode]
+		hl.dstDom = nodeDom[hl.dstNode]
+		if hl.srcDom != hl.dstDom {
+			// A frame sent at t arrives no earlier than t + 1 serialization
+			// tick + propagation.
+			if la := 1 + Duration(hl.cfg.Propagation); la < lookahead {
+				lookahead = la
+			}
+		}
+	}
+
+	nw.domains = doms
+	nw.nodeDom = nodeDom
+	nw.lookahead = lookahead
+	nw.Eng = nil // all further scheduling must route through a domain
+	return nil
+}
+
+// Domains returns how many event-engine domains the network runs on
+// (1 while unpartitioned).
+func (nw *Network) Domains() int {
+	if nw.domains == nil {
+		return 1
+	}
+	return len(nw.domains)
+}
+
+// flushMail folds every outbox into its destination heap. Called only at
+// barriers (and before Run's error returns), when no domain goroutine is
+// executing. Push order cannot affect pop order: each event carries its
+// full deterministic key.
+func (nw *Network) flushMail() {
+	for _, d := range nw.domains {
+		for j := range d.out {
+			if len(d.out[j]) == 0 {
+				continue
+			}
+			peer := nw.domains[j].eng
+			for _, ev := range d.out[j] {
+				peer.events.push(ev)
+			}
+			d.out[j] = d.out[j][:0]
+		}
+	}
+}
+
+// runPartitioned drains all domains with the conservative window algorithm.
+// maxEvents bounds the TOTAL number of events executed across every domain
+// (the same budget a sequential run counts); 0 means unlimited. The bound
+// is charged per event through a shared counter, so domains stop within the
+// window in which the fleet-wide count reaches the budget.
+func (nw *Network) runPartitioned(maxEvents uint64) error {
+	var bud *budget
+	if maxEvents > 0 {
+		bud = &budget{max: maxEvents}
+	}
+
+	type result struct {
+		exhausted bool
+		panicked  any
+	}
+	n := len(nw.domains)
+	work := make([]chan Time, n)
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for i := range nw.domains {
+		work[i] = make(chan Time, 1)
+		go func(d *domain, ch chan Time, res *result) {
+			for horizon := range ch {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							res.panicked = r
+							stop.Store(true)
+						}
+						wg.Done()
+					}()
+					if d.eng.runWindow(horizon, bud) {
+						res.exhausted = true
+						stop.Store(true)
+					}
+				}()
+			}
+		}(nw.domains[i], work[i], &results[i])
+	}
+	shutdown := func() {
+		for _, ch := range work {
+			close(ch)
+		}
+	}
+
+	for {
+		// Barrier section: the coordinator owns all domain state here.
+		nw.flushMail()
+		next := maxTime
+		for _, d := range nw.domains {
+			if at, ok := d.eng.next(); ok && at < next {
+				next = at
+			}
+		}
+		if next == maxTime {
+			shutdown()
+			return nil
+		}
+		horizon := maxTime
+		if nw.lookahead != maxTime {
+			horizon = next + nw.lookahead
+		}
+
+		wg.Add(n)
+		for _, ch := range work {
+			ch <- horizon
+		}
+		wg.Wait()
+
+		if stop.Load() {
+			shutdown()
+			nw.flushMail()
+			for _, res := range results {
+				if res.panicked != nil {
+					// Re-raise on the caller's goroutine, preserving the
+					// sequential contract that node panics surface to (and
+					// are recoverable by) whoever called Run.
+					panic(res.panicked)
+				}
+			}
+			return fmt.Errorf("netsim: event budget %d exhausted at t=%v (%d pending)",
+				maxEvents, nw.Now(), nw.Pending())
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ---- conformance harness ----
+//
+// The partitioned engine's contract is replay identity: for the same
+// topology and workload, every observable quantity — per-node arrival
+// traces, link counters, final clock, even the executed event count — is
+// byte-identical whether the fabric runs on one event heap or many. The
+// tests here drive random cascading workloads through random topologies and
+// compare full trace fingerprints across partition counts and repeated
+// runs.
+
+// chatter is a test node that reacts to every arriving frame by forwarding
+// mutated copies to random ports, occasionally via a delayed timer. Its RNG
+// is consumed strictly in event-execution order, so any divergence in event
+// ordering between partitionings snowballs into a different trace
+// immediately — it is a determinism amplifier.
+type chatter struct {
+	nw  *Network
+	id  NodeID
+	rng *rand.Rand
+	log []string
+}
+
+func (c *chatter) Attach(nw *Network, id NodeID) {
+	c.nw, c.id = nw, id
+	c.rng = rand.New(rand.NewSource(int64(id)*0x9e3779b9 + 1))
+}
+
+func (c *chatter) HandleFrame(inPort int, frame []byte) {
+	var sum uint32
+	for _, b := range frame {
+		sum = sum*131 + uint32(b)
+	}
+	c.log = append(c.log, fmt.Sprintf("%d:%d:%d:%x", c.nw.NodeNow(c.id), inPort, len(frame), sum))
+	if len(frame) == 0 || frame[0] == 0 {
+		return
+	}
+	nports := c.nw.NumPorts(c.id)
+	if nports == 0 {
+		return
+	}
+	// Forward 1-2 mutated, TTL-decremented copies.
+	n := 1 + c.rng.Intn(2)
+	for i := 0; i < n; i++ {
+		nf := append([]byte(nil), frame...)
+		nf[0]--
+		if len(nf) > 1 {
+			nf[1+c.rng.Intn(len(nf)-1)] ^= byte(1 + c.rng.Intn(255))
+		}
+		port := c.rng.Intn(nports)
+		if c.rng.Intn(4) == 0 {
+			// Delayed echo through the node's own timer path.
+			d := Time(1 + c.rng.Intn(3000))
+			c.nw.NodeAfter(c.id, d, func() { c.nw.Send(c.id, port, nf) })
+		} else {
+			c.nw.Send(c.id, port, nf)
+		}
+	}
+}
+
+// chatterWorld builds a random connected topology of n chatter nodes and
+// injects the initial frames. Construction consumes only rng, so the same
+// rng seed rebuilds the identical world.
+func chatterWorld(t *testing.T, seed int64, n int) (*Network, []*chatter) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nw := New(uint64(seed))
+	nodes := make([]*chatter, n)
+	ids := make([]NodeID, n)
+	for i := range nodes {
+		nodes[i] = &chatter{}
+		ids[i] = NodeID(i + 1)
+		nw.AddNode(ids[i], nodes[i])
+	}
+	bandwidths := []int64{100_000_000, 1_000_000_000, 10_000_000_000}
+	props := []time.Duration{200 * time.Nanosecond, time.Microsecond, 5 * time.Microsecond}
+	queues := []int{2 << 10, 64 << 10, 1 << 20}
+	link := func(a, b NodeID) {
+		cfg := LinkConfig{
+			BandwidthBps: bandwidths[rng.Intn(len(bandwidths))],
+			Propagation:  props[rng.Intn(len(props))],
+			QueueBytes:   queues[rng.Intn(len(queues))],
+		}
+		if rng.Intn(4) == 0 {
+			cfg.LossProb = 0.05 + 0.2*rng.Float64()
+		}
+		nw.Connect(a, b, cfg)
+	}
+	for i := 1; i < n; i++ { // spanning tree keeps the graph connected
+		link(ids[i], ids[rng.Intn(i)])
+	}
+	for e := 0; e < n/2; e++ { // extra chords
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			link(ids[a], ids[b])
+		}
+	}
+	return nw, nodes
+}
+
+// inject queues the initial workload: every node fires a few TTL'd frames
+// at t=0, the synchronized-start shape that maximizes same-tick ties.
+func inject(nw *Network, nodes []*chatter, seed int64) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+	for _, c := range nodes {
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			frame := make([]byte, 2+rng.Intn(180))
+			rng.Read(frame)
+			frame[0] = byte(3 + rng.Intn(4)) // TTL
+			nw.Send(c.id, rng.Intn(nw.NumPorts(c.id)), frame)
+		}
+	}
+}
+
+// randomGroups deals the n nodes into k groups at random (some may come out
+// empty; Partition filters them).
+func randomGroups(n, k int, seed int64) [][]NodeID {
+	rng := rand.New(rand.NewSource(seed ^ 0x27d4eb2f))
+	groups := make([][]NodeID, k)
+	for i := 0; i < n; i++ {
+		g := rng.Intn(k)
+		groups[g] = append(groups[g], NodeID(i+1))
+	}
+	return groups
+}
+
+// fingerprint renders everything the determinism contract covers.
+func fingerprint(nw *Network, nodes []*chatter) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "now=%v processed=%d total=%+v\n", nw.Now(), nw.Processed(), nw.TotalStats())
+	sorted := append([]*chatter(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].id < sorted[j].id })
+	for _, c := range sorted {
+		fmt.Fprintf(&b, "node %d:", c.id)
+		for p := 0; p < nw.NumPorts(c.id); p++ {
+			fmt.Fprintf(&b, " p%d=%+v", p, nw.PortStats(c.id, p))
+		}
+		fmt.Fprintf(&b, " log=%s\n", strings.Join(c.log, ","))
+	}
+	return b.String()
+}
+
+// runWorld builds, optionally partitions, injects, runs, and fingerprints
+// one world.
+func runWorld(t *testing.T, seed int64, n, domains int) string {
+	t.Helper()
+	nw, nodes := chatterWorld(t, seed, n)
+	if domains > 1 {
+		if err := nw.Partition(randomGroups(n, domains, seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inject(nw, nodes, seed)
+	if err := nw.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return fingerprint(nw, nodes)
+}
+
+// TestPartitionConformanceProperty is the netsim-level conformance suite:
+// random topologies and workloads replay byte-identically across partition
+// counts (including randomly unbalanced cuts) and across repeated runs.
+func TestPartitionConformanceProperty(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("world-%d", trial), func(t *testing.T) {
+			t.Parallel()
+			seed := int64(1000 + 77*trial)
+			n := 8 + trial*3
+			seq := runWorld(t, seed, n, 1)
+			for _, domains := range []int{2, 3, 4} {
+				got := runWorld(t, seed, n, domains)
+				if got != seq {
+					t.Fatalf("replay diverged at %d domains:\nsequential:\n%s\npartitioned:\n%s",
+						domains, seq, got)
+				}
+			}
+			// Repeated run at the same partitioning: identical again.
+			if again := runWorld(t, seed, n, 4); again != seq {
+				t.Fatal("repeated partitioned run diverged")
+			}
+		})
+	}
+}
+
+// TestPartitionSmallLookaheadStress shrinks every link's propagation to a
+// handful of ticks, forcing a barrier every few events — the regime that
+// shakes out mailbox-ordering and window-boundary bugs, and the dedicated
+// workload of the CI -race job.
+func TestPartitionSmallLookaheadStress(t *testing.T) {
+	run := func(domains int) string {
+		nw := New(99)
+		nodes := make([]*chatter, 12)
+		for i := range nodes {
+			nodes[i] = &chatter{}
+			nw.AddNode(NodeID(i+1), nodes[i])
+		}
+		// Ring + chords, all with tiny propagation: lookahead = 51 ticks.
+		cfg := LinkConfig{Propagation: 50 * time.Nanosecond, QueueBytes: 16 << 10}
+		for i := range nodes {
+			nw.Connect(NodeID(i+1), NodeID((i+1)%len(nodes)+1), cfg)
+		}
+		for i := 0; i < len(nodes); i += 3 {
+			nw.Connect(NodeID(i+1), NodeID((i+len(nodes)/2)%len(nodes)+1), cfg)
+		}
+		if domains > 1 {
+			groups := make([][]NodeID, domains)
+			for i := range nodes {
+				g := i % domains
+				groups[g] = append(groups[g], NodeID(i+1))
+			}
+			if err := nw.Partition(groups); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range nodes {
+			frame := make([]byte, 40)
+			frame[0] = 6 // TTL
+			frame[20] = byte(i)
+			nw.Send(NodeID(i+1), 0, frame)
+		}
+		if err := nw.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint(nw, nodes)
+	}
+	seq := run(1)
+	for _, d := range []int{2, 4} {
+		if got := run(d); got != seq {
+			t.Fatalf("small-lookahead run diverged at %d domains", d)
+		}
+	}
+}
+
+// TestPartitionEventBudgetTotal pins the budget semantics the issue fixes:
+// maxEvents bounds the TOTAL events executed across all domains, charged
+// per event, so the limit is honored exactly — well within one lookahead
+// window — and the error surfaces like the sequential one.
+func TestPartitionEventBudgetTotal(t *testing.T) {
+	build := func(domains int) (*Network, []*chatter) {
+		nw := New(7)
+		nodes := make([]*chatter, 4)
+		for i := range nodes {
+			nodes[i] = &chatter{}
+			nw.AddNode(NodeID(i+1), nodes[i])
+		}
+		cfg := LinkConfig{QueueBytes: 1 << 20}
+		for i := 0; i < len(nodes); i++ {
+			nw.Connect(NodeID(i+1), NodeID((i+1)%len(nodes)+1), cfg)
+		}
+		if domains > 1 {
+			nw.Partition([][]NodeID{{1, 2}, {3, 4}})
+		}
+		for i := range nodes {
+			frame := make([]byte, 32)
+			frame[0] = 14 // TTL: a cascade of a few thousand events
+			nw.Send(NodeID(i+1), 0, frame)
+		}
+		return nw, nodes
+	}
+
+	// Establish how many events the unbounded run needs.
+	nw, _ := build(2)
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	total := nw.Processed()
+	if total < 100 {
+		t.Fatalf("cascade too small to test budgets: %d events", total)
+	}
+
+	// A budget below the total must fail with exactly budget events run.
+	budget := total / 2
+	nw, _ = build(2)
+	err := nw.Run(budget)
+	if err == nil {
+		t.Fatalf("budget %d of %d events: want error", budget, total)
+	}
+	if !strings.Contains(err.Error(), "event budget") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if got := nw.Processed(); got != budget {
+		t.Fatalf("executed %d events under budget %d; the budget must be total across domains", got, budget)
+	}
+
+	// A budget at or above the total must succeed.
+	nw, _ = build(2)
+	if err := nw.Run(total + 1); err != nil {
+		t.Fatalf("budget %d over total %d: %v", total+1, total, err)
+	}
+	if got := nw.Processed(); got != total {
+		t.Fatalf("processed %d, want %d", got, total)
+	}
+
+	// Boundary parity with the sequential engine: a budget of exactly the
+	// event count succeeds in both modes, and the sequential twin runs the
+	// same number of events.
+	nw, _ = build(2)
+	if err := nw.Run(total); err != nil {
+		t.Fatalf("partitioned: budget == total must succeed: %v", err)
+	}
+	nw, _ = build(1)
+	if err := nw.Run(total); err != nil {
+		t.Fatalf("sequential: budget == total must succeed: %v", err)
+	}
+	if got := nw.Processed(); got != total {
+		t.Fatalf("sequential processed %d, want %d (event counts must agree across modes)", got, total)
+	}
+}
+
+// TestPartitionValidation covers the configuration contract.
+func TestPartitionValidation(t *testing.T) {
+	mk := func() *Network {
+		nw := New(1)
+		nw.AddNode(1, &chatter{})
+		nw.AddNode(2, &chatter{})
+		nw.Connect(1, 2, LinkConfig{})
+		return nw
+	}
+
+	if err := mk().Partition([][]NodeID{{1, 2}}); err != nil {
+		t.Fatalf("single group must be a sequential no-op: %v", err)
+	}
+	if err := mk().Partition([][]NodeID{{1}, {2, 2}}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if err := mk().Partition([][]NodeID{{1}, {3}}); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if err := mk().Partition([][]NodeID{{1}}); err != nil {
+		t.Fatalf("partial single group is still sequential: %v", err)
+	}
+	if err := mk().Partition([][]NodeID{{1}, {}}); err != nil {
+		t.Fatalf("empty groups must be filtered: %v", err)
+	}
+	nw := mk()
+	if err := nw.Partition([][]NodeID{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Domains() != 2 {
+		t.Fatalf("domains = %d", nw.Domains())
+	}
+	if err := nw.Partition([][]NodeID{{1}, {2}}); err == nil {
+		t.Fatal("double partition accepted")
+	}
+
+	// Traffic before Partition: rejected.
+	nw = mk()
+	nw.Send(1, 0, []byte{1})
+	if err := nw.Partition([][]NodeID{{1}, {2}}); err == nil {
+		t.Fatal("partition after traffic accepted")
+	}
+
+	// Topology changes after Partition: panic.
+	nw = mk()
+	if err := nw.Partition([][]NodeID{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AddNode after Partition did not panic")
+			}
+		}()
+		nw.AddNode(3, &chatter{})
+	}()
+}
+
+// TestPartitionNodePanicPropagates keeps the sequential contract that a
+// panicking node callback surfaces to Run's caller, even from a domain
+// goroutine.
+func TestPartitionNodePanicPropagates(t *testing.T) {
+	nw := New(1)
+	nw.AddNode(1, &chatter{})
+	nw.AddNode(2, &panicNode{})
+	nw.Connect(1, 2, LinkConfig{})
+	if err := nw.Partition([][]NodeID{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(1, 0, []byte{1, 2, 3})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("node panic swallowed by partitioned run")
+		}
+	}()
+	_ = nw.Run(0)
+}
+
+type panicNode struct{}
+
+func (p *panicNode) Attach(*Network, NodeID) {}
+func (p *panicNode) HandleFrame(int, []byte) { panic("node exploded") }

@@ -135,6 +135,99 @@ func FatTree(k int, cfg netsim.LinkConfig) (*Plan, error) {
 	return p, nil
 }
 
+// PartitionGroups computes the rack-cut partitioning of the plan for the
+// parallel event engine (netsim.Network.Partition): one unit per rack (an
+// edge switch plus the hosts attached to it), hostless switches (spines,
+// aggregations, cores) pooled into one fabric unit, units dealt round-robin
+// into n groups. Cutting at rack boundaries keeps the chatty host<->leaf
+// traffic inside one domain and pays synchronization only on inter-rack
+// links.
+//
+// When n exceeds the number of rack units (a single-switch plan, say), the
+// plan is cut inside racks instead: nodes are dealt individually, so the
+// fan-in senders of an incast spread across domains. Any grouping is
+// correct — the cut only affects the lookahead window, never results.
+func (p *Plan) PartitionGroups(n int) [][]netsim.NodeID {
+	all := make([]netsim.NodeID, 0, len(p.Switches)+len(p.Hosts))
+	all = append(all, p.Switches...)
+	all = append(all, p.Hosts...)
+	if n <= 1 || len(all) <= 1 {
+		return [][]netsim.NodeID{all}
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+
+	// Host -> attached switch (first link wins; every plan this package
+	// builds gives hosts exactly one uplink).
+	attach := make(map[netsim.NodeID]netsim.NodeID, len(p.Hosts))
+	for _, l := range p.Links {
+		h, sw := l.A, l.B
+		if IsSwitchID(h) {
+			h, sw = sw, h
+		}
+		if IsSwitchID(h) || !IsSwitchID(sw) {
+			continue // switch-switch or host-host link
+		}
+		if _, ok := attach[h]; !ok {
+			attach[h] = sw
+		}
+	}
+	hostsOf := make(map[netsim.NodeID][]netsim.NodeID, len(p.Switches))
+	for _, h := range p.Hosts {
+		if sw, ok := attach[h]; ok {
+			hostsOf[sw] = append(hostsOf[sw], h)
+		}
+	}
+
+	var units [][]netsim.NodeID
+	var spine []netsim.NodeID
+	for _, sw := range p.Switches {
+		if hs := hostsOf[sw]; len(hs) > 0 {
+			unit := make([]netsim.NodeID, 0, 1+len(hs))
+			units = append(units, append(append(unit, sw), hs...))
+		} else {
+			spine = append(spine, sw)
+		}
+	}
+	if len(spine) > 0 {
+		units = append(units, spine)
+	}
+	for _, h := range p.Hosts {
+		if _, ok := attach[h]; !ok {
+			units = append(units, []netsim.NodeID{h})
+		}
+	}
+
+	bins := make([][]netsim.NodeID, n)
+	if len(units) >= n {
+		for i, u := range units {
+			bins[i%n] = append(bins[i%n], u...)
+		}
+		return bins
+	}
+	// Fewer racks than requested domains: cut inside racks, dealing nodes
+	// individually (unit order keeps each switch near the front of its bin).
+	i := 0
+	for _, u := range units {
+		for _, id := range u {
+			bins[i%n] = append(bins[i%n], id)
+			i++
+		}
+	}
+	return bins
+}
+
+// Partitions splits the realized fabric into n parallel event-engine
+// domains along the plan's rack cut (see PartitionGroups). n <= 1 keeps the
+// sequential engine. Must be called before any traffic is injected.
+func (f *Fabric) Partitions(n int) error {
+	if n <= 1 {
+		return nil
+	}
+	return f.Net.Partition(f.Plan.PartitionGroups(n))
+}
+
 // Edge is one adjacency entry: the local out-port that reaches Peer.
 type Edge struct {
 	Peer netsim.NodeID

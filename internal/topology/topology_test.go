@@ -239,3 +239,86 @@ func TestECMPStillLoopFreePerDestination(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionGroupsCoverEveryNodeOnce: the rack-cut grouping is a true
+// partition of every plan shape, at any requested domain count.
+func TestPartitionGroupsCoverEveryNodeOnce(t *testing.T) {
+	plans := []*Plan{
+		SingleSwitch(25, netsim.LinkConfig{}),
+		LeafSpine(3, 2, 6, netsim.LinkConfig{}),
+		LeafSpine(8, 4, 12, netsim.LinkConfig{}),
+	}
+	if ft, err := FatTree(4, netsim.LinkConfig{}); err != nil {
+		t.Fatal(err)
+	} else {
+		plans = append(plans, ft)
+	}
+	for _, p := range plans {
+		total := len(p.Hosts) + len(p.Switches)
+		for _, n := range []int{1, 2, 4, 7, total, total + 5} {
+			groups := p.PartitionGroups(n)
+			if len(groups) > n && n >= 1 {
+				t.Fatalf("%s n=%d: %d groups", p.Name, n, len(groups))
+			}
+			seen := map[netsim.NodeID]int{}
+			for _, g := range groups {
+				for _, id := range g {
+					seen[id]++
+				}
+			}
+			if len(seen) != total {
+				t.Fatalf("%s n=%d: groups cover %d of %d nodes", p.Name, n, len(seen), total)
+			}
+			for id, c := range seen {
+				if c != 1 {
+					t.Fatalf("%s n=%d: node %d in %d groups", p.Name, n, id, c)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionGroupsRackCut: with one domain per rack, every host lands in
+// the same group as its leaf switch — the cut runs along inter-rack links.
+func TestPartitionGroupsRackCut(t *testing.T) {
+	const leaves, spines, perLeaf = 4, 2, 6
+	p := LeafSpine(leaves, spines, perLeaf, netsim.LinkConfig{})
+	groups := p.PartitionGroups(leaves) // spine unit folds into a rack bin
+	groupOf := map[netsim.NodeID]int{}
+	for gi, g := range groups {
+		for _, id := range g {
+			groupOf[id] = gi
+		}
+	}
+	for _, l := range p.Links {
+		h, sw := l.A, l.B
+		if IsSwitchID(h) {
+			h, sw = sw, h
+		}
+		if IsSwitchID(h) || !IsSwitchID(sw) {
+			continue // leaf-spine link: allowed to cross
+		}
+		if groupOf[h] != groupOf[sw] {
+			t.Fatalf("host %d split from its leaf %d (groups %d vs %d)",
+				h, sw, groupOf[h], groupOf[sw])
+		}
+	}
+}
+
+// TestFabricPartitionsRuns: a partitioned realized fabric still delivers.
+func TestFabricPartitionsRuns(t *testing.T) {
+	p := LeafSpine(3, 2, 4, netsim.LinkConfig{})
+	f := realize(t, p)
+	if err := f.Partitions(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Net.Domains(); got != 3 {
+		t.Fatalf("domains = %d, want 3", got)
+	}
+	if err := f.Partitions(1); err != nil { // n<=1 stays a no-op request
+		t.Fatal(err)
+	}
+	if err := f.Net.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

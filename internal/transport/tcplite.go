@@ -236,7 +236,7 @@ func (c *Conn) armTimer() {
 	}
 	c.timerArmed = true
 	gen := c.timerGen
-	c.host.nw.Eng.After(netsim.Duration(c.rto), func() { c.onTimer(gen) })
+	c.host.After(c.rto, func() { c.onTimer(gen) })
 }
 
 // onTimer retransmits from sndUna (go-back-N) when the timer is still
@@ -492,7 +492,7 @@ func (c *Conn) teardown() {
 	c.timerGen++
 	key := c.key
 	h := c.host
-	h.nw.Eng.After(netsim.Duration(8*c.rto), func() {
+	h.After(8*c.rto, func() {
 		if cur, ok := h.conns[key]; ok && cur == c {
 			delete(h.conns, key)
 		}
