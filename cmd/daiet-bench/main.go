@@ -15,8 +15,9 @@
 // -seed fixes the base seed (per-trial seeds derive from it, so the same
 // seed reproduces the same intervals); -parallel sets the sharded runner's
 // worker-pool degree (0 = GOMAXPROCS, 1 = sequential) and -sim-workers the
-// intra-simulation partition degree (event-engine domains per fabric) —
-// results are identical at any combination. -json writes machine-readable
+// intra-simulation partition degree (event-engine domains per fabric;
+// "auto" lets every fabric pick min(rack-cut units, GOMAXPROCS)) — results
+// are identical at any combination. -json writes machine-readable
 // per-figure wall-clock and headline metrics (with CI bounds) to the -out
 // path (default BENCH_results.json) so the performance trajectory is
 // tracked across changes; CI diffs it against the committed baseline via
@@ -32,6 +33,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,14 +51,32 @@ var (
 	seeds      = flag.Int("seeds", experiments.DefaultSeeds, "independent seeds per figure point (the CI ensemble)")
 	scale      = flag.Float64("scale", 1.0, "problem-size multiplier (1 = paper scale)")
 	parallel   = flag.Int("parallel", 0, "experiment-runner parallelism (0 = GOMAXPROCS, 1 = sequential)")
-	simWorkers = flag.Int("sim-workers", 1, "intra-simulation parallelism: event-engine domains per fabric (results identical at any value)")
+	simWorkers = flag.String("sim-workers", "1", "intra-simulation parallelism: event-engine domains per fabric, or \"auto\" for min(rack-cut units, GOMAXPROCS) per fabric (results identical at any value)")
 	jsonOut    = flag.Bool("json", false, "write per-figure wall-clock and headline metrics to the -out path")
 	outPath    = flag.String("out", defaultJSONPath, "path for the -json report")
 )
 
+// parseSimWorkers maps the -sim-workers flag onto the RunConfig knob:
+// "auto" (or 0) selects per-fabric autotuning, anything else is an
+// explicit domain count.
+func parseSimWorkers(s string) (int, error) {
+	if s == "auto" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("-sim-workers: want a non-negative integer or \"auto\", got %q", s)
+	}
+	return n, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	flag.Parse()
+	simW, err := parseSimWorkers(*simWorkers)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var specs []*experiments.Spec
 	for _, s := range experiments.Specs() {
@@ -99,7 +119,7 @@ func main() {
 			Seeds:       *seeds,
 			Scale:       *scale,
 			Parallelism: figParallel,
-			SimWorkers:  *simWorkers,
+			SimWorkers:  simW,
 		})
 		if err != nil {
 			return outcome{}, err
@@ -128,7 +148,7 @@ func main() {
 		Seeds:       *seeds,
 		Scale:       *scale,
 		Parallelism: runner.Degree(*parallel),
-		SimWorkers:  *simWorkers,
+		SimWorkers:  simW,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		TotalWallMS: totalMS,
 	}

@@ -11,8 +11,11 @@ import "github.com/daiet/daiet/internal/stats"
 // point-estimate metric values of schema 1 with Estimate objects
 // (mean/stderr/ci_lo/ci_hi/n) from the multi-seed sweep framework.
 // Schema 3 added SimWorkers (the intra-simulation partition degree), which
-// skews wall-clock exactly like Parallelism does.
-const Schema = 3
+// skews wall-clock exactly like Parallelism does. Schema 4 gave SimWorkers
+// an autotuned mode: 0 records "-sim-workers auto" (each fabric picks
+// min(rack-cut units, GOMAXPROCS)), and the figure set gained the
+// fault-injection and incast-jitter figures.
+const Schema = 4
 
 // FigureRecord is one figure's entry: wall-clock plus every headline
 // metric as a mean with confidence bounds.

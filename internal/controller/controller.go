@@ -9,6 +9,7 @@ package controller
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/daiet/daiet/internal/core"
 	"github.com/daiet/daiet/internal/netsim"
@@ -30,19 +31,32 @@ func New(fab *topology.Fabric, programs map[netsim.NodeID]*core.Program) *Contro
 // InstallRouting installs plain IPv4 forwarding entries on every switch for
 // every host, so baseline (non-aggregated) traffic flows.
 func (c *Controller) InstallRouting() error {
-	for swID, prog := range c.programs {
-		for _, h := range c.fab.Plan.Hosts {
-			nh, ok := c.fab.NextHop(swID, h)
-			if !ok {
-				return fmt.Errorf("controller: switch %d cannot reach host %d", swID, h)
-			}
-			port := c.fab.PortTo(swID, nh)
-			if port < 0 {
-				return fmt.Errorf("controller: switch %d has no port to %d", swID, nh)
-			}
-			if err := prog.InstallRoute(uint32(h), port); err != nil {
-				return err
-			}
+	for swID := range c.programs {
+		if err := c.InstallRoutingOn(swID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InstallRoutingOn installs the forwarding entries for every host on one
+// switch — the recovery path for a switch that rebooted with empty tables.
+func (c *Controller) InstallRoutingOn(swID netsim.NodeID) error {
+	prog, ok := c.programs[swID]
+	if !ok {
+		return fmt.Errorf("controller: no program registered for switch %d", swID)
+	}
+	for _, h := range c.fab.Plan.Hosts {
+		nh, ok := c.fab.NextHop(swID, h)
+		if !ok {
+			return fmt.Errorf("controller: switch %d cannot reach host %d", swID, h)
+		}
+		port := c.fab.PortTo(swID, nh)
+		if port < 0 {
+			return fmt.Errorf("controller: switch %d has no port to %d", swID, nh)
+		}
+		if err := prog.InstallRoute(uint32(h), port); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -86,6 +100,18 @@ func (p *TreePlan) Depth() int {
 // destination, the union is cycle-free and forms a tree rooted at the
 // reducer.
 func (c *Controller) PlanTree(reducer netsim.NodeID, mappers []netsim.NodeID) (*TreePlan, error) {
+	return c.PlanTreeAvoiding(reducer, mappers, nil)
+}
+
+// PlanTreeAvoiding is PlanTree over the fabric minus an avoid set — the
+// failover path: after the liveness monitor declares switches or links
+// dead, the controller re-plans every affected tree around them. A mapper
+// with no surviving path to the reducer makes the plan fail; callers
+// retry with a reachable subset (see MapperSubsetAvoiding) or wait for
+// recovery.
+func (c *Controller) PlanTreeAvoiding(reducer netsim.NodeID, mappers []netsim.NodeID,
+	avoid *topology.Avoid) (*TreePlan, error) {
+
 	if len(mappers) == 0 {
 		return nil, fmt.Errorf("controller: tree for reducer %d has no mappers", reducer)
 	}
@@ -102,7 +128,7 @@ func (c *Controller) PlanTree(reducer netsim.NodeID, mappers []netsim.NodeID) (*
 		if m == reducer {
 			return nil, fmt.Errorf("controller: mapper and reducer are the same node %d", m)
 		}
-		path := c.fab.Path(m, reducer)
+		path := c.fab.PathAvoiding(m, reducer, avoid)
 		if path == nil {
 			return nil, fmt.Errorf("controller: no path from mapper %d to reducer %d", m, reducer)
 		}
@@ -130,12 +156,42 @@ func (c *Controller) PlanTree(reducer netsim.NodeID, mappers []netsim.NodeID) (*
 	return plan, nil
 }
 
+// MapperSubsetAvoiding splits mappers into those with a surviving path to
+// the reducer under the avoid set and those orphaned by failures. The
+// fault-tolerant shuffle plans trees over the reachable subset and lets
+// orphans wait for recovery.
+func (c *Controller) MapperSubsetAvoiding(reducer netsim.NodeID, mappers []netsim.NodeID,
+	avoid *topology.Avoid) (reachable, orphaned []netsim.NodeID) {
+
+	next := c.fab.NextHopsAvoiding(reducer, avoid) // one BFS for all mappers
+	for _, m := range mappers {
+		if _, ok := next[m]; ok && m != reducer {
+			reachable = append(reachable, m)
+		} else {
+			orphaned = append(orphaned, m)
+		}
+	}
+	return reachable, orphaned
+}
+
 // TreeOptions carries the aggregation parameters applied uniformly across a
 // tree's switches.
 type TreeOptions struct {
 	Agg       core.AggFuncID
 	TableSize int
 	SpillCap  int // 0: one packet's worth
+
+	// Epoch/PinEpoch pin every switch of the tree to one recovery round
+	// (see core.TreeConfig). The fault-tolerant shuffle bumps the epoch on
+	// every round restart.
+	Epoch    uint8
+	PinEpoch bool
+
+	// RootReplay/RootRTO enable the switch→reducer replay buffer on the
+	// tree's root switch only (the switch whose parent is the reducer);
+	// interior switch→switch hops are out of its scope.
+	RootReplay int
+	RootRTO    time.Duration
 }
 
 // InstallTree configures every switch in the plan. On failure, switches
@@ -157,14 +213,21 @@ func (c *Controller) InstallTree(plan *TreePlan, opt TreeOptions) error {
 			c.rollback(plan, done)
 			return fmt.Errorf("controller: switch %d has no port to tree parent %d", sw, parent)
 		}
-		err := prog.ConfigureTree(core.TreeConfig{
+		cfg := core.TreeConfig{
 			TreeID:    plan.TreeID,
 			OutPort:   port,
 			Children:  plan.Children[sw],
 			Agg:       opt.Agg,
 			TableSize: opt.TableSize,
 			SpillCap:  opt.SpillCap,
-		})
+			Epoch:     opt.Epoch,
+			PinEpoch:  opt.PinEpoch,
+		}
+		if parent == plan.Root {
+			cfg.RootReplay = opt.RootReplay
+			cfg.RootRTO = opt.RootRTO
+		}
+		err := prog.ConfigureTree(cfg)
 		if err != nil {
 			c.rollback(plan, done)
 			return fmt.Errorf("controller: configuring switch %d: %w", sw, err)

@@ -1,0 +1,159 @@
+package controller
+
+import (
+	"time"
+
+	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/topology"
+)
+
+// Monitor is the control plane's timeout-based liveness detector, driven
+// entirely by simulated time: the job driver polls it at quiescent control
+// points (between Network.RunUntil windows), it probes every switch and
+// link out of band — the same direct program/fabric access the rest of the
+// controller uses, standing in for a management-network health channel —
+// and declares a component dead once it has been unresponsive for
+// DeadTimeout. It also catches crash-restart cycles shorter than a polling
+// period through the switch boot-generation counter (Program.Crashes):
+// a switch that rebooted between polls lost all dataplane state even if
+// every poll found it "up".
+//
+// The monitor owns recovery of baseline state: a switch seen rebooting
+// gets its IPv4 routing reinstalled immediately (InstallRoutingOn).
+// Aggregation-tree failover is the job driver's business — it reads the
+// poll report and the Avoid set and re-plans around the dead set.
+type Monitor struct {
+	ctl     *Controller
+	nw      *netsim.Network
+	timeout netsim.Time
+
+	lastAlive map[netsim.NodeID]netsim.Time // last poll that found the switch up
+	lastGen   map[netsim.NodeID]uint64      // boot generation at that poll
+	linkAlive map[[2]netsim.NodeID]netsim.Time
+	lastFlaps map[[2]netsim.NodeID]uint64 // flap generation at the last poll
+	deadSw    map[netsim.NodeID]bool
+	deadLink  map[[2]netsim.NodeID]bool
+}
+
+// PollReport is what one Poll observed, in deterministic (plan) order.
+type PollReport struct {
+	// NewlyDeadSwitches/NewlyDeadLinks crossed the timeout this poll and
+	// joined the dead set: trees using them need failover.
+	NewlyDeadSwitches []netsim.NodeID
+	NewlyDeadLinks    [][2]netsim.NodeID
+	// RestartedSwitches rebooted since the previous poll (previously
+	// declared dead, or a crash-restart inside one polling period). Their
+	// routing has been reinstalled, but all aggregation state they held is
+	// gone: trees that spanned them must be re-driven.
+	RestartedSwitches []netsim.NodeID
+	// RevivedLinks came back up and left the dead set.
+	RevivedLinks [][2]netsim.NodeID
+	// FlappedLinks took at least one down transition since the previous
+	// poll (flap generation advanced), regardless of current state — the
+	// only mechanism that can silently discard some of a flow's frames
+	// while letting later ones through. Rounds whose trees use a flapped
+	// link cannot trust an apparently-complete stream.
+	FlappedLinks [][2]netsim.NodeID
+}
+
+// Changed reports whether the poll altered the monitor's view at all.
+func (r *PollReport) Changed() bool {
+	return len(r.NewlyDeadSwitches) > 0 || len(r.NewlyDeadLinks) > 0 ||
+		len(r.RestartedSwitches) > 0 || len(r.RevivedLinks) > 0 ||
+		len(r.FlappedLinks) > 0
+}
+
+// NewMonitor creates a monitor over the controller's fabric. deadTimeout
+// is how long a component may be unresponsive before it is declared dead
+// (the figure's recovery-timeout axis).
+func NewMonitor(ctl *Controller, deadTimeout time.Duration) *Monitor {
+	return &Monitor{
+		ctl:       ctl,
+		nw:        ctl.fab.Net,
+		timeout:   netsim.Duration(deadTimeout),
+		lastAlive: make(map[netsim.NodeID]netsim.Time),
+		lastGen:   make(map[netsim.NodeID]uint64),
+		linkAlive: make(map[[2]netsim.NodeID]netsim.Time),
+		lastFlaps: make(map[[2]netsim.NodeID]uint64),
+		deadSw:    make(map[netsim.NodeID]bool),
+		deadLink:  make(map[[2]netsim.NodeID]bool),
+	}
+}
+
+// Poll probes every switch and plan link at virtual time now. Must be
+// called with the network quiescent; successive polls must not move
+// backwards in time.
+func (m *Monitor) Poll(now netsim.Time) (PollReport, error) {
+	var rep PollReport
+	for _, sw := range m.ctl.fab.Plan.Switches {
+		prog, ok := m.ctl.programs[sw]
+		if !ok {
+			continue
+		}
+		gen := prog.Crashes()
+		if prog.Alive() {
+			rebooted := m.deadSw[sw]
+			if prev, seen := m.lastGen[sw]; seen && prev != gen {
+				rebooted = true
+			}
+			if rebooted {
+				// Fresh boot with empty tables: restore baseline routing
+				// now; the driver restores aggregation state.
+				if err := m.ctl.InstallRoutingOn(sw); err != nil {
+					return rep, err
+				}
+				delete(m.deadSw, sw)
+				rep.RestartedSwitches = append(rep.RestartedSwitches, sw)
+			}
+			m.lastAlive[sw] = now
+			m.lastGen[sw] = gen
+			continue
+		}
+		if !m.deadSw[sw] && now-m.lastAlive[sw] >= m.timeout {
+			m.deadSw[sw] = true
+			rep.NewlyDeadSwitches = append(rep.NewlyDeadSwitches, sw)
+		}
+	}
+	for _, l := range m.ctl.fab.Plan.Links {
+		key := topology.LinkKey(l.A, l.B)
+		if flaps := m.nw.LinkFlaps(l.A, l.B); flaps != m.lastFlaps[key] {
+			m.lastFlaps[key] = flaps
+			rep.FlappedLinks = append(rep.FlappedLinks, key)
+		}
+		if m.nw.LinkUp(l.A, l.B) {
+			if m.deadLink[key] {
+				delete(m.deadLink, key)
+				rep.RevivedLinks = append(rep.RevivedLinks, key)
+			}
+			m.linkAlive[key] = now
+			continue
+		}
+		if !m.deadLink[key] && now-m.linkAlive[key] >= m.timeout {
+			m.deadLink[key] = true
+			rep.NewlyDeadLinks = append(rep.NewlyDeadLinks, key)
+		}
+	}
+	return rep, nil
+}
+
+// Avoid returns a snapshot of the current dead set in the shape tree
+// planning consumes.
+func (m *Monitor) Avoid() *topology.Avoid {
+	a := &topology.Avoid{
+		Nodes: make(map[netsim.NodeID]bool, len(m.deadSw)),
+		Links: make(map[[2]netsim.NodeID]bool, len(m.deadLink)),
+	}
+	for sw := range m.deadSw {
+		a.Nodes[sw] = true
+	}
+	for l := range m.deadLink {
+		a.Links[l] = true
+	}
+	return a
+}
+
+// DeadSwitches returns how many switches are currently declared dead.
+func (m *Monitor) DeadSwitches() int { return len(m.deadSw) }
+
+// DeadLinks returns how many links are currently declared dead.
+func (m *Monitor) DeadLinks() int { return len(m.deadLink) }

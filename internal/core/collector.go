@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"github.com/daiet/daiet/internal/netsim"
 	"github.com/daiet/daiet/internal/transport"
 	"github.com/daiet/daiet/internal/wire"
 )
@@ -18,6 +19,12 @@ type CollectorStats struct {
 	PairsReceived     uint64
 	PayloadBytes      uint64 // DAIET header + pairs bytes received
 	UniqueKeys        uint64 // distinct keys in the final result
+
+	// Epoch-filter and root-gate counters.
+	StaleEpochDropped uint64 // packets from a non-current round, discarded
+	RootDups          uint64 // root-hop duplicates discarded (re-ACKed)
+	RootGaps          uint64 // root-hop out-of-order drops (await retransmit)
+	RootAcksOut       uint64 // cumulative ACKs sent back to root switches
 }
 
 // Collector is the reducer-side half of the DAIET protocol: it receives
@@ -36,6 +43,20 @@ type Collector struct {
 
 	result   map[string]uint32
 	complete bool
+
+	// Epoch filter (BeginEpoch): when active, only packets whose flags
+	// high byte matches epoch are processed — the reducer-side half of the
+	// round-based exactly-once contract.
+	epochFilter bool
+	epoch       uint8
+
+	// Root-hop gate (EnableRootAck): per-source in-order filtering with
+	// cumulative acknowledgements for switch flush streams (packets flagged
+	// FlagAggregated/FlagSpill), mirroring the switch-side edge gate. host
+	// carries the ACKs; it is set by Attach.
+	rootGate bool
+	rootExp  map[uint32]uint32 // src node -> next expected sequence
+	host     *transport.Host
 
 	// KeepRaw, when set before traffic arrives, records every received
 	// pair in RawPairs in arrival order. The MapReduce harness uses the
@@ -66,20 +87,92 @@ func NewCollector(treeID uint32, agg AggFunc, geom wire.PairGeometry, expectedEn
 
 // Attach registers the collector on the host's DAIET UDP port.
 func (c *Collector) Attach(h *transport.Host) {
-	h.HandleUDP(wire.UDPPortDaiet, func(_ wire.IPv4Addr, _ uint16, payload []byte) {
-		c.handle(payload)
+	c.host = h
+	h.HandleUDP(wire.UDPPortDaiet, func(src wire.IPv4Addr, _ uint16, payload []byte) {
+		c.handle(src, payload)
 	})
 }
 
 // Ingest feeds one raw DAIET UDP payload into the collector. Alternative
 // carriers (the real-socket runtime in internal/udprt) call this directly.
-func (c *Collector) Ingest(payload []byte) { c.handle(payload) }
+// The source address is unknown on this path, so the root-hop gate does
+// not apply.
+func (c *Collector) Ingest(payload []byte) { c.handle(wire.IPv4Addr{}, payload) }
 
 // Complete reports whether all expected ENDs have arrived.
 func (c *Collector) Complete() bool { return c.complete }
 
+// BeginEpoch resets the collector for a fresh round: accumulated results,
+// raw pairs, and END accounting are discarded, and from now on only
+// packets tagged with the given epoch are processed. The fault-tolerant
+// shuffle calls it once per recovery round; lifetime Stats keep
+// accumulating so discarded stale traffic stays observable.
+func (c *Collector) BeginEpoch(epoch uint8, expectedEnds int) {
+	c.epochFilter = true
+	c.epoch = epoch
+	c.expectedEnds = expectedEnds
+	c.endsSeen = 0
+	c.complete = false
+	c.result = make(map[string]uint32)
+	c.RawPairs = nil
+	if c.rootExp != nil {
+		c.rootExp = make(map[uint32]uint32)
+	}
+}
+
+// EnableRootAck turns on the root-hop reliability gate: switch flush
+// packets (FlagAggregated/FlagSpill) are accepted strictly in per-source
+// sequence order, duplicates and gaps are dropped, and every decision is
+// answered with a cumulative ACK to the emitting switch — the collector
+// half of the TreeConfig.RootReplay extension. Requires Attach (ACKs need
+// a carrier).
+func (c *Collector) EnableRootAck() {
+	c.rootGate = true
+	if c.rootExp == nil {
+		c.rootExp = make(map[uint32]uint32)
+	}
+}
+
+// rootGated applies the per-source in-order filter to one switch flush
+// packet and reports whether it must be discarded.
+func (c *Collector) rootGated(src wire.IPv4Addr, hdr *wire.DaietHeader) bool {
+	srcNode := src.NodeID()
+	exp := c.rootExp[srcNode]
+	switch {
+	case hdr.Seq == exp:
+		c.rootExp[srcNode] = exp + 1
+		c.sendRootAck(srcNode, exp+1)
+		return false
+	case hdr.Seq < exp:
+		c.Stats.RootDups++
+		c.sendRootAck(srcNode, exp)
+		return true
+	default:
+		c.Stats.RootGaps++
+		c.sendRootAck(srcNode, exp)
+		return true
+	}
+}
+
+// sendRootAck emits one cumulative acknowledgement toward a root switch.
+func (c *Collector) sendRootAck(dst uint32, cumSeq uint32) {
+	if c.host == nil {
+		return // Ingest-fed collector: no carrier to answer on
+	}
+	buf := wire.NewBuffer(wire.DefaultHeadroom, 0)
+	hdr := wire.DaietHeader{
+		Type:   wire.TypeAck,
+		TreeID: c.treeID,
+		Seq:    cumSeq,
+		Flags:  uint16(c.epoch) << 8,
+	}
+	hdr.SerializeTo(buf)
+	c.host.SendUDP(netsim.NodeID(dst), wire.UDPPortDaiet, wire.UDPPortDaiet, buf.Bytes())
+	c.Stats.RootAcksOut++
+}
+
 // handle ingests one DAIET UDP payload.
-func (c *Collector) handle(payload []byte) {
+func (c *Collector) handle(src wire.IPv4Addr, payload []byte) {
 	var hdr wire.DaietHeader
 	rest, err := hdr.DecodeFrom(payload)
 	if err != nil {
@@ -87,6 +180,17 @@ func (c *Collector) handle(payload []byte) {
 	}
 	if hdr.TreeID != c.treeID {
 		return
+	}
+	if c.epochFilter && uint8(hdr.Flags>>8) != c.epoch {
+		c.Stats.StaleEpochDropped++
+		return
+	}
+	if c.rootGate && src != (wire.IPv4Addr{}) &&
+		(hdr.Type == wire.TypeData || hdr.Type == wire.TypeEnd) &&
+		hdr.Flags&(wire.FlagAggregated|wire.FlagSpill) != 0 {
+		if c.rootGated(src, &hdr) {
+			return
+		}
 	}
 	c.Stats.Packets++
 	c.Stats.PayloadBytes += uint64(len(payload))

@@ -1,0 +1,340 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/daiet/daiet/internal/core"
+	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/topology"
+	"github.com/daiet/daiet/internal/wire"
+)
+
+// buildRootLossyRig: mapper links clean, reducer (root) link lossy — the
+// hop the switch-side replay buffer protects.
+func buildRootLossyRig(t *testing.T, nMappers int, rootLoss float64) (*rig, []netsim.NodeID, netsim.NodeID) {
+	t.Helper()
+	sw := topology.SwitchBase
+	plan := &topology.Plan{Name: "rootlossy", Switches: []netsim.NodeID{sw}}
+	for i := 0; i < nMappers+1; i++ {
+		h := topology.HostBase + netsim.NodeID(i)
+		plan.Hosts = append(plan.Hosts, h)
+		cfg := netsim.LinkConfig{}
+		if i == nMappers {
+			cfg.LossProb = rootLoss
+		}
+		plan.Links = append(plan.Links, topology.Link{A: h, B: sw, Cfg: cfg})
+	}
+	r := buildRig(t, plan, core.ProgramConfig{})
+	return r, plan.Hosts[:nMappers], plan.Hosts[nMappers]
+}
+
+// TestRootReplayRecoversFlushLoss: with the switch→reducer hop dropping
+// frames (data AND acks), the bounded replay buffer plus collector gate
+// must still deliver the aggregate exactly once.
+func TestRootReplayRecoversFlushLoss(t *testing.T) {
+	const nMappers, keys = 3, 400
+	r, mappers, reducer := buildRootLossyRig(t, nMappers, 0.25)
+	plan, err := r.ctl.PlanTree(reducer, mappers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	senderIDs := make([]uint32, len(mappers))
+	for i, m := range mappers {
+		senderIDs[i] = uint32(m)
+	}
+	for _, swn := range plan.SwitchNodes {
+		if err := r.programs[swn].ConfigureTree(core.TreeConfig{
+			TreeID:     plan.TreeID,
+			OutPort:    r.fab.PortTo(swn, plan.Parent[swn]),
+			Children:   plan.Children[swn],
+			Agg:        core.AggSum,
+			TableSize:  256, // far fewer cells than keys: spills + long flush
+			Reliable:   true,
+			Senders:    senderIDs,
+			RootReplay: 16,
+			RootRTO:    300 * time.Microsecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, _ := core.FuncByID(core.AggSum)
+	col := core.NewCollector(uint32(reducer), sum, wire.DefaultGeometry, plan.RootChildren())
+	col.Attach(r.hosts[reducer])
+	col.EnableRootAck()
+
+	want := map[string]uint32{}
+	for mi, m := range mappers {
+		mux := core.NewAckMux(r.hosts[m])
+		s, err := core.NewReliableSender(r.hosts[m], uint32(reducer), reducer,
+			wire.DefaultGeometry, 10, core.ReliableConfig{RTO: 500 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux.Register(s)
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("key%03d", k)
+			val := uint32(mi*7 + k)
+			want[key] += val
+			if err := s.Send([]byte(key), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.End()
+	}
+	if err := r.nw.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !col.Complete() {
+		t.Fatalf("collector incomplete under root loss: %+v", col.Stats)
+	}
+	got := col.Result()
+	if len(got) != len(want) {
+		t.Fatalf("keys %d want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %q = %d want %d (lost or duplicated flush)", k, got[k], v)
+		}
+	}
+	st, _ := r.programs[plan.SwitchNodes[0]].TreeStats(plan.TreeID)
+	if st.RootRetransmissions == 0 {
+		t.Fatalf("no root retransmissions at 25%% root loss: %+v", st)
+	}
+	if st.RootAcksIn == 0 || col.Stats.RootAcksOut == 0 {
+		t.Fatalf("ack loop never ran: switch %+v collector %+v", st, col.Stats)
+	}
+	if col.Stats.RootDups == 0 && col.Stats.RootGaps == 0 {
+		t.Fatalf("collector gate filtered nothing: %+v", col.Stats)
+	}
+}
+
+// TestRootReplayBoundedBackpressure: a replay cap far smaller than the
+// flush length forces flush stalls, and the stream still completes — the
+// bounded-buffer contract.
+func TestRootReplayBoundedBackpressure(t *testing.T) {
+	const nMappers, keys = 2, 300
+	r, mappers, reducer := buildRootLossyRig(t, nMappers, 0)
+	plan, err := r.ctl.PlanTree(reducer, mappers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	senderIDs := make([]uint32, len(mappers))
+	for i, m := range mappers {
+		senderIDs[i] = uint32(m)
+	}
+	swn := plan.SwitchNodes[0]
+	if err := r.programs[swn].ConfigureTree(core.TreeConfig{
+		TreeID:     plan.TreeID,
+		OutPort:    r.fab.PortTo(swn, plan.Parent[swn]),
+		Children:   plan.Children[swn],
+		Agg:        core.AggSum,
+		TableSize:  1024,
+		Reliable:   true,
+		Senders:    senderIDs,
+		RootReplay: 2, // flush needs ~30 packets: must stall repeatedly
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := core.FuncByID(core.AggSum)
+	col := core.NewCollector(uint32(reducer), sum, wire.DefaultGeometry, plan.RootChildren())
+	col.Attach(r.hosts[reducer])
+	col.EnableRootAck()
+	for _, m := range mappers {
+		mux := core.NewAckMux(r.hosts[m])
+		s, err := core.NewReliableSender(r.hosts[m], uint32(reducer), reducer,
+			wire.DefaultGeometry, 10, core.ReliableConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux.Register(s)
+		for k := 0; k < keys; k++ {
+			if err := s.Send([]byte(fmt.Sprintf("key%03d", k)), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.End()
+	}
+	if err := r.nw.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !col.Complete() {
+		t.Fatalf("collector incomplete: %+v", col.Stats)
+	}
+	st, _ := r.programs[swn].TreeStats(plan.TreeID)
+	if st.FlushStalls == 0 {
+		t.Fatalf("tiny replay cap never stalled the flush: %+v", st)
+	}
+	if got := col.Result()["key007"]; got != uint32(nMappers) {
+		t.Fatalf("key007 = %d want %d", got, nMappers)
+	}
+}
+
+// TestProgramCrashLosesStateAndRestarts: Crash wipes trees, registers and
+// routes (reporting resident pairs), Restart comes back empty, and the
+// boot generation advances.
+func TestProgramCrashLosesStateAndRestarts(t *testing.T) {
+	plan := topology.SingleSwitch(3, netsim.LinkConfig{})
+	r := buildRig(t, plan, core.ProgramConfig{})
+	mappers, reducer := plan.Hosts[:2], plan.Hosts[2]
+	tplan, err := r.ctl.PlanTree(reducer, mappers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := r.programs[tplan.SwitchNodes[0]]
+	if err := prog.ConfigureTree(core.TreeConfig{
+		TreeID: tplan.TreeID, OutPort: r.fab.PortTo(tplan.SwitchNodes[0], reducer),
+		Children: tplan.Children[tplan.SwitchNodes[0]], Agg: core.AggSum, TableSize: 128,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Stream pairs but no END: aggregates stay resident in the switch.
+	s, err := core.NewSender(r.hosts[mappers[0]], tplan.TreeID, reducer, wire.DefaultGeometry, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50; k++ {
+		if err := s.Send([]byte(fmt.Sprintf("k%02d", k)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	if err := r.nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	if !prog.Alive() || prog.Crashes() != 0 {
+		t.Fatalf("pre-crash state: alive=%v gen=%d", prog.Alive(), prog.Crashes())
+	}
+	// Resident = everything that entered minus what already left as spill
+	// packets (collisions overflowing the bucket are emitted downstream).
+	st, _ := prog.TreeStats(tplan.TreeID)
+	lost := prog.Crash()
+	if lost <= 0 || uint64(lost)+st.PairsSpillSent != 50 {
+		t.Fatalf("crash reported %d resident pairs (+%d spilled out), want 50 total",
+			lost, st.PairsSpillSent)
+	}
+	if prog.Alive() || prog.Crashes() != 1 {
+		t.Fatalf("post-crash state: alive=%v gen=%d", prog.Alive(), prog.Crashes())
+	}
+	if got := len(prog.Trees()); got != 0 {
+		t.Fatalf("%d trees survived the crash", got)
+	}
+	if used := prog.Registers().Used(); used != 0 {
+		t.Fatalf("%d register bytes survived the crash", used)
+	}
+	// Down switch drops everything.
+	s2, _ := core.NewSender(r.hosts[mappers[1]], tplan.TreeID, reducer, wire.DefaultGeometry, 10)
+	_ = s2.Send([]byte("x"), 1)
+	s2.Flush()
+	if err := r.nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	prog.Restart()
+	if !prog.Alive() {
+		t.Fatal("restart did not revive the switch")
+	}
+	// Fresh boot forwards nothing until the controller reinstalls routes.
+	pre := r.hosts[reducer].Stats.FramesRx
+	s3, _ := core.NewSender(r.hosts[mappers[1]], tplan.TreeID, reducer, wire.DefaultGeometry, 10)
+	_ = s3.Send([]byte("y"), 1)
+	s3.Flush()
+	if err := r.nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.hosts[reducer].Stats.FramesRx; got != pre {
+		t.Fatalf("rebooted switch forwarded %d frames with empty tables", got-pre)
+	}
+	if err := r.ctl.InstallRoutingOn(tplan.SwitchNodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	s4, _ := core.NewSender(r.hosts[mappers[1]], tplan.TreeID, reducer, wire.DefaultGeometry, 10)
+	_ = s4.Send([]byte("z"), 1)
+	s4.Flush()
+	if err := r.nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.hosts[reducer].Stats.FramesRx; got != pre+1 {
+		t.Fatalf("reinstalled routes delivered %d frames, want 1", got-pre)
+	}
+}
+
+// TestEpochPinningFiltersStaleTraffic: a pinned tree drops DATA/END from
+// any other epoch; the collector's epoch filter does the same on the host.
+func TestEpochPinningFiltersStaleTraffic(t *testing.T) {
+	plan := topology.SingleSwitch(3, netsim.LinkConfig{})
+	r := buildRig(t, plan, core.ProgramConfig{})
+	mappers, reducer := plan.Hosts[:2], plan.Hosts[2]
+	tplan, err := r.ctl.PlanTree(reducer, mappers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swn := tplan.SwitchNodes[0]
+	// Children: 1 — the pinned round has exactly one current-epoch sender;
+	// the stale mapper's END must not count toward the flush trigger.
+	if err := r.programs[swn].ConfigureTree(core.TreeConfig{
+		TreeID: tplan.TreeID, OutPort: r.fab.PortTo(swn, reducer),
+		Children: 1, Agg: core.AggSum, TableSize: 128,
+		Epoch: 3, PinEpoch: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := core.FuncByID(core.AggSum)
+	col := core.NewCollector(uint32(reducer), sum, wire.DefaultGeometry, 1)
+	col.Attach(r.hosts[reducer])
+	col.BeginEpoch(3, 1)
+
+	// Epoch 2 (stale) and epoch 3 (current) streams from the two mappers.
+	for i, m := range mappers {
+		s, err := core.NewSender(r.hosts[m], tplan.TreeID, reducer, wire.DefaultGeometry, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetEpoch(uint8(2 + i))
+		for k := 0; k < 20; k++ {
+			if err := s.Send([]byte(fmt.Sprintf("k%02d", k)), uint32(100+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.End()
+	}
+	if err := r.nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !col.Complete() {
+		t.Fatalf("current epoch incomplete: %+v", col.Stats)
+	}
+	st, _ := r.programs[swn].TreeStats(tplan.TreeID)
+	if st.StaleEpochDropped == 0 {
+		t.Fatalf("switch aggregated a stale epoch: %+v", st)
+	}
+	// Only epoch-3 values (101) survive.
+	for k, v := range col.Result() {
+		if v != 101 {
+			t.Fatalf("key %q = %d: stale epoch leaked into the aggregate", k, v)
+		}
+	}
+
+	// With the tree torn down, stale traffic reaches the reducer as plain
+	// forwarded UDP; the collector's own epoch filter must discard it.
+	r.programs[swn].RemoveTree(tplan.TreeID)
+	s, err := core.NewSender(r.hosts[mappers[0]], tplan.TreeID, reducer, wire.DefaultGeometry, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetEpoch(2)
+	if err := s.Send([]byte("stale"), 999); err != nil {
+		t.Fatal(err)
+	}
+	s.End()
+	if err := r.nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if col.Stats.StaleEpochDropped == 0 {
+		t.Fatalf("collector accepted stale-epoch traffic: %+v", col.Stats)
+	}
+	if _, leaked := col.Result()["stale"]; leaked {
+		t.Fatal("stale pair leaked into the result")
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"github.com/daiet/daiet/internal/dataplane"
+	"github.com/daiet/daiet/internal/netsim"
 	"github.com/daiet/daiet/internal/wire"
 )
 
@@ -79,6 +81,24 @@ type TreeConfig struct {
 	// the node IDs allowed to feed this tree (required when Reliable).
 	Reliable bool
 	Senders  []uint32
+
+	// Epoch tags the job round this configuration serves. Every packet
+	// emitted downstream carries it in the flags high byte; with PinEpoch
+	// set, DATA/END packets from any other epoch are dropped (and counted)
+	// instead of aggregated. The fault-tolerant MapReduce driver pins one
+	// epoch per recovery round so stale in-flight traffic from an aborted
+	// round can never contaminate its successor.
+	Epoch    uint8
+	PinEpoch bool
+
+	// RootReplay enables the switch→reducer reliability extension on this
+	// hop (intended for a tree's root switch): the switch retains up to
+	// RootReplay emitted packets in a bounded per-tree replay buffer until
+	// the collector cumulatively acknowledges them, go-back-N retransmits
+	// on RootRTO timeout, and pauses the flush loop (VerdictStall) while
+	// the buffer is full. RootRTO defaults to 500µs.
+	RootReplay int
+	RootRTO    time.Duration
 }
 
 // TreeStats counts one tree's activity on one switch.
@@ -102,6 +122,12 @@ type TreeStats struct {
 	DupsDropped   uint64 // in-window duplicates discarded (re-ACKed)
 	GapsDropped   uint64 // out-of-order packets discarded (await retransmit)
 	UnknownSender uint64 // reliable packets from unregistered senders
+
+	// Epoch-pinning and root-replay counters.
+	StaleEpochDropped   uint64 // DATA/END from a non-pinned epoch, discarded
+	RootAcksIn          uint64 // collector ACKs consumed
+	RootRetransmissions uint64 // replay-buffer go-back-N retransmissions
+	FlushStalls         uint64 // flush passes paused on a full replay buffer
 }
 
 // treeState bundles the registers backing one tree on one switch.
@@ -125,7 +151,21 @@ type treeState struct {
 	epoch       *dataplane.Register // current round epoch per sender
 	lastFinal   *dataplane.Register // final cumulative ack of the previous epoch
 
+	// Root-replay extension (cfg.RootReplay > 0): emitted packets retained
+	// until cumulatively acknowledged. replayBase is the sequence number of
+	// replay[0]; entries are consecutive.
+	replay        []replayPkt
+	replayBase    uint32
+	replayTimerOn bool
+	replayGen     int
+
 	Stats TreeStats
+}
+
+// replayPkt is one retained downstream packet: enough to retransmit it.
+type replayPkt struct {
+	port  int
+	frame []byte
 }
 
 // regNames lists the register names a tree allocates, for teardown.
@@ -161,6 +201,12 @@ type Program struct {
 	treeTable *dataplane.Table
 	fwdTable  *dataplane.Table
 	trees     map[uint32]*treeState
+
+	// crashes counts Crash calls — the "boot generation" a liveness monitor
+	// compares across polls to detect crash-restart cycles shorter than its
+	// polling period.
+	crashes uint64
+	selfIP  wire.IPv4Addr // lazily cached IPFromNode(switch ID)
 }
 
 // NewProgram builds the pipeline and wraps it in a Switch ready to be added
@@ -263,6 +309,9 @@ func (p *Program) ConfigureTree(cfg TreeConfig) (err error) {
 	}
 	if cfg.SpillCap == 0 {
 		cfg.SpillCap = p.maxPairs
+	}
+	if cfg.RootReplay > 0 && cfg.RootRTO == 0 {
+		cfg.RootRTO = 500 * time.Microsecond
 	}
 	agg, err := FuncByID(cfg.Agg)
 	if err != nil {
@@ -388,6 +437,43 @@ func (p *Program) DrainTree(treeID uint32) ([]KV, error) {
 	return out, nil
 }
 
+// Crash simulates a switch power failure: all dataplane state — every
+// tree's registers (including partial aggregates and replay buffers), the
+// tree table, and the forwarding table — is lost, and the switch drops all
+// traffic until Restart. It returns how many aggregated pairs were
+// resident in switch memory at the moment of the crash: the partial
+// aggregates a recovery protocol must re-drive. Call only while the
+// network is quiescent (a fault-injection control point).
+func (p *Program) Crash() (lostPairs int) {
+	ids := make([]uint32, 0, len(p.trees))
+	for id, st := range p.trees {
+		lostPairs += int(st.stackTop.Cells[0]) + int(st.spillCnt.Cells[0])
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		p.RemoveTree(id)
+	}
+	p.fwdTable.Clear()
+	p.crashes++
+	p.sw.SetDown(true)
+	return lostPairs
+}
+
+// Restart revives a crashed switch with empty tables: it forwards nothing
+// and aggregates nothing until the controller reinstalls routing and
+// trees, exactly like a rebooted device joining the fabric.
+func (p *Program) Restart() { p.sw.SetDown(false) }
+
+// Alive reports whether the switch is up (responding to the control
+// plane).
+func (p *Program) Alive() bool { return !p.sw.Down() }
+
+// Crashes returns the boot-generation counter: how many times the switch
+// has crashed. A liveness monitor that sees the generation advance between
+// polls knows a crash-restart cycle happened even if every poll found the
+// switch up.
+func (p *Program) Crashes() uint64 { return p.crashes }
+
 // RemoveTree tears one tree down, freeing its registers.
 func (p *Program) RemoveTree(treeID uint32) {
 	if _, ok := p.trees[treeID]; !ok {
@@ -488,14 +574,38 @@ func (p *Program) stageAggregate(c *dataplane.Ctx) {
 		return
 	}
 	if c.U[slotFlushMode] == 1 {
+		if st.cfg.PinEpoch && uint8(c.U[slotFlags]>>8) != st.cfg.Epoch {
+			// Zombie flush: a recirculating flush context from an aborted
+			// round outlived its tree, and the tree ID is now occupied by a
+			// fresh epoch. Draining the new round's registers here would
+			// corrupt it — kill the context instead.
+			st.Stats.StaleEpochDropped++
+			c.U[slotFlushMode] = 0
+			c.Drop()
+			return
+		}
 		p.flushPass(c, st)
 		return
 	}
 	typ := wire.DaietType(c.U[slotDaietType])
+	if typ == wire.TypeAck && st.cfg.RootReplay > 0 && p.isSelf(c.B[bslotDstIP]) {
+		// A collector acknowledgement for this switch's own downstream
+		// stream: consume it against the replay buffer.
+		p.handleRootAck(c, st)
+		return
+	}
 	if typ != wire.TypeData && typ != wire.TypeEnd {
 		// ACK/NACK belong to the end-host reliability extension; the base
 		// program lets them through to their destination.
 		c.U[slotAggregate] = 0
+		return
+	}
+	if st.cfg.PinEpoch && uint8(c.U[slotFlags]>>8) != st.cfg.Epoch {
+		// Stale traffic from another round (an aborted predecessor, or a
+		// straggler that outlived its tree): exactly-once across recovery
+		// rounds requires dropping it, never aggregating it.
+		st.Stats.StaleEpochDropped++
+		c.Drop()
 		return
 	}
 	if st.cfg.Reliable && !p.reliableGate(c, st) {
@@ -589,6 +699,90 @@ func (p *Program) reliableGate(c *dataplane.Ctx, st *treeState) bool {
 		c.Drop()
 		return false
 	}
+}
+
+// isSelf reports whether ip is this switch's own address (valid once the
+// switch is attached to a fabric; cached after first use).
+func (p *Program) isSelf(ip []byte) bool {
+	if p.selfIP == (wire.IPv4Addr{}) {
+		p.selfIP = wire.IPFromNode(uint32(p.sw.ID()))
+	}
+	return len(ip) == 4 && wire.IPv4Addr{ip[0], ip[1], ip[2], ip[3]} == p.selfIP
+}
+
+// handleRootAck consumes a collector's cumulative acknowledgement of this
+// tree's downstream stream: every replay entry below the ACKed sequence is
+// released, and the retransmit timer is re-armed over what remains.
+func (p *Program) handleRootAck(c *dataplane.Ctx, st *treeState) {
+	if st.cfg.PinEpoch && uint8(c.U[slotFlags]>>8) != st.cfg.Epoch {
+		// A straggler ACK from a previous round: honoring its cumulative
+		// sequence against this round's replay buffer would release
+		// packets the collector never acknowledged.
+		st.Stats.StaleEpochDropped++
+		c.Drop()
+		return
+	}
+	st.Stats.RootAcksIn++
+	ack := uint32(c.U[slotSeq])
+	if n := int(int32(ack - st.replayBase)); n > 0 {
+		if n > len(st.replay) {
+			n = len(st.replay)
+		}
+		st.replay = st.replay[n:]
+		st.replayBase += uint32(n)
+		st.replayGen++ // progress: restart the retransmit clock
+		st.replayTimerOn = false
+		p.armReplayTimer(st)
+	}
+	c.Drop() // consumed
+}
+
+// recordReplay retains one just-emitted downstream packet for
+// retransmission and arms the timer. The frame is copied: the emitted
+// original is owned by the fabric once transmitted.
+func (p *Program) recordReplay(st *treeState, port int, frame []byte) {
+	st.replay = append(st.replay, replayPkt{port: port, frame: append([]byte(nil), frame...)})
+	p.armReplayTimer(st)
+}
+
+// replayFull reports whether the bounded replay buffer has no room for
+// another emission — the flush loop's backpressure signal.
+func (p *Program) replayFull(st *treeState) bool {
+	return st.cfg.RootReplay > 0 && len(st.replay) >= st.cfg.RootReplay
+}
+
+func (p *Program) armReplayTimer(st *treeState) {
+	if st.replayTimerOn || len(st.replay) == 0 {
+		return
+	}
+	st.replayTimerOn = true
+	gen := st.replayGen
+	p.sw.After(netsim.Duration(st.cfg.RootRTO), func() { p.onReplayTimer(st, gen) })
+}
+
+// onReplayTimer is the go-back-N retransmission path for the
+// switch→reducer hop: everything unacknowledged is re-injected. There is
+// no give-up bound — job-level recovery owns liveness decisions; the
+// caller's event budget bounds pathological cases.
+func (p *Program) onReplayTimer(st *treeState, gen int) {
+	if gen != st.replayGen {
+		// Superseded: an ACK already restarted the retransmit clock and a
+		// newer timer chain owns replayTimerOn — clearing it here would
+		// let a duplicate chain be armed alongside that one.
+		return
+	}
+	st.replayTimerOn = false
+	if len(st.replay) == 0 {
+		return
+	}
+	if p.trees[st.cfg.TreeID] != st {
+		return // tree torn down (or switch crashed) since arming
+	}
+	for _, pkt := range st.replay {
+		p.sw.Inject(pkt.port, append([]byte(nil), pkt.frame...))
+		st.Stats.RootRetransmissions++
+	}
+	p.armReplayTimer(st)
 }
 
 // epochNewer reports whether a is ahead of b in mod-256 arithmetic.
@@ -724,6 +918,16 @@ func (p *Program) handleEnd(c *dataplane.Ctx, st *treeState) {
 // spillover leftovers first, then register contents via the index stack,
 // then a terminal END downstream.
 func (p *Program) flushPass(c *dataplane.Ctx, st *treeState) {
+	if p.replayFull(st) {
+		// Root-replay backpressure: every emission is retained until the
+		// collector acknowledges it, so a full buffer pauses the flush
+		// (stall, not recirculate: waiting on a round trip costs no
+		// recirculation budget). ACKs drain the buffer; the stalled pass
+		// then resumes exactly where it left off.
+		st.Stats.FlushStalls++
+		c.Stall()
+		return
+	}
 	if cnt := int(c.RegRead(st.spillCnt, 0)); cnt > 0 {
 		p.emitSpill(c, st, cnt)
 		c.RegWrite(st.spillCnt, 0, 0)
@@ -781,8 +985,15 @@ func (p *Program) emitDaiet(c *dataplane.Ctx, st *treeState, buf *wire.Buffer,
 		TreeID:   st.cfg.TreeID,
 		Seq:      uint32(seq),
 		NumPairs: numPairs,
-		Flags:    flags,
+		Flags:    flags | uint16(st.cfg.Epoch)<<8,
 	}
 	frame := wire.BuildDaietFrame(buf, hdr, uint32(p.sw.ID()), st.cfg.TreeID, wire.UDPPortDaiet)
 	c.Emit(st.cfg.OutPort, frame)
+	if st.cfg.RootReplay > 0 {
+		// Spill emissions during aggregation bypass the flush-loop
+		// backpressure check, so the buffer can transiently exceed its cap
+		// by in-flight spills; the flush loop stalls until ACKs bring it
+		// back under.
+		p.recordReplay(st, st.cfg.OutPort, frame)
+	}
 }

@@ -58,6 +58,7 @@ type Sender struct {
 	buf   *wire.Buffer
 	n     int
 	ended bool
+	epoch uint8
 
 	// maxBurst bounds how many sealed packets accumulate before they are
 	// handed to the carrier. 1 (the default) transmits every packet the
@@ -111,6 +112,12 @@ func (s *Sender) SetMaxBurst(n int) {
 	s.maxBurst = n
 }
 
+// SetEpoch tags every subsequent packet with a round epoch (flags high
+// byte, the same convention ReliableConfig.Epoch uses). Epoch-pinned trees
+// and epoch-filtering collectors use it to separate recovery rounds; the
+// default 0 matches unpinned configurations.
+func (s *Sender) SetEpoch(e uint8) { s.epoch = e }
+
 // Send appends one pair to the current packet, transmitting it when full.
 func (s *Sender) Send(key []byte, value uint32) error {
 	if s.ended {
@@ -149,7 +156,8 @@ func (s *Sender) End() {
 	}
 	s.ended = true
 	buf := wire.NewBuffer(wire.DefaultHeadroom, 0)
-	hdr := wire.DaietHeader{Type: wire.TypeEnd, TreeID: s.treeID, Seq: s.nextSeq()}
+	hdr := wire.DaietHeader{Type: wire.TypeEnd, TreeID: s.treeID, Seq: s.nextSeq(),
+		Flags: uint16(s.epoch) << 8}
 	hdr.SerializeTo(buf)
 	s.Stats.EndPackets++
 	s.Stats.PayloadBytes += wire.DaietHeaderLen
@@ -171,6 +179,7 @@ func (s *Sender) sealData() {
 		TreeID:   s.treeID,
 		Seq:      s.nextSeq(),
 		NumPairs: uint16(s.n),
+		Flags:    uint16(s.epoch) << 8,
 	}
 	hdr.SerializeTo(s.buf)
 	s.Stats.DataPackets++

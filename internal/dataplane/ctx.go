@@ -23,6 +23,7 @@ const (
 	VerdictDrop Verdict = iota
 	VerdictForward
 	VerdictRecirculate
+	VerdictStall
 )
 
 // Errors surfaced by Ctx primitives. They abort the current pass; the
@@ -296,6 +297,18 @@ func (c *Ctx) Recirculate() {
 		return
 	}
 	c.verdict = VerdictRecirculate
+}
+
+// Stall parks the packet for a later retry of the same pass: the program
+// is waiting on external state (an acknowledgement freeing replay-buffer
+// space) rather than doing more work. Unlike Recirculate it does not count
+// against the recirculation limit — the switch re-presents the packet
+// after its StallLatency. PHV metadata survives, as with recirculation.
+func (c *Ctx) Stall() {
+	if c.err != nil {
+		return
+	}
+	c.verdict = VerdictStall
 }
 
 // Emit queues a generated packet for transmission out of port: the

@@ -15,17 +15,19 @@ type Counters struct {
 	TxFrames     uint64
 	Emitted      uint64 // generated packets (flushes)
 	Recirculated uint64 // recirculation passes taken
+	Stalls       uint64 // stall retries taken (replay-buffer backpressure)
 
 	DropsProgram uint64 // program decided to drop (or made no decision)
 	DropsParse   uint64 // parser rejected the packet
 	DropsBudget  uint64 // per-packet op budget exceeded
 	DropsRecirc  uint64 // recirculation limit exceeded
 	DropsError   uint64 // other program errors (table reapply, bounds)
+	DropsDown    uint64 // frames arriving (or in flight) while crashed
 }
 
 // Drops returns the sum of all drop reasons.
 func (c Counters) Drops() uint64 {
-	return c.DropsProgram + c.DropsParse + c.DropsBudget + c.DropsRecirc + c.DropsError
+	return c.DropsProgram + c.DropsParse + c.DropsBudget + c.DropsRecirc + c.DropsError + c.DropsDown
 }
 
 // maxFreeCtxs bounds the per-switch Ctx free list. Recirculation-heavy
@@ -48,6 +50,17 @@ type Switch struct {
 	// latency and lowers the forwarding capacity".
 	RecircLatency netsim.Time
 
+	// StallLatency is the retry delay for VerdictStall passes — packets
+	// parked on external state such as replay-buffer backpressure. Longer
+	// than RecircLatency because the switch is waiting on a round trip,
+	// not on its own pipeline.
+	StallLatency netsim.Time
+
+	// down marks the switch crashed: every arriving or in-flight frame is
+	// dropped until SetDown(false). Fault injection toggles it while the
+	// network is quiescent.
+	down bool
+
 	// Trace, when set, records per-packet pipeline events (rx, tx, drops
 	// with reasons, recirculation, generated packets) into a bounded ring
 	// for post-mortem inspection. Nil disables tracing at zero cost.
@@ -64,7 +77,44 @@ func NewSwitch(pipe *Pipeline, regs *RegisterFile) *Switch {
 		pipe:          pipe,
 		regs:          regs,
 		RecircLatency: netsim.Duration(500 * time.Nanosecond),
+		StallLatency:  netsim.Duration(2 * time.Microsecond),
 	}
+}
+
+// SetDown crashes (true) or revives (false) the switch. While down, every
+// frame — arriving, recirculating, or stalled — is dropped and counted
+// under DropsDown. Revival restores forwarding only; tables and registers
+// are whatever the owning Program left them as.
+func (s *Switch) SetDown(down bool) { s.down = down }
+
+// Down reports whether the switch is crashed.
+func (s *Switch) Down() bool { return s.down }
+
+// After schedules fn on the switch's own event-engine domain, d ticks from
+// its current virtual time — the control-logic timer the replay-buffer
+// retransmitter uses. Valid after Attach.
+func (s *Switch) After(d netsim.Time, fn func()) { s.nw.NodeAfter(s.id, d, fn) }
+
+// Now returns the switch's current virtual time (its domain clock).
+func (s *Switch) Now() netsim.Time { return s.nw.NodeNow(s.id) }
+
+// Inject transmits a program-generated frame out of port from control
+// logic running outside a pipeline pass (timer-driven retransmission). It
+// is accounted like an emitted packet. Injection on a crashed switch or an
+// invalid port is counted and dropped.
+func (s *Switch) Inject(port int, frame []byte) {
+	if s.down {
+		s.Counters.DropsDown++
+		return
+	}
+	if port < 0 || port >= s.nw.NumPorts(s.id) {
+		s.Counters.DropsProgram++
+		return
+	}
+	s.Counters.Emitted++
+	s.Counters.TxFrames++
+	s.trace(trace.KindEmit, int64(port), int64(len(frame)), "")
+	s.nw.Send(s.id, port, frame)
 }
 
 // Attach implements netsim.Node.
@@ -101,6 +151,11 @@ func (s *Switch) putCtx(c *Ctx) {
 func (s *Switch) HandleFrame(inPort int, frame []byte) {
 	s.Counters.RxFrames++
 	s.trace(trace.KindRx, int64(inPort), int64(len(frame)), "")
+	if s.down {
+		s.Counters.DropsDown++
+		s.trace(trace.KindDrop, int64(inPort), 0, "switch down")
+		return
+	}
 	cfg := s.pipe.cfg
 	ctx := s.getCtx()
 	ctx.reset(frame, inPort, cfg.OpBudget, cfg.ParseBudget)
@@ -110,6 +165,13 @@ func (s *Switch) HandleFrame(inPort int, frame []byte) {
 // process runs one pipeline pass and acts on the verdict, scheduling
 // further recirculation passes on the event loop.
 func (s *Switch) process(ctx *Ctx) {
+	if s.down {
+		// A crash kills recirculating and stalled packets too.
+		s.Counters.DropsDown++
+		s.trace(trace.KindDrop, int64(ctx.InPort), 0, "switch down")
+		s.putCtx(ctx)
+		return
+	}
 	res := s.pipe.runPass(ctx)
 
 	// Generated packets leave regardless of the original packet's fate
@@ -161,6 +223,13 @@ func (s *Switch) process(ctx *Ctx) {
 		s.trace(trace.KindRecirculate, int64(ctx.RecircCount), 0, "")
 		ctx.resetForPass()
 		s.nw.NodeAfter(s.id, s.RecircLatency, func() { s.process(ctx) })
+	case VerdictStall:
+		// Waiting on external state: retry the pass later without charging
+		// the recirculation limit (progress resumes when the state changes,
+		// not when the pipeline loops).
+		s.Counters.Stalls++
+		ctx.resetForPass()
+		s.nw.NodeAfter(s.id, s.StallLatency, func() { s.process(ctx) })
 	default:
 		s.Counters.DropsProgram++
 		s.trace(trace.KindDrop, int64(ctx.InPort), 0, "program drop")

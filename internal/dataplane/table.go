@@ -61,6 +61,14 @@ func NewTable(name string, kind MatchKind) *Table {
 	return &Table{Name: name, Kind: kind, exact: make(map[string]Entry)}
 }
 
+// Clear removes every entry (crash recovery: a rebooted switch comes back
+// with empty tables until the controller reinstalls state). Hit/miss
+// counters survive — they are observability, not dataplane state.
+func (t *Table) Clear() {
+	t.exact = make(map[string]Entry)
+	t.ternary = nil
+}
+
 // AddExact installs an exact-match entry. The key bytes are copied.
 func (t *Table) AddExact(key []byte, e Entry) error {
 	if t.Kind != MatchExact {

@@ -32,10 +32,13 @@ import (
 // with the correctness gate that the aggregated sums stay exact despite
 // retransmission (the gate's idempotence claim, under real loss at scale).
 //
-// The root (switch→reducer) hop keeps testbed-sized buffers: the
-// reliability layer protects the worker→switch edge only (reliable.go);
-// flush traffic on the root hop is out of its scope, as in host-driven
-// SwitchML-style designs.
+// The root (switch→reducer) hop is swept along with the edge: flush
+// traffic is protected by the switch-side bounded replay buffer
+// (core.TreeConfig.RootReplay) — retained-until-ACKed packets, go-back-N
+// retransmission, and flush-loop backpressure when the buffer fills — with
+// the collector gating per-source sequence order and answering cumulative
+// ACKs. Earlier revisions exempted the root hop with testbed-sized queues;
+// the replay buffer removes that exemption.
 
 // IncastConfig sizes one incast trial.
 type IncastConfig struct {
@@ -51,13 +54,23 @@ type IncastConfig struct {
 	// quantity ClusterConfig.QueueBytes sets fabric-wide (default 64 MiB,
 	// i.e. the loss-free testbed).
 	QueueBytes int
-	// RootQueueBytes sizes the unswept switch→reducer hop (default 64 MiB).
+	// RootQueueBytes sizes the switch→reducer hop. Default: QueueBytes —
+	// the root hop is swept along with the edge, protected by the
+	// switch-side replay buffer (RootReplay); it no longer needs the
+	// testbed-sized exemption earlier revisions kept.
 	RootQueueBytes int
-	TableSize      int // per-tree register cells (default 4096)
+	// RootReplay bounds the switch's per-tree replay buffer for the
+	// switch→reducer hop (default 32 packets).
+	RootReplay int
+	// StartJitter staggers sender start times uniformly over [0,
+	// StartJitter], drawn deterministically per (seed, sender). 0 keeps
+	// the fully synchronized fan-in.
+	StartJitter time.Duration
+	TableSize   int // per-tree register cells (default 4096)
 	// SimWorkers partitions the fabric into parallel event-engine domains
-	// (default 1). A single-switch incast has no rack cut, so the senders
-	// themselves spread across domains; results are byte-identical at any
-	// value.
+	// (0 autotunes; a single-switch plan autotunes to sequential). When
+	// cut explicitly, the senders themselves spread across domains;
+	// results are byte-identical at any value.
 	SimWorkers int
 }
 
@@ -75,7 +88,10 @@ func (c IncastConfig) withDefaults() IncastConfig {
 		c.QueueBytes = 64 << 20
 	}
 	if c.RootQueueBytes == 0 {
-		c.RootQueueBytes = 64 << 20
+		c.RootQueueBytes = c.QueueBytes
+	}
+	if c.RootReplay == 0 {
+		c.RootReplay = 32
 	}
 	if c.TableSize == 0 {
 		c.TableSize = 4096
@@ -168,6 +184,11 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 			TableSize: cfg.TableSize,
 			Reliable:  true,
 			Senders:   senderIDs,
+			// The switch is the tree root: its flush hop to the reducer is
+			// protected by the bounded replay buffer instead of by
+			// testbed-sized queues.
+			RootReplay: cfg.RootReplay,
+			RootRTO:    500 * time.Microsecond,
 		}); err != nil {
 			return nil, err
 		}
@@ -179,6 +200,7 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 	}
 	col := core.NewCollector(uint32(reducer), sum, wire.DefaultGeometry, tplan.RootChildren())
 	col.Attach(hosts[reducer])
+	col.EnableRootAck()
 
 	// Synchronized fan-in: every worker queues its whole stream at t=0.
 	// Go-back-N keeps at most Window packets in flight per sender; under
@@ -190,6 +212,10 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 	}
 	want := map[string]uint32{}
 	senders := make([]*core.ReliableSender, len(workers))
+	// One error slot per sender: a jittered feed runs on its own worker's
+	// partition domain, so a shared variable would be a write-write race
+	// across domains. Slots are only read after Run's final barrier.
+	feedErrs := make([]error, len(workers))
 	for i, w := range workers {
 		mux := core.NewAckMux(hosts[w])
 		s, err := core.NewReliableSender(hosts[w], tplan.TreeID, reducer,
@@ -201,15 +227,33 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 		senders[i] = s
 		rng := rand.New(rand.NewSource(int64(hashing.Mix64(cfg.Seed ^ uint64(w)<<20))))
 		n := cfg.PairsPerSender * (80 + rng.Intn(41)) / 100 // ±20%
+		stream := make([]core.KV, n)
 		for k := 0; k < n; k++ {
 			key := fmt.Sprintf("key-%05d", rng.Intn(cfg.Vocab))
 			val := uint32(rng.Intn(1000))
 			want[key] += val
-			if err := s.Send([]byte(key), val); err != nil {
-				return nil, err
-			}
+			stream[k] = core.KV{Key: key, Value: val}
 		}
-		s.End()
+		slot := &feedErrs[i]
+		feed := func() {
+			for _, kv := range stream {
+				if err := s.Send([]byte(kv.Key), kv.Value); err != nil {
+					*slot = err
+					return
+				}
+			}
+			s.End()
+		}
+		if cfg.StartJitter <= 0 {
+			feed() // synchronized fan-in: the whole stream queues at t=0
+			continue
+		}
+		// Staggered start: each sender begins at its own deterministic
+		// offset, drawn from its seed stream after the pairs so jitter
+		// never perturbs the workload itself. Scheduled at setup on the
+		// sender's own node, so it lands on the right partition domain.
+		delay := netsim.Time(rng.Int63n(int64(netsim.Duration(cfg.StartJitter)) + 1))
+		nw.NodeAfter(w, delay, feed)
 	}
 
 	// Bound the run: retransmission storms terminate (cumulative ACKs make
@@ -217,6 +261,11 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 	// instead of a hang.
 	if err := nw.Run(200_000_000); err != nil {
 		return nil, fmt.Errorf("experiments: incast: %w", err)
+	}
+	for i, err := range feedErrs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: incast: sender %d feed: %w", i, err)
+		}
 	}
 
 	res := &IncastResult{Cfg: cfg, Completion: nw.Now()}
@@ -280,8 +329,8 @@ func init() {
 	}
 	Register(&Spec{
 		Name:   "incast",
-		Title:  "Extension: incast under small edge buffers — reliability layer under loss (paper: losses left open)",
-		XLabel: "edge queue",
+		Title:  "Extension: incast under small buffers (edge + root swept) — edge gate + root replay buffer under loss (paper: losses left open)",
+		XLabel: "port queue",
 		Points: pts,
 		Metrics: []string{
 			"drop_rate_pct",
@@ -304,6 +353,54 @@ func init() {
 			// The loss-free reference for completion inflation: identical
 			// workload, testbed-sized buffers. It is independent of the
 			// swept queue size, so all points of one trial share it.
+			ref, err := incastReference(base)
+			if err != nil {
+				return nil, err
+			}
+			dataPkts := res.Transmissions - res.Retransmissions
+			return map[string]float64{
+				"drop_rate_pct":            res.DropRatePct,
+				"retransmissions_per_kpkt": 1000 * stats.Ratio(float64(res.Retransmissions), float64(dataPkts)),
+				"completion_inflation_x":   stats.Ratio(float64(res.Completion), float64(ref.Completion)),
+			}, nil
+		},
+	})
+
+	// incast-jitter: the same fan-in at one fixed small queue, sweeping the
+	// sender start-time stagger — how much deterministic jitter defuses the
+	// synchronized burst that causes the loss in the first place.
+	jitters := []time.Duration{0, 25 * time.Microsecond, 100 * time.Microsecond, 400 * time.Microsecond}
+	jpts := make([]Point, len(jitters))
+	for i, j := range jitters {
+		jpts[i] = Point{Label: fmt.Sprintf("%dus", j.Microseconds()), X: float64(j.Microseconds())}
+	}
+	Register(&Spec{
+		Name:   "incast-jitter",
+		Title:  "Extension: staggered sender starts under incast (4 KiB queues) — jitter vs loss",
+		XLabel: "start jitter",
+		Points: jpts,
+		Metrics: []string{
+			"drop_rate_pct",
+			"retransmissions_per_kpkt",
+			"completion_inflation_x",
+		},
+		Run: func(pt Point, tr Trial) (map[string]float64, error) {
+			base := IncastConfig{
+				Seed:           tr.Seed,
+				Senders:        scaledInt(24, tr.Scale, 4),
+				PairsPerSender: scaledInt(1200, tr.Scale, 120),
+				SimWorkers:     tr.SimWorkers,
+			}
+			jittered := base
+			jittered.QueueBytes = 4096
+			jittered.StartJitter = time.Duration(pt.X) * time.Microsecond
+			res, err := Incast(jittered)
+			if err != nil {
+				return nil, err
+			}
+			// Inflation is measured against the loss-free synchronized
+			// reference, so it prices in both the residual loss recovery
+			// and the stagger itself.
 			ref, err := incastReference(base)
 			if err != nil {
 				return nil, err

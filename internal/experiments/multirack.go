@@ -50,8 +50,9 @@ type MultiRackConfig struct {
 	// pool (<= 0: GOMAXPROCS, 1: sequential).
 	Parallelism int
 	// SimWorkers partitions each trial's leaf-spine fabric into parallel
-	// event-engine domains along the rack cut (default 1: sequential).
-	// Results are byte-identical at any value; only wall-clock changes.
+	// event-engine domains along the rack cut (0 autotunes; 1 forces the
+	// sequential engine). Results are byte-identical at any value; only
+	// wall-clock changes.
 	SimWorkers int
 }
 

@@ -63,8 +63,9 @@ type Trial struct {
 	// smoke tests use small fractions).
 	Scale float64
 	// SimWorkers partitions each simulated fabric the trial builds into
-	// this many parallel event-engine domains (1 = the sequential engine).
-	// The determinism contract covers it: every non-Volatile metric is
+	// this many parallel event-engine domains (1 = the sequential engine;
+	// 0 = autotune: min(rack-cut units, GOMAXPROCS) per fabric). The
+	// determinism contract covers it: every non-Volatile metric is
 	// byte-identical at any worker count. Figures that do not build a
 	// netsim fabric ignore it.
 	SimWorkers int
@@ -77,9 +78,11 @@ type RunConfig struct {
 	Scale       float64 // problem-size multiplier (default 1)
 	Parallelism int     // runner degree (<= 0: GOMAXPROCS, 1: sequential)
 	// SimWorkers is the intra-simulation parallelism: each trial's fabric
-	// runs partitioned across this many event-engine domains (default 1).
-	// It composes with Parallelism (trials × domains goroutines), and never
-	// changes results — only wall-clock.
+	// runs partitioned across this many event-engine domains. 0 (the
+	// default) autotunes per fabric — min(rack-cut units, GOMAXPROCS), via
+	// topology.Plan.AutoPartitions — and 1 forces the sequential engine.
+	// It composes with Parallelism (trials × domains goroutines), and
+	// never changes results — only wall-clock.
 	SimWorkers int
 }
 
@@ -90,8 +93,8 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.Scale <= 0 {
 		c.Scale = 1
 	}
-	if c.SimWorkers <= 0 {
-		c.SimWorkers = 1
+	if c.SimWorkers < 0 {
+		c.SimWorkers = 0 // autotune
 	}
 	return c
 }

@@ -23,12 +23,14 @@ var wantSpecs = []string{
 	"ablation-key-width",
 	"ablation-pairs-per-packet",
 	"ablation-table-size",
+	"faults",
 	"fig1-workers",
 	"fig1a",
 	"fig1b",
 	"fig1c",
 	"fig3",
 	"incast",
+	"incast-jitter",
 	"multirack",
 	"parallel-sim",
 }

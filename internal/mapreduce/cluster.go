@@ -41,9 +41,9 @@ type ClusterConfig struct {
 	// packet losses"). Set a small value to study incast loss instead.
 	QueueBytes int
 	// SimWorkers partitions the fabric into this many parallel event-engine
-	// domains along the topology's rack cut (default 1: the sequential
-	// engine). Results are byte-identical at any value; only wall-clock
-	// changes.
+	// domains along the topology's rack cut. 0 (the default) autotunes:
+	// min(rack-cut units, GOMAXPROCS); 1 forces the sequential engine.
+	// Results are byte-identical at any value; only wall-clock changes.
 	SimWorkers int
 }
 

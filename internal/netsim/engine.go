@@ -270,6 +270,16 @@ func (e *Engine) runWindow(horizon Time, bud *budget) (exhausted bool) {
 	return false
 }
 
+// advanceTo moves the clock forward to t without executing anything. The
+// partitioned RunUntil uses it at the final barrier so every domain clock
+// agrees with the sequential engine's post-RunUntil time; callers must have
+// drained all events <= t first.
+func (e *Engine) advanceTo(t Time) {
+	if e.now < t {
+		e.now = t
+	}
+}
+
 // next returns the timestamp of the earliest queued event, or ok=false when
 // the queue is empty.
 func (e *Engine) next() (Time, bool) {

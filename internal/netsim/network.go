@@ -54,6 +54,7 @@ type LinkStats struct {
 	TxBytes   uint64
 	DropsFull uint64 // tail drops from queue overflow
 	DropsLoss uint64 // injected random losses
+	DropsDown uint64 // frames sent while the link was administratively down
 }
 
 // txRec is one accepted frame's serialization record: the time its bytes
@@ -76,6 +77,13 @@ type halfLink struct {
 	queued   int  // bytes accepted but not yet fully serialized
 	stats    LinkStats
 	rng      *rand.Rand
+
+	// down marks the direction administratively failed (fault injection):
+	// frames sent while down are counted and discarded. Frames already
+	// accepted keep their scheduled deliveries — they left the transmitter
+	// before the failure. Toggled only through SetLinkState, and only while
+	// the network is quiescent.
+	down bool
 
 	// key is the half-link's ordering origin (halfLinkKeyBase | index) and
 	// txSeq its per-accepted-frame sequence. Together they key every frame
@@ -123,6 +131,25 @@ type port struct {
 	out *halfLink
 }
 
+// linkPair indexes every half-link between one endpoint pair (several,
+// when parallel links exist) for O(1) administrative state queries, and
+// carries the pair's admin state: down, and the flap generation (up→down
+// transitions) a liveness monitor compares across polls to catch flaps
+// shorter than its polling period.
+type linkPair struct {
+	halves []*halfLink
+	down   bool
+	flaps  uint64
+}
+
+// pairKey normalizes a link's endpoints into the Network.links key order.
+func pairKey(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
 // Network glues nodes together with links on top of an Engine.
 type Network struct {
 	// Eng is the single sequential event engine. After Partition it is nil:
@@ -132,6 +159,7 @@ type Network struct {
 	nodes map[NodeID]Node
 	ports map[NodeID][]*port
 	half  []*halfLink
+	links map[[2]NodeID]*linkPair
 	seed  uint64
 
 	// Partitioned mode (see partition.go). domains is nil until Partition
@@ -149,6 +177,7 @@ func New(seed uint64) *Network {
 		Eng:   NewEngine(),
 		nodes: make(map[NodeID]Node),
 		ports: make(map[NodeID][]*port),
+		links: make(map[[2]NodeID]*linkPair),
 		seed:  seed,
 	}
 }
@@ -200,6 +229,13 @@ func (nw *Network) Connect(a, b NodeID, cfg LinkConfig) (aPort, bPort int) {
 	nw.ports[a] = append(nw.ports[a], &port{out: ab})
 	nw.ports[b] = append(nw.ports[b], &port{out: ba})
 	nw.half = append(nw.half, ab, ba)
+	key := pairKey(a, b)
+	lp := nw.links[key]
+	if lp == nil {
+		lp = &linkPair{}
+		nw.links[key] = lp
+	}
+	lp.halves = append(lp.halves, ab, ba)
 	return aPort, bPort
 }
 
@@ -233,6 +269,10 @@ func (nw *Network) send(hl *halfLink, frame []byte) {
 	eng := nw.Eng
 	if hl.srcDom != nil {
 		eng = hl.srcDom.eng
+	}
+	if hl.down {
+		hl.stats.DropsDown++
+		return
 	}
 	size := len(frame)
 	now := eng.Now()
@@ -361,6 +401,48 @@ func (nw *Network) Pending() int {
 	return n
 }
 
+// SetLinkState marks every link between a and b administratively up or down
+// in both directions. Down links count and discard subsequent sends;
+// deliveries already scheduled still arrive (those frames were in flight).
+// It may only be called while the network is quiescent — before Run, or at
+// a RunUntil control point — because link state is owned by the domain
+// goroutines during a partitioned window.
+func (nw *Network) SetLinkState(a, b NodeID, up bool) error {
+	lp := nw.links[pairKey(a, b)]
+	if lp == nil {
+		return fmt.Errorf("netsim: no link between %d and %d", a, b)
+	}
+	if !up && !lp.down {
+		lp.flaps++
+	}
+	lp.down = !up
+	for _, hl := range lp.halves {
+		hl.down = !up
+	}
+	return nil
+}
+
+// LinkFlaps returns how many up→down transitions the link between a and b
+// has taken — the flap generation (one per administrative down, both
+// directions fail together). A monitor that sees it advance between two
+// polls knows the link failed in the interim even if both polls found it
+// up, exactly as Program.Crashes exposes switch reboots faster than the
+// polling period.
+func (nw *Network) LinkFlaps(a, b NodeID) uint64 {
+	lp := nw.links[pairKey(a, b)]
+	if lp == nil {
+		return 0
+	}
+	return lp.flaps
+}
+
+// LinkUp reports whether a link between a and b exists and is
+// administratively up.
+func (nw *Network) LinkUp(a, b NodeID) bool {
+	lp := nw.links[pairKey(a, b)]
+	return lp != nil && !lp.down
+}
+
 // PortStats returns a copy of the transmit-direction statistics of
 // (node, port).
 func (nw *Network) PortStats(id NodeID, portNum int) LinkStats {
@@ -391,5 +473,20 @@ func (nw *Network) Run(maxEvents uint64) error {
 	if nw.domains == nil {
 		return nw.Eng.Run(maxEvents)
 	}
-	return nw.runPartitioned(maxEvents)
+	return nw.runPartitioned(maxEvents, maxTime)
+}
+
+// RunUntil executes every event with timestamp <= deadline, then advances
+// all clocks to the deadline and returns with the network quiescent. Later
+// events stay queued. This is the control-plane synchronization point of
+// the fault subsystem: between RunUntil calls the caller owns all state
+// (fault injection, liveness polling, tree re-planning) and may schedule
+// new work at >= deadline, exactly like setup code — whether the fabric is
+// sequential or partitioned, the observable behaviour is identical.
+func (nw *Network) RunUntil(deadline Time) error {
+	if nw.domains == nil {
+		nw.Eng.RunUntil(deadline)
+		return nil
+	}
+	return nw.runPartitioned(0, deadline)
 }

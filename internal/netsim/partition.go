@@ -145,8 +145,11 @@ func (nw *Network) flushMail() {
 // maxEvents bounds the TOTAL number of events executed across every domain
 // (the same budget a sequential run counts); 0 means unlimited. The bound
 // is charged per event through a shared counter, so domains stop within the
-// window in which the fleet-wide count reaches the budget.
-func (nw *Network) runPartitioned(maxEvents uint64) error {
+// window in which the fleet-wide count reaches the budget. deadline stops
+// execution once no event <= deadline remains (maxTime = run to empty);
+// on a deadline stop every domain clock is advanced to the deadline, so a
+// partitioned RunUntil leaves exactly the state a sequential one would.
+func (nw *Network) runPartitioned(maxEvents uint64, deadline Time) error {
 	var bud *budget
 	if maxEvents > 0 {
 		bud = &budget{max: maxEvents}
@@ -196,13 +199,21 @@ func (nw *Network) runPartitioned(maxEvents uint64) error {
 				next = at
 			}
 		}
-		if next == maxTime {
+		if next == maxTime || next > deadline {
 			shutdown()
+			if deadline != maxTime {
+				for _, d := range nw.domains {
+					d.eng.advanceTo(deadline)
+				}
+			}
 			return nil
 		}
 		horizon := maxTime
 		if nw.lookahead != maxTime {
 			horizon = next + nw.lookahead
+		}
+		if deadline != maxTime && deadline+1 < horizon {
+			horizon = deadline + 1
 		}
 
 		wg.Add(n)

@@ -14,6 +14,7 @@ package topology
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"github.com/daiet/daiet/internal/hashing"
@@ -158,6 +159,30 @@ func (p *Plan) PartitionGroups(n int) [][]netsim.NodeID {
 		n = len(all)
 	}
 
+	units := p.partitionUnits()
+	bins := make([][]netsim.NodeID, n)
+	if len(units) >= n {
+		for i, u := range units {
+			bins[i%n] = append(bins[i%n], u...)
+		}
+		return bins
+	}
+	// Fewer racks than requested domains: cut inside racks, dealing nodes
+	// individually (unit order keeps each switch near the front of its bin).
+	i := 0
+	for _, u := range units {
+		for _, id := range u {
+			bins[i%n] = append(bins[i%n], id)
+			i++
+		}
+	}
+	return bins
+}
+
+// partitionUnits computes the plan's atomic partition units: one unit per
+// rack (an edge switch plus its attached hosts), hostless switches pooled
+// into one fabric unit, orphan hosts one unit each.
+func (p *Plan) partitionUnits() [][]netsim.NodeID {
 	// Host -> attached switch (first link wins; every plan this package
 	// builds gives hosts exactly one uplink).
 	attach := make(map[netsim.NodeID]netsim.NodeID, len(p.Hosts))
@@ -198,30 +223,37 @@ func (p *Plan) PartitionGroups(n int) [][]netsim.NodeID {
 			units = append(units, []netsim.NodeID{h})
 		}
 	}
+	return units
+}
 
-	bins := make([][]netsim.NodeID, n)
-	if len(units) >= n {
-		for i, u := range units {
-			bins[i%n] = append(bins[i%n], u...)
-		}
-		return bins
+// PartitionUnits returns how many rack-cut units the plan decomposes into —
+// the natural upper bound on useful event-engine domains (beyond it, cuts
+// land inside racks and synchronize on short edge-link latencies).
+func (p *Plan) PartitionUnits() int { return len(p.partitionUnits()) }
+
+// AutoPartitions is the domain count Partitions picks for n == 0:
+// min(rack-cut units, GOMAXPROCS). More domains than units would cut inside
+// racks; more than GOMAXPROCS would multiplex goroutines with no cores to
+// run them.
+func (p *Plan) AutoPartitions() int {
+	n := p.PartitionUnits()
+	if procs := runtime.GOMAXPROCS(0); procs < n {
+		n = procs
 	}
-	// Fewer racks than requested domains: cut inside racks, dealing nodes
-	// individually (unit order keeps each switch near the front of its bin).
-	i := 0
-	for _, u := range units {
-		for _, id := range u {
-			bins[i%n] = append(bins[i%n], id)
-			i++
-		}
+	if n < 1 {
+		n = 1
 	}
-	return bins
+	return n
 }
 
 // Partitions splits the realized fabric into n parallel event-engine
-// domains along the plan's rack cut (see PartitionGroups). n <= 1 keeps the
-// sequential engine. Must be called before any traffic is injected.
+// domains along the plan's rack cut (see PartitionGroups). n == 1 keeps the
+// sequential engine; n <= 0 autotunes the count via AutoPartitions. Must be
+// called before any traffic is injected.
 func (f *Fabric) Partitions(n int) error {
+	if n <= 0 {
+		n = f.Plan.AutoPartitions()
+	}
 	if n <= 1 {
 		return nil
 	}
@@ -281,16 +313,56 @@ func (f *Fabric) PortTo(from, to netsim.NodeID) int {
 	return -1
 }
 
+// Avoid names failed fabric components the control plane wants path
+// computation to route around: dead switches and administratively-down
+// links. The zero value (or nil) avoids nothing. Link keys are normalized
+// endpoint pairs — use LinkKey.
+type Avoid struct {
+	Nodes map[netsim.NodeID]bool
+	Links map[[2]netsim.NodeID]bool
+}
+
+// LinkKey normalizes a link's endpoints into the Avoid.Links key order.
+func LinkKey(a, b netsim.NodeID) [2]netsim.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]netsim.NodeID{a, b}
+}
+
+// empty reports whether the avoid set excludes nothing (nil-safe).
+func (a *Avoid) empty() bool {
+	return a == nil || (len(a.Nodes) == 0 && len(a.Links) == 0)
+}
+
+func (a *Avoid) node(id netsim.NodeID) bool { return a != nil && a.Nodes[id] }
+
+func (a *Avoid) link(x, y netsim.NodeID) bool {
+	return a != nil && a.Links[LinkKey(x, y)]
+}
+
 // nextHopMap computes, via reverse BFS from dst, the next hop toward dst
-// from every reachable node. When several equal-cost next hops exist, one
-// is chosen by hashing (node, dst) — ECMP-style spreading, so different
-// destinations' aggregation trees use different spines while every single
-// destination still gets one deterministic loop-free tree (the property
-// the paper's correctness argument needs). Results are memoized per
-// destination.
-func (f *Fabric) nextHopMap(dst netsim.NodeID) map[netsim.NodeID]netsim.NodeID {
-	if m, ok := f.bfs[dst]; ok {
-		return m
+// from every reachable node, excluding everything in avoid. When several
+// equal-cost next hops exist, one is chosen by hashing (node, dst) —
+// ECMP-style spreading, so different destinations' aggregation trees use
+// different spines while every single destination still gets one
+// deterministic loop-free tree (the property the paper's correctness
+// argument needs). Results are memoized per destination for the empty
+// avoid set only: failover queries see the fabric's current failures, so
+// they recompute each time.
+func (f *Fabric) nextHopMap(dst netsim.NodeID, avoid *Avoid) map[netsim.NodeID]netsim.NodeID {
+	memoize := avoid.empty()
+	if memoize {
+		if m, ok := f.bfs[dst]; ok {
+			return m
+		}
+	}
+	next := map[netsim.NodeID]netsim.NodeID{dst: dst}
+	if avoid.node(dst) {
+		if memoize {
+			f.bfs[dst] = next
+		}
+		return next
 	}
 	// Pass 1: BFS distances from dst (traffic never transits hosts).
 	dist := map[netsim.NodeID]int{dst: 0}
@@ -305,12 +377,14 @@ func (f *Fabric) nextHopMap(dst netsim.NodeID) map[netsim.NodeID]netsim.NodeID {
 			if _, seen := dist[e.Peer]; seen {
 				continue
 			}
+			if avoid.node(e.Peer) || avoid.link(cur, e.Peer) {
+				continue
+			}
 			dist[e.Peer] = dist[cur] + 1
 			queue = append(queue, e.Peer)
 		}
 	}
 	// Pass 2: per node, collect all equal-cost next hops and hash-pick.
-	next := map[netsim.NodeID]netsim.NodeID{dst: dst}
 	var key [8]byte
 	for node, d := range dist {
 		if node == dst {
@@ -318,6 +392,9 @@ func (f *Fabric) nextHopMap(dst netsim.NodeID) map[netsim.NodeID]netsim.NodeID {
 		}
 		var candidates []netsim.NodeID
 		for _, e := range f.adj[node] {
+			if avoid.node(e.Peer) || avoid.link(node, e.Peer) {
+				continue
+			}
 			if nd, ok := dist[e.Peer]; ok && nd == d-1 {
 				// The next hop must be able to carry transit traffic (be a
 				// switch) unless it is the destination itself.
@@ -333,24 +410,51 @@ func (f *Fabric) nextHopMap(dst netsim.NodeID) map[netsim.NodeID]netsim.NodeID {
 		binary.BigEndian.PutUint32(key[4:8], uint32(dst))
 		next[node] = candidates[hashing.ECMPPick(key[:], len(candidates))]
 	}
-	f.bfs[dst] = next
+	if memoize {
+		f.bfs[dst] = next
+	}
 	return next
 }
 
 // NextHop returns the neighbor `from` should forward to in order to reach
 // dst along a shortest path, and whether dst is reachable.
 func (f *Fabric) NextHop(from, dst netsim.NodeID) (netsim.NodeID, bool) {
+	return f.NextHopAvoiding(from, dst, nil)
+}
+
+// NextHopAvoiding is NextHop over the fabric minus the avoid set.
+func (f *Fabric) NextHopAvoiding(from, dst netsim.NodeID, avoid *Avoid) (netsim.NodeID, bool) {
 	if from == dst {
 		return dst, true
 	}
-	nh, ok := f.nextHopMap(dst)[from]
+	nh, ok := f.nextHopMap(dst, avoid)[from]
 	return nh, ok
+}
+
+// NextHopsAvoiding returns the whole next-hop-toward-dst map under the
+// avoid set (read-only for the caller). Batch reachability queries — "which
+// of these mappers can still reach the reducer?" — should use one call to
+// this instead of one PathAvoiding BFS per mapper: the map is O(V+E) to
+// build and answers every membership query for free.
+func (f *Fabric) NextHopsAvoiding(dst netsim.NodeID, avoid *Avoid) map[netsim.NodeID]netsim.NodeID {
+	return f.nextHopMap(dst, avoid)
 }
 
 // Path returns the node sequence from src to dst inclusive, or nil when
 // unreachable.
 func (f *Fabric) Path(src, dst netsim.NodeID) []netsim.NodeID {
-	m := f.nextHopMap(dst)
+	return f.PathAvoiding(src, dst, nil)
+}
+
+// PathAvoiding returns the node sequence from src to dst inclusive through
+// the fabric minus the avoid set, or nil when no such path exists. The
+// controller re-plans aggregation trees with this after declaring switches
+// or links dead.
+func (f *Fabric) PathAvoiding(src, dst netsim.NodeID, avoid *Avoid) []netsim.NodeID {
+	if avoid.node(src) {
+		return nil
+	}
+	m := f.nextHopMap(dst, avoid)
 	if _, ok := m[src]; !ok {
 		return nil
 	}

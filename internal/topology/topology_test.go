@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/daiet/daiet/internal/netsim"
@@ -320,5 +322,90 @@ func TestFabricPartitionsRuns(t *testing.T) {
 	}
 	if err := f.Net.Run(0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPartitionAutotune: Partitions(0) picks min(rack-cut units,
+// GOMAXPROCS) instead of falling back to the sequential engine.
+func TestPartitionAutotune(t *testing.T) {
+	p := LeafSpine(3, 2, 4, netsim.LinkConfig{})
+	if got := p.PartitionUnits(); got != 4 { // 3 racks + 1 spine pool
+		t.Fatalf("PartitionUnits = %d, want 4", got)
+	}
+
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	if got := p.AutoPartitions(); got != 4 {
+		t.Fatalf("AutoPartitions at GOMAXPROCS=8: %d, want 4", got)
+	}
+	f := realize(t, p)
+	if err := f.Partitions(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Net.Domains(); got != 4 {
+		t.Fatalf("auto domains = %d, want 4", got)
+	}
+
+	runtime.GOMAXPROCS(2)
+	if got := p.AutoPartitions(); got != 2 {
+		t.Fatalf("AutoPartitions at GOMAXPROCS=2: %d, want 2", got)
+	}
+
+	// A single-switch plan has one rack unit: auto stays sequential.
+	runtime.GOMAXPROCS(8)
+	single := SingleSwitch(6, netsim.LinkConfig{})
+	if got := single.AutoPartitions(); got != 1 {
+		t.Fatalf("single-switch AutoPartitions = %d, want 1", got)
+	}
+	fs := realize(t, single)
+	if err := fs.Partitions(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Net.Domains(); got != 1 {
+		t.Fatalf("single-switch auto domains = %d, want 1", got)
+	}
+}
+
+// TestPathAvoiding: failover path queries route around dead switches and
+// links, and report unreachability when nothing survives.
+func TestPathAvoiding(t *testing.T) {
+	p := LeafSpine(2, 2, 2, netsim.LinkConfig{})
+	f := realize(t, p)
+	src, dst := p.Hosts[0], p.Hosts[3] // different racks: must cross a spine
+	base := f.Path(src, dst)
+	if base == nil || len(base) != 5 {
+		t.Fatalf("base path %v", base)
+	}
+	spineOnPath := base[2]
+	if !IsSwitchID(spineOnPath) {
+		t.Fatalf("mid node %d not a switch", spineOnPath)
+	}
+
+	avoid := &Avoid{Nodes: map[netsim.NodeID]bool{spineOnPath: true}}
+	alt := f.PathAvoiding(src, dst, avoid)
+	if alt == nil {
+		t.Fatal("no failover path around one dead spine")
+	}
+	for _, n := range alt {
+		if n == spineOnPath {
+			t.Fatalf("avoided node %d on path %v", spineOnPath, alt)
+		}
+	}
+
+	// Killing both spines disconnects the racks.
+	spines := map[netsim.NodeID]bool{SwitchBase + 2: true, SwitchBase + 3: true}
+	if got := f.PathAvoiding(src, dst, &Avoid{Nodes: spines}); got != nil {
+		t.Fatalf("path %v through dead spines", got)
+	}
+
+	// Downing the host's uplink orphans it.
+	leaf := SwitchBase
+	la := &Avoid{Links: map[[2]netsim.NodeID]bool{LinkKey(src, leaf): true}}
+	if got := f.PathAvoiding(src, dst, la); got != nil {
+		t.Fatalf("path %v through dead uplink", got)
+	}
+	// The memoized no-avoid path is untouched by avoid queries.
+	if got := f.Path(src, dst); fmt.Sprint(got) != fmt.Sprint(base) {
+		t.Fatalf("memoized path changed: %v vs %v", got, base)
 	}
 }

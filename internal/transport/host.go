@@ -48,6 +48,13 @@ type Host struct {
 	Stats  HostStats
 	OnRx   FrameHook // optional
 	uplink int
+
+	// Straggler injection: while paused, outbound frames are parked in
+	// order instead of transmitted (a stalled sender process whose NIC
+	// still receives); Resume releases them back-to-back. Toggled only at
+	// quiescent fault-injection control points.
+	paused bool
+	parked [][]byte
 }
 
 // NewHost creates a host; add it to a network with Network.AddNode (or let
@@ -108,8 +115,38 @@ func (h *Host) txAccount(frame []byte) {
 	h.Stats.BytesTx += uint64(len(frame))
 }
 
+// Pause stalls the host's sending side: subsequent outbound frames are
+// parked until Resume. Inbound frames and timers keep running (the NIC and
+// clock outlive a stalled process). Fault injection calls this only while
+// the network is quiescent.
+func (h *Host) Pause() { h.paused = true }
+
+// Paused reports whether the host's sending side is stalled.
+func (h *Host) Paused() bool { return h.paused }
+
+// Resume releases a paused host: every parked frame is transmitted
+// back-to-back in its original order, then normal sending resumes.
+func (h *Host) Resume() {
+	if !h.paused {
+		return
+	}
+	h.paused = false
+	if len(h.parked) > 0 {
+		frames := h.parked
+		h.parked = nil
+		for _, f := range frames {
+			h.txAccount(f)
+		}
+		h.nw.SendBurst(h.id, h.uplink, frames)
+	}
+}
+
 // SendFrame transmits a prebuilt Ethernet frame out of the uplink.
 func (h *Host) SendFrame(frame []byte) {
+	if h.paused {
+		h.parked = append(h.parked, frame)
+		return
+	}
 	h.txAccount(frame)
 	h.nw.Send(h.id, h.uplink, frame)
 }
@@ -129,7 +166,13 @@ func (h *Host) SendUDPBurst(dst netsim.NodeID, srcPort, dstPort uint16, payloads
 	frames := make([][]byte, len(payloads))
 	for i, p := range payloads {
 		frames[i] = h.buildUDPFrame(dst, srcPort, dstPort, p)
-		h.txAccount(frames[i])
+	}
+	if h.paused {
+		h.parked = append(h.parked, frames...)
+		return
+	}
+	for _, f := range frames {
+		h.txAccount(f)
 	}
 	h.nw.SendBurst(h.id, h.uplink, frames)
 }
