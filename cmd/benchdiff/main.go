@@ -10,9 +10,17 @@
 // the baseline's 95% confidence interval — but does not fail the build:
 // metric movement is a finding, wall-clock regression is a defect.
 //
+// The exception is -gate-drift: a comma-separated list of
+// figure/metric-prefix pairs (e.g. "bigincast/drop_rate_pct") whose drift
+// IS a defect. Those metrics are simulation-deterministic contracts — a
+// bigincast drop rate leaving the baseline's CI means the shared-buffer
+// admission model changed behaviour, not that a runner was noisy — so CI
+// fails on them.
+//
 // Usage:
 //
-//	benchdiff -baseline BENCH_results.json -current /tmp/new.json
+//	benchdiff -baseline BENCH_results.json -current /tmp/new.json \
+//	  -gate-drift bigincast/drop_rate_pct
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 
 	"github.com/daiet/daiet/internal/benchfmt"
 )
@@ -56,6 +65,45 @@ type budgets struct {
 	maxTotalPct  float64 // total wall-clock regression budget
 	maxFigurePct float64 // per-figure wall-clock regression budget
 	minFigureMS  float64 // figures with baseline wall below this are exempt
+}
+
+// driftGate names one figure/metric-prefix pair whose headline drift fails
+// the build instead of merely being reported.
+type driftGate struct {
+	figure string
+	metric string // bare metric name; label-qualified headline keys match as prefixes
+}
+
+// parseDriftGates parses the -gate-drift flag: comma-separated
+// "figure/metric" entries (empty = no drift gating).
+func parseDriftGates(s string) ([]driftGate, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var gates []driftGate
+	for _, entry := range strings.Split(s, ",") {
+		fig, metric, ok := strings.Cut(strings.TrimSpace(entry), "/")
+		if !ok || fig == "" || metric == "" {
+			return nil, fmt.Errorf("benchdiff: -gate-drift entry %q, want figure/metric", entry)
+		}
+		gates = append(gates, driftGate{figure: fig, metric: metric})
+	}
+	return gates, nil
+}
+
+// gated reports whether a drift on (figure, headline key) is fatal. Sweep
+// figures qualify headline keys with the point label (drop_rate_pct_128kib),
+// so the gate's metric matches as a prefix, exactly like Volatile entries.
+func gated(gates []driftGate, figure, key string) bool {
+	for _, g := range gates {
+		if g.figure != figure {
+			continue
+		}
+		if key == g.metric || strings.HasPrefix(key, g.metric+"_") {
+			return true
+		}
+	}
+	return false
 }
 
 // check applies the budgets and returns one failure line per violation
@@ -95,11 +143,16 @@ func run(args []string, out io.Writer) error {
 	maxRegress := fs.Float64("max-regress-pct", 20, "max tolerated total wall-clock regression in percent")
 	maxFigRegress := fs.Float64("max-figure-regress-pct", 30, "max tolerated per-figure wall-clock regression in percent")
 	minFigureMS := fs.Float64("min-figure-ms", 100, "per-figure gate only applies when the baseline figure took at least this many ms")
+	gateDrift := fs.String("gate-drift", "", "comma-separated figure/metric-prefix pairs whose headline drift fails the build (e.g. bigincast/drop_rate_pct)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *currentPath == "" {
 		return fmt.Errorf("benchdiff: -current is required")
+	}
+	gates, err := parseDriftGates(*gateDrift)
+	if err != nil {
+		return err
 	}
 	base, err := load(*baselinePath)
 	if err != nil {
@@ -153,8 +206,28 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// Liveness of the -gate-drift contracts is judged against the CURRENT
+	// report alone (a gated figure absent from the baseline is an
+	// intentional addition, not a dead gate), and only against gateable
+	// metrics: a gate matching nothing but Volatile metrics is as dead as
+	// one matching nothing.
+	gateMatched := make([]bool, len(gates))
+	for _, f := range cur.Figures {
+		for name := range f.Metrics {
+			if f.IsVolatile(name) {
+				continue
+			}
+			for gi := range gates {
+				if gated(gates[gi:gi+1], f.Name, name) {
+					gateMatched[gi] = true
+				}
+			}
+		}
+	}
+
 	// Headline drift: current means outside the baseline's 95% CI.
 	var drifted int
+	var driftFailures []string
 	for _, f := range cur.Figures {
 		b, ok := baseFigs[f.Name]
 		if !ok {
@@ -179,7 +252,22 @@ func run(args []string, out io.Writer) error {
 				drifted++
 				fmt.Fprintf(out, "drift: %s/%s mean %.3f outside baseline CI [%.3f, %.3f]\n",
 					f.Name, name, ce.Mean, be.Lo, be.Hi)
+				if gated(gates, f.Name, name) {
+					driftFailures = append(driftFailures, fmt.Sprintf(
+						"gated metric %s/%s drifted: mean %.3f outside baseline CI [%.3f, %.3f]",
+						f.Name, name, ce.Mean, be.Lo, be.Hi))
+				}
 			}
+		}
+	}
+	// A gate that matches no gateable metric in the current report is a
+	// dead contract (typo, a rename out from under CI, or a metric that
+	// became Volatile): fail loudly instead of silently never gating
+	// again.
+	for gi, g := range gates {
+		if !gateMatched[gi] {
+			driftFailures = append(driftFailures, fmt.Sprintf(
+				"-gate-drift entry %s/%s matches no gateable metric in the current report", g.figure, g.metric))
 		}
 	}
 	if drifted == 0 {
@@ -190,11 +278,12 @@ func run(args []string, out io.Writer) error {
 		base.TotalWallMS, cur.TotalWallMS, regressPct(base.TotalWallMS, cur.TotalWallMS))
 
 	b := budgets{maxTotalPct: *maxRegress, maxFigurePct: *maxFigRegress, minFigureMS: *minFigureMS}
-	if failures := b.check(base, cur); len(failures) > 0 {
+	failures := append(driftFailures, b.check(base, cur)...)
+	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(out, "FAIL: %s\n", f)
 		}
-		return fmt.Errorf("benchdiff: FAIL: %d wall-clock budget violation(s)", len(failures))
+		return fmt.Errorf("benchdiff: FAIL: %d gate violation(s)", len(failures))
 	}
 	fmt.Fprintln(out, "benchdiff: OK")
 	return nil

@@ -175,3 +175,116 @@ func TestRunCLI(t *testing.T) {
 		t.Fatal("missing -current accepted")
 	}
 }
+
+func TestParseDriftGates(t *testing.T) {
+	if g, err := parseDriftGates(""); err != nil || g != nil {
+		t.Fatalf("empty flag: %v %v", g, err)
+	}
+	g, err := parseDriftGates("bigincast/drop_rate_pct, incast/drop_rate_pct")
+	if err != nil || len(g) != 2 || g[0].figure != "bigincast" || g[1].metric != "drop_rate_pct" {
+		t.Fatalf("parse: %v %v", g, err)
+	}
+	for _, bad := range []string{"bigincast", "/m", "f/", "a/b,,"} {
+		if _, err := parseDriftGates(bad); err == nil {
+			t.Fatalf("malformed %q accepted", bad)
+		}
+	}
+}
+
+func TestGatedMatching(t *testing.T) {
+	gates := []driftGate{{figure: "bigincast", metric: "drop_rate_pct"}}
+	for key, want := range map[string]bool{
+		"drop_rate_pct":           true,  // single-point: bare name
+		"drop_rate_pct_128kib_a2": true,  // sweep: label-qualified
+		"static_drop_rate_pct":    false, // different metric, shared suffix
+		"drop_rate_pctx":          false, // prefix without separator
+	} {
+		if got := gated(gates, "bigincast", key); got != want {
+			t.Fatalf("gated(bigincast, %q) = %v, want %v", key, got, want)
+		}
+	}
+	if gated(gates, "incast", "drop_rate_pct") {
+		t.Fatal("wrong figure matched")
+	}
+}
+
+// driftedReport clones report() but moves metric "m" outside the baseline
+// CI on one figure.
+func driftedReport(totalMS float64, figs map[string]float64, driftFig string) *benchfmt.Report {
+	r := report(totalMS, figs)
+	for i := range r.Figures {
+		if r.Figures[i].Name == driftFig {
+			r.Figures[i].Metrics = map[string]stats.Estimate{"m": {N: 5, Mean: 9, Lo: 8.5, Hi: 9.5}}
+		}
+	}
+	return r
+}
+
+// TestRunCLIDriftGate: drift is informational by default and fatal exactly
+// for the figures/metrics named by -gate-drift.
+func TestRunCLIDriftGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFixture(t, dir, "base.json", report(1000, map[string]float64{"big": 500, "fig": 500}))
+	cur := writeFixture(t, dir, "drift.json",
+		driftedReport(1000, map[string]float64{"big": 500, "fig": 500}, "big"))
+
+	// Ungated: reported, build passes.
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("ungated drift failed the build: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "drift: big/m") {
+		t.Fatalf("drift not reported:\n%s", out.String())
+	}
+
+	// Gated on the drifting figure: build fails.
+	out.Reset()
+	err := run([]string{"-baseline", base, "-current", cur, "-gate-drift", "big/m"}, &out)
+	if err == nil || !strings.Contains(out.String(), "FAIL: gated metric big/m") {
+		t.Fatalf("gated drift did not fail: err=%v\n%s", err, out.String())
+	}
+
+	// Gated on a non-drifting figure: build passes.
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-current", cur, "-gate-drift", "fig/m"}, &out); err != nil {
+		t.Fatalf("gate on stable figure failed: %v\n%s", err, out.String())
+	}
+
+	// Malformed gate flag: rejected.
+	if err := run([]string{"-baseline", base, "-current", cur, "-gate-drift", "nonsense"}, &out); err == nil {
+		t.Fatal("malformed -gate-drift accepted")
+	}
+
+	// A gate naming a figure/metric absent from the report is a dead
+	// contract and must fail, not silently stop gating.
+	out.Reset()
+	err = run([]string{"-baseline", base, "-current", cur, "-gate-drift", "gone/m"}, &out)
+	if err == nil || !strings.Contains(out.String(), "matches no gateable metric") {
+		t.Fatalf("dead gate entry did not fail: err=%v\n%s", err, out.String())
+	}
+
+	// A gated figure that exists only in the current report is an
+	// intentional addition: the gate is live, nothing compares, build
+	// passes (the one-sided-figure rule).
+	curFresh := writeFixture(t, dir, "fresh.json",
+		report(1000, map[string]float64{"big": 500, "fig": 500, "fresh": 10}))
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-current", curFresh, "-gate-drift", "fresh/m"}, &out); err != nil {
+		t.Fatalf("gate on baseline-new figure failed: %v\n%s", err, out.String())
+	}
+
+	// A gate whose only match is a Volatile metric can never fire: dead
+	// contract, must fail.
+	volRep := report(1000, map[string]float64{"big": 500, "fig": 500})
+	for i := range volRep.Figures {
+		if volRep.Figures[i].Name == "big" {
+			volRep.Figures[i].Volatile = []string{"m"}
+		}
+	}
+	curVol := writeFixture(t, dir, "vol.json", volRep)
+	out.Reset()
+	err = run([]string{"-baseline", base, "-current", curVol, "-gate-drift", "big/m"}, &out)
+	if err == nil || !strings.Contains(out.String(), "matches no gateable metric") {
+		t.Fatalf("volatile-only gate did not fail: err=%v\n%s", err, out.String())
+	}
+}

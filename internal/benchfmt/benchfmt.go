@@ -14,8 +14,11 @@ import "github.com/daiet/daiet/internal/stats"
 // skews wall-clock exactly like Parallelism does. Schema 4 gave SimWorkers
 // an autotuned mode: 0 records "-sim-workers auto" (each fabric picks
 // min(rack-cut units, GOMAXPROCS)), and the figure set gained the
-// fault-injection and incast-jitter figures.
-const Schema = 4
+// fault-injection and incast-jitter figures. Schema 5 added the bigincast
+// figure (shared-memory switch buffers: drop rates under DT vs static
+// split, pool high-water marks, per-sender fairness), whose drop-rate
+// metrics cmd/benchdiff can gate on via -gate-drift.
+const Schema = 5
 
 // FigureRecord is one figure's entry: wall-clock plus every headline
 // metric as a mean with confidence bounds.

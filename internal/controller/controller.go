@@ -187,11 +187,21 @@ type TreeOptions struct {
 	Epoch    uint8
 	PinEpoch bool
 
-	// RootReplay/RootRTO enable the switch→reducer replay buffer on the
-	// tree's root switch only (the switch whose parent is the reducer);
-	// interior switch→switch hops are out of its scope.
+	// Reliable enables the exactly-once gate on every switch of the tree:
+	// each switch accepts strictly in-order per-sender sequences from its
+	// own tree children (hosts at the leaves, child switches upstream) and
+	// acknowledges cumulatively.
+	Reliable bool
+
+	// RootReplay/RootRTO enable the switch-side replay buffer on the
+	// tree's root switch (the switch whose parent is the reducer). With
+	// HopReplay, every switch retains its emissions until its tree parent
+	// — gate or collector — acknowledges them: combined with Reliable this
+	// makes the whole tree hop-by-hop reliable, as the bigincast
+	// experiment runs it.
 	RootReplay int
 	RootRTO    time.Duration
+	HopReplay  bool
 }
 
 // InstallTree configures every switch in the plan. On failure, switches
@@ -199,6 +209,18 @@ type TreeOptions struct {
 func (c *Controller) InstallTree(plan *TreePlan, opt TreeOptions) error {
 	if opt.TableSize <= 0 {
 		return fmt.Errorf("controller: table size %d", opt.TableSize)
+	}
+	// With the gate on, each switch's sender table lists its own tree
+	// children, in deterministic (sorted) order.
+	var kids map[netsim.NodeID][]uint32
+	if opt.Reliable {
+		kids = make(map[netsim.NodeID][]uint32, len(plan.SwitchNodes))
+		for child, parent := range plan.Parent {
+			kids[parent] = append(kids[parent], uint32(child))
+		}
+		for _, list := range kids {
+			sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		}
 	}
 	done := make([]netsim.NodeID, 0, len(plan.SwitchNodes))
 	for _, sw := range plan.SwitchNodes {
@@ -223,7 +245,11 @@ func (c *Controller) InstallTree(plan *TreePlan, opt TreeOptions) error {
 			Epoch:     opt.Epoch,
 			PinEpoch:  opt.PinEpoch,
 		}
-		if parent == plan.Root {
+		if opt.Reliable {
+			cfg.Reliable = true
+			cfg.Senders = kids[sw]
+		}
+		if parent == plan.Root || opt.HopReplay {
 			cfg.RootReplay = opt.RootReplay
 			cfg.RootRTO = opt.RootRTO
 		}

@@ -91,12 +91,17 @@ type TreeConfig struct {
 	Epoch    uint8
 	PinEpoch bool
 
-	// RootReplay enables the switch→reducer reliability extension on this
-	// hop (intended for a tree's root switch): the switch retains up to
-	// RootReplay emitted packets in a bounded per-tree replay buffer until
-	// the collector cumulatively acknowledges them, go-back-N retransmits
-	// on RootRTO timeout, and pauses the flush loop (VerdictStall) while
-	// the buffer is full. RootRTO defaults to 500µs.
+	// RootReplay enables the switch-side downstream reliability extension
+	// on this hop: the switch retains up to RootReplay emitted packets in
+	// a bounded per-tree replay buffer until its tree parent cumulatively
+	// acknowledges them, go-back-N retransmits on RootRTO timeout, and
+	// pauses the flush loop (VerdictStall) while the buffer is full. On a
+	// tree's root switch the acknowledging parent is the reducer's
+	// collector (EnableRootAck); on an interior switch it is the parent
+	// switch's reliable gate — configure every switch this way (with each
+	// parent's Senders listing its child switches) for hop-by-hop
+	// reliable trees, as the bigincast experiment does. RootRTO defaults
+	// to 500µs.
 	RootReplay int
 	RootRTO    time.Duration
 }
@@ -439,11 +444,12 @@ func (p *Program) DrainTree(treeID uint32) ([]KV, error) {
 
 // Crash simulates a switch power failure: all dataplane state — every
 // tree's registers (including partial aggregates and replay buffers), the
-// tree table, and the forwarding table — is lost, and the switch drops all
-// traffic until Restart. It returns how many aggregated pairs were
-// resident in switch memory at the moment of the crash: the partial
-// aggregates a recovery protocol must re-drive. Call only while the
-// network is quiescent (a fault-injection control point).
+// tree table, the forwarding table, and the shared packet-memory occupancy
+// accounting — is lost, and the switch drops all traffic until Restart.
+// It returns how many aggregated pairs were resident in switch memory at
+// the moment of the crash: the partial aggregates a recovery protocol
+// must re-drive. Call only while the network is quiescent (a
+// fault-injection control point).
 func (p *Program) Crash() (lostPairs int) {
 	ids := make([]uint32, 0, len(p.trees))
 	for id, st := range p.trees {
@@ -456,6 +462,7 @@ func (p *Program) Crash() (lostPairs int) {
 	p.fwdTable.Clear()
 	p.crashes++
 	p.sw.SetDown(true)
+	p.sw.ResetBuffers()
 	return lostPairs
 }
 

@@ -87,6 +87,16 @@ func NewSwitch(pipe *Pipeline, regs *RegisterFile) *Switch {
 // are whatever the owning Program left them as.
 func (s *Switch) SetDown(down bool) { s.down = down }
 
+// ResetBuffers zeroes the switch's shared packet-memory occupancy (its
+// netsim buffer pool, when one is attached), so a rebooted switch admits
+// traffic against an empty memory instead of the dead boot's accounting
+// (netsim schedules deliveries at admission, so already-admitted frames
+// still arrive — see Network.ResetPool). Poolless switches clear their
+// private per-port queue accounting the same way. Part of crash
+// semantics — core.Program.Crash calls it alongside wiping tables and
+// registers. Call only while the network is quiescent.
+func (s *Switch) ResetBuffers() { s.nw.ResetPool(s.id) }
+
 // Down reports whether the switch is crashed.
 func (s *Switch) Down() bool { return s.down }
 

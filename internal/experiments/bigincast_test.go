@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// smallBig is a fast-but-contended bigincast config for unit tests.
+func smallBig() BigIncastConfig {
+	return BigIncastConfig{
+		Seed:           7,
+		Senders:        32,
+		Racks:          2,
+		PairsPerSender: 200,
+		Vocab:          2048,
+		TableSize:      64, // collisions dominate: spill fan-in stays incast-shaped
+		PoolBytes:      48 << 10,
+	}
+}
+
+// TestBigIncastSmoke: the fabric-scale fan-in completes exactly-once under
+// shared-memory pressure, and the pressure is real (drops happened, the
+// pool high-water mark is meaningful).
+func TestBigIncastSmoke(t *testing.T) {
+	res, err := BigIncast(smallBig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("drop=%.3f%% hw=%.1f%% fair=%.3f retx=%d swretx=%d stalls=%d compl=%v",
+		res.DropRatePct, res.PoolHighWaterPct, res.PortFairness,
+		res.Retransmissions, res.SwitchRetransmissions, res.FlushStalls, res.Completion)
+	if res.FramesDropped == 0 {
+		t.Fatal("no switch-memory drops: the scenario exercises nothing")
+	}
+	if res.PoolHighWaterPct <= 0 || res.PoolHighWaterPct > 100 {
+		t.Fatalf("pool high-water %.2f%%", res.PoolHighWaterPct)
+	}
+	if res.PortFairness <= 0 || res.PortFairness > 1 {
+		t.Fatalf("fairness %v outside (0, 1]", res.PortFairness)
+	}
+}
+
+// TestBigIncastDTDominatesStatic is the headline claim of the shared-memory
+// model: Dynamic-Threshold sharing of one memory strictly beats an equal
+// static partition of the same total bytes on drop rate, at every swept
+// alpha.
+func TestBigIncastDTDominatesStatic(t *testing.T) {
+	static := smallBig()
+	static.StaticPartition = true
+	statRes, err := BigIncast(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statRes.FramesDropped == 0 {
+		t.Fatal("static split dropped nothing: memory not contended")
+	}
+	for _, alpha := range []float64{0.5, 1, 2, 8} {
+		dt := smallBig()
+		dt.Alpha = alpha
+		res, err := BigIncast(dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("alpha=%g: DT drop %.3f%% vs static %.3f%%", alpha, res.DropRatePct, statRes.DropRatePct)
+		if res.DropRatePct >= statRes.DropRatePct {
+			t.Fatalf("alpha=%g: DT drop rate %.3f%% not below static %.3f%%",
+				alpha, res.DropRatePct, statRes.DropRatePct)
+		}
+	}
+}
+
+// TestBigIncast256x4SimWorkersDeterministic is the acceptance criterion: the
+// full-size 256-sender / 4-rack fan-in runs under partitioned engines and
+// every counter of the result — drops, retransmissions, pool marks,
+// fairness, virtual completion — is byte-identical at 1, 2, and 4 domains.
+func TestBigIncast256x4SimWorkersDeterministic(t *testing.T) {
+	render := func(simWorkers int) string {
+		res, err := BigIncast(BigIncastConfig{
+			Seed:           3,
+			Senders:        256,
+			Racks:          4,
+			PairsPerSender: 40, // full fan-in, shortened streams: CI-sized
+			Vocab:          2048,
+			TableSize:      512,
+			PoolBytes:      192 << 10,
+			SimWorkers:     simWorkers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Cfg.SimWorkers = 0 // the knob itself is the only allowed delta
+		return fmt.Sprintf("%+v", *res)
+	}
+	seq := render(1)
+	for _, w := range []int{2, 4} {
+		if got := render(w); got != seq {
+			t.Fatalf("bigincast diverged at sim-workers %d:\nsequential: %s\npartitioned: %s", w, seq, got)
+		}
+	}
+}

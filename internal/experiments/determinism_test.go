@@ -223,3 +223,26 @@ func TestIncastSimWorkersDeterministic(t *testing.T) {
 		assertIdentical(t, "incast sim-workers", seq, render(w), w)
 	}
 }
+
+// TestIncastPoolSimWorkersDeterministic is the same contract with the
+// switch running shared-memory DT admission (IncastConfig.PoolBytes): the
+// ACK and flush streams contend in one pool, and every counter still
+// replays identically across domain counts.
+func TestIncastPoolSimWorkersDeterministic(t *testing.T) {
+	render := func(simWorkers int) string {
+		res, err := Incast(IncastConfig{
+			Seed: 3, Senders: 8, PairsPerSender: 300,
+			QueueBytes: 4096, PoolBytes: 16 << 10, PoolAlpha: 0.5,
+			SimWorkers: simWorkers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Cfg.SimWorkers = 0
+		return fmt.Sprintf("%+v", *res)
+	}
+	seq := render(1)
+	for _, w := range simWorkerCounts {
+		assertIdentical(t, "incast pooled sim-workers", seq, render(w), w)
+	}
+}

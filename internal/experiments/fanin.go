@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/daiet/daiet/internal/core"
+	"github.com/daiet/daiet/internal/hashing"
+	"github.com/daiet/daiet/internal/netsim"
+	"github.com/daiet/daiet/internal/topology"
+	"github.com/daiet/daiet/internal/transport"
+)
+
+// Shared plumbing of the fan-in experiments (incast, bigincast): realize a
+// plan with DAIET programs on switches and plain hosts, draw deterministic
+// per-sender workloads, and verify exactly-once aggregation.
+
+// daietFabric bundles a realized plan's components.
+type daietFabric struct {
+	fab      *topology.Fabric
+	programs map[netsim.NodeID]*core.Program
+	hosts    map[netsim.NodeID]*transport.Host
+}
+
+// buildDaietFabric realizes plan onto nw with a default DAIET program per
+// switch and a transport host per host node (pools declared on the plan are
+// installed by Realize).
+func buildDaietFabric(nw *netsim.Network, plan *topology.Plan) (*daietFabric, error) {
+	f := &daietFabric{
+		programs: map[netsim.NodeID]*core.Program{},
+		hosts:    map[netsim.NodeID]*transport.Host{},
+	}
+	var buildErr error
+	f.fab = plan.Realize(nw,
+		func(id netsim.NodeID) netsim.Node {
+			prog, err := core.NewProgram(core.ProgramConfig{})
+			if err != nil {
+				buildErr = err
+				return transport.NewHost() // placeholder; buildErr aborts below
+			}
+			f.programs[id] = prog
+			return prog.Switch()
+		},
+		func(id netsim.NodeID) netsim.Node {
+			h := transport.NewHost()
+			f.hosts[id] = h
+			return h
+		})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return f, nil
+}
+
+// senderWorkload draws worker w's deterministic stream: its actual length
+// within ±20% of pairsMean, keys from a shared vocab (overlap makes the
+// in-network aggregation real), accumulating the ground truth into want.
+// The returned RNG has consumed exactly the workload draws, so later draws
+// (start jitter) never perturb the stream itself.
+func senderWorkload(seed uint64, w netsim.NodeID, pairsMean, vocab int,
+	want map[string]uint32) ([]core.KV, *rand.Rand) {
+
+	rng := rand.New(rand.NewSource(int64(hashing.Mix64(seed ^ uint64(w)<<20))))
+	n := pairsMean * (80 + rng.Intn(41)) / 100 // ±20%
+	stream := make([]core.KV, n)
+	for k := 0; k < n; k++ {
+		key := fmt.Sprintf("key-%05d", rng.Intn(vocab))
+		val := uint32(rng.Intn(1000))
+		want[key] += val
+		stream[k] = core.KV{Key: key, Value: val}
+	}
+	return stream, rng
+}
+
+// verifyExactOnce is the correctness gate of every loss experiment: the
+// collector's aggregate must equal the ground truth exactly — a duplicate
+// or lost pair anywhere in the tree shows up as a wrong sum.
+func verifyExactOnce(col *core.Collector, want map[string]uint32) error {
+	got := col.Result()
+	if len(got) != len(want) {
+		return fmt.Errorf("%d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			return fmt.Errorf("key %q = %d, want %d (duplicate or lost aggregation)",
+				k, got[k], v)
+		}
+	}
+	return nil
+}
+
+// jainIndex is Jain's fairness index over xs: (Σx)² / (n·Σx²) — 1.0 when
+// every element is equal, approaching 1/n when one element dominates.
+func jainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

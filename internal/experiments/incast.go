@@ -2,17 +2,14 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	"github.com/daiet/daiet/internal/controller"
 	"github.com/daiet/daiet/internal/core"
-	"github.com/daiet/daiet/internal/hashing"
 	"github.com/daiet/daiet/internal/netsim"
 	"github.com/daiet/daiet/internal/stats"
 	"github.com/daiet/daiet/internal/topology"
-	"github.com/daiet/daiet/internal/transport"
 	"github.com/daiet/daiet/internal/wire"
 )
 
@@ -67,6 +64,20 @@ type IncastConfig struct {
 	// the fully synchronized fan-in.
 	StartJitter time.Duration
 	TableSize   int // per-tree register cells (default 4096)
+	// PoolBytes, when > 0, replaces the switch's per-port egress FIFOs with
+	// one shared buffer memory of this size under Dynamic-Threshold
+	// admission (netsim.PoolConfig): the ACK streams back to every worker
+	// and the flush stream to the reducer then contend for one memory, the
+	// way a real shared-memory ASIC behaves. 0 keeps the historical
+	// per-port QueueBytes model, so the registered incast figures
+	// reproduce bit-for-bit. PoolReserve/PoolAlpha parameterize the DT
+	// (defaults 2 KiB and 1.0; pass -1 for an explicit zero — no reserve
+	// floor / no borrowing — since 0 means "default" here). Host uplinks
+	// always keep private queues — QueueBytes remains the standalone-link
+	// fallback.
+	PoolBytes   int
+	PoolReserve int
+	PoolAlpha   float64
 	// SimWorkers partitions the fabric into parallel event-engine domains
 	// (0 autotunes; a single-switch plan autotunes to sequential). When
 	// cut explicitly, the senders themselves spread across domains;
@@ -96,6 +107,20 @@ func (c IncastConfig) withDefaults() IncastConfig {
 	if c.TableSize == 0 {
 		c.TableSize = 4096
 	}
+	if c.PoolBytes > 0 {
+		switch {
+		case c.PoolReserve == 0:
+			c.PoolReserve = 2 << 10
+		case c.PoolReserve < 0:
+			c.PoolReserve = 0 // explicit: no reserve floor
+		}
+		switch {
+		case c.PoolAlpha == 0:
+			c.PoolAlpha = 1
+		case c.PoolAlpha < 0:
+			c.PoolAlpha = 0 // explicit: no borrowing (static reserves)
+		}
+	}
 	return c
 }
 
@@ -103,7 +128,8 @@ func (c IncastConfig) withDefaults() IncastConfig {
 type IncastResult struct {
 	Cfg IncastConfig
 
-	// Edge-hop admission accounting, worker→switch direction.
+	// Admission accounting: the worker→switch edge, plus (in shared-memory
+	// mode, PoolBytes > 0) the switch's own pooled egress ports.
 	FramesAttempted uint64
 	FramesDropped   uint64
 	DropRatePct     float64
@@ -136,30 +162,23 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 		}
 		plan.Links = append(plan.Links, topology.Link{A: h, B: sw, Cfg: lc})
 	}
+	if cfg.PoolBytes > 0 {
+		// Shared-memory mode: the switch's egress queues (per-worker ACK
+		// streams + the flush stream to the reducer) share one DT pool.
+		plan.SetPool(sw, netsim.PoolConfig{
+			TotalBytes:   cfg.PoolBytes,
+			ReserveBytes: cfg.PoolReserve,
+			Alpha:        cfg.PoolAlpha,
+		})
+	}
 	workers, reducer := plan.Hosts[:cfg.Senders], plan.Hosts[cfg.Senders]
 
 	nw := netsim.New(cfg.Seed)
-	programs := map[netsim.NodeID]*core.Program{}
-	hosts := map[netsim.NodeID]*transport.Host{}
-	var buildErr error
-	fab := plan.Realize(nw,
-		func(id netsim.NodeID) netsim.Node {
-			prog, err := core.NewProgram(core.ProgramConfig{})
-			if err != nil {
-				buildErr = err
-				return transport.NewHost() // placeholder; buildErr aborts below
-			}
-			programs[id] = prog
-			return prog.Switch()
-		},
-		func(id netsim.NodeID) netsim.Node {
-			h := transport.NewHost()
-			hosts[id] = h
-			return h
-		})
-	if buildErr != nil {
-		return nil, buildErr
+	fb, err := buildDaietFabric(nw, plan)
+	if err != nil {
+		return nil, err
 	}
+	programs, hosts, fab := fb.programs, fb.hosts, fb.fab
 	if err := fab.Partitions(cfg.SimWorkers); err != nil {
 		return nil, err
 	}
@@ -171,27 +190,18 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	senderIDs := make([]uint32, len(workers))
-	for i, w := range workers {
-		senderIDs[i] = uint32(w)
-	}
-	for _, swNode := range tplan.SwitchNodes {
-		if err := programs[swNode].ConfigureTree(core.TreeConfig{
-			TreeID:    tplan.TreeID,
-			OutPort:   fab.PortTo(swNode, tplan.Parent[swNode]),
-			Children:  tplan.Children[swNode],
-			Agg:       core.AggSum,
-			TableSize: cfg.TableSize,
-			Reliable:  true,
-			Senders:   senderIDs,
-			// The switch is the tree root: its flush hop to the reducer is
-			// protected by the bounded replay buffer instead of by
-			// testbed-sized queues.
-			RootReplay: cfg.RootReplay,
-			RootRTO:    500 * time.Microsecond,
-		}); err != nil {
-			return nil, err
-		}
+	// The single switch is the tree root: it gates the workers for
+	// exactly-once aggregation, and its flush hop to the reducer is
+	// protected by the bounded replay buffer instead of by testbed-sized
+	// queues.
+	if err := ctl.InstallTree(tplan, controller.TreeOptions{
+		Agg:        core.AggSum,
+		TableSize:  cfg.TableSize,
+		Reliable:   true,
+		RootReplay: cfg.RootReplay,
+		RootRTO:    500 * time.Microsecond,
+	}); err != nil {
+		return nil, err
 	}
 
 	sum, err := core.FuncByID(core.AggSum)
@@ -225,15 +235,7 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 		}
 		mux.Register(s)
 		senders[i] = s
-		rng := rand.New(rand.NewSource(int64(hashing.Mix64(cfg.Seed ^ uint64(w)<<20))))
-		n := cfg.PairsPerSender * (80 + rng.Intn(41)) / 100 // ±20%
-		stream := make([]core.KV, n)
-		for k := 0; k < n; k++ {
-			key := fmt.Sprintf("key-%05d", rng.Intn(cfg.Vocab))
-			val := uint32(rng.Intn(1000))
-			want[key] += val
-			stream[k] = core.KV{Key: key, Value: val}
-		}
+		stream, rng := senderWorkload(cfg.Seed, w, cfg.PairsPerSender, cfg.Vocab, want)
 		slot := &feedErrs[i]
 		feed := func() {
 			for _, kv := range stream {
@@ -281,15 +283,8 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 		return nil, fmt.Errorf("experiments: incast: collector incomplete (%+v)", col.Stats)
 	}
 	// Correctness gate: exactly-once aggregation despite retransmission.
-	got := col.Result()
-	if len(got) != len(want) {
-		return nil, fmt.Errorf("experiments: incast: %d keys, want %d", len(got), len(want))
-	}
-	for k, v := range want {
-		if got[k] != v {
-			return nil, fmt.Errorf("experiments: incast: key %q = %d, want %d (duplicate or lost aggregation)",
-				k, got[k], v)
-		}
+	if err := verifyExactOnce(col, want); err != nil {
+		return nil, fmt.Errorf("experiments: incast: %w", err)
 	}
 	// Edge admission stats, worker→switch direction only (port 0 is every
 	// host's uplink).
@@ -297,6 +292,18 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 		st := nw.PortStats(w, 0)
 		res.FramesAttempted += st.TxFrames + st.DropsFull + st.DropsLoss
 		res.FramesDropped += st.DropsFull + st.DropsLoss
+	}
+	if cfg.PoolBytes > 0 {
+		// Shared-memory mode adds a second loss point: the switch's own
+		// egress (ACK + flush streams through the pool). Count it, or the
+		// figure would report ~0% drops while retransmissions show real
+		// loss. Poolless runs skip this so historical metrics are
+		// untouched.
+		for p := 0; p < nw.NumPorts(sw); p++ {
+			st := nw.PortStats(sw, p)
+			res.FramesAttempted += st.TxFrames + st.DropsPool + st.DropsFull + st.DropsLoss
+			res.FramesDropped += st.DropsPool + st.DropsFull + st.DropsLoss
+		}
 	}
 	res.DropRatePct = 100 * stats.Ratio(float64(res.FramesDropped), float64(res.FramesAttempted))
 	return res, nil

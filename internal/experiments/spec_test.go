@@ -23,6 +23,7 @@ var wantSpecs = []string{
 	"ablation-key-width",
 	"ablation-pairs-per-packet",
 	"ablation-table-size",
+	"bigincast",
 	"faults",
 	"fig1-workers",
 	"fig1a",

@@ -45,6 +45,13 @@ type ClusterConfig struct {
 	// min(rack-cut units, GOMAXPROCS); 1 forces the sequential engine.
 	// Results are byte-identical at any value; only wall-clock changes.
 	SimWorkers int
+	// SwitchPool, when non-nil, attaches a shared-memory buffer pool of
+	// this size to every switch (netsim Dynamic-Threshold admission across
+	// the switch's egress ports) instead of the per-port QueueBytes FIFOs.
+	// Plans that carry their own Pools map are honored either way; this
+	// knob is the uniform-sizing shortcut. A crash (Program.Crash) empties
+	// the pool along with the rest of the switch state.
+	SwitchPool *netsim.PoolConfig
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -133,6 +140,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.Fab = plan.Realize(c.Net, mkSwitch, mkHost)
 	if buildErr != nil {
 		return nil, buildErr
+	}
+	if cfg.SwitchPool != nil {
+		for _, sw := range plan.Switches {
+			if _, has := plan.Pools[sw]; has {
+				continue // the plan's own per-tier sizing wins
+			}
+			if err := c.Net.SetNodePool(sw, *cfg.SwitchPool); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if err := c.Fab.Partitions(cfg.SimWorkers); err != nil {
 		return nil, err

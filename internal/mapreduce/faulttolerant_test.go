@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -149,6 +150,80 @@ func TestRunJobFTLinkFlapOrphanedMapper(t *testing.T) {
 	}
 	if got, want := renderOutputs(rep), renderOutputs(ref); got != want {
 		t.Fatalf("link-flap run output != fault-free output:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// ftPoolCluster is ftCluster with shared-memory switch buffers: every
+// switch runs Dynamic-Threshold admission against one pool instead of
+// per-port FIFOs. Sized generously enough that the job completes, small
+// enough that a crash finds frames resident in the memory.
+func ftPoolCluster(t *testing.T, simWorkers int) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(ClusterConfig{
+		NumMappers:  8,
+		NumReducers: 2,
+		Plan:        ftPlan(),
+		TableSize:   512,
+		Seed:        1,
+		SimWorkers:  simWorkers,
+		SwitchPool:  &netsim.PoolConfig{TotalBytes: 256 << 10, ReserveBytes: 2 << 10, Alpha: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestRunJobFTSwitchCrashPoolReset: with shared-memory switch buffers, a
+// mid-job spine crash must empty the crashed switch's pool occupancy
+// (Program.Crash → Switch.ResetBuffers) and the FT job must still produce
+// byte-identical output — across event-engine domain counts too.
+func TestRunJobFTSwitchCrashPoolReset(t *testing.T) {
+	splits, _ := miniCorpus(t, 8, 2, 150, 5, 512)
+
+	ref, err := ftPoolCluster(t, 1).RunJobFT(WordCount, splits, nil, FTConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spine := treeSpine(t)
+	sched := faults.Schedule{
+		{At: ref.Completion / 2, Kind: faults.SwitchCrash, Node: spine},
+		{At: 4 * ref.Completion, Kind: faults.SwitchRestart, Node: spine},
+	}
+	cfg := FTConfig{DeadTimeout: time.Duration(ref.Completion / 6)}
+
+	render := func(simWorkers int) string {
+		cl := ftPoolCluster(t, simWorkers)
+		rep, err := cl.RunJobFT(WordCount, splits, sched, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Post-run pool state: every pool drained (or crash-reset) to empty,
+		// high-water marks deterministic.
+		pools := ""
+		for _, sw := range cl.Fab.Plan.Switches {
+			ps, ok := cl.Net.PoolStats(sw)
+			if !ok {
+				t.Fatalf("switch %d lost its pool", sw)
+			}
+			if ps.Used != 0 {
+				t.Fatalf("switch %d pool still holds %d bytes after the run", sw, ps.Used)
+			}
+			if ps.HighWater == 0 {
+				t.Fatalf("switch %d pool never held a frame", sw)
+			}
+			pools += fmt.Sprintf("pool %d: %+v\n", sw, ps)
+		}
+		return fmt.Sprintf("%+v\n%s%s", *rep, pools, renderOutputs(rep))
+	}
+	seq := render(1)
+	if got, want := renderOutputs(ref), seq; !strings.Contains(want, got) {
+		t.Fatalf("faulted pooled run output != fault-free output:\nwant:\n%s\nin:\n%s", got, want)
+	}
+	for _, w := range []int{2, 4} {
+		if got := render(w); got != seq {
+			t.Fatalf("pooled FT run diverged at sim-workers %d:\nsequential:\n%s\npartitioned:\n%s", w, seq, got)
+		}
 	}
 }
 

@@ -1,0 +1,247 @@
+package netsim
+
+import "fmt"
+
+// Shared-memory switch buffers. Real switch ASICs do not give every port a
+// private FIFO: all egress queues carve space out of one on-chip packet
+// memory, arbitrated by a Dynamic Threshold (DT) policy in the style of
+// Choudhury–Hahne. A node with a BufferPool attached charges every byte its
+// half-links accept against the shared memory, and a port may only queue up
+// to
+//
+//	limit = reserve + alpha × free
+//
+// bytes, where free is the pool memory not currently occupied by any port.
+// The per-port reserve is a threshold floor: a port inside its reserve is
+// exempt from the dynamic threshold (only physical memory exhaustion can
+// reject it), so quiet ports stay ahead of the DT squeeze an incast flood
+// causes; alpha trades isolation (small alpha: ports cannot starve each
+// other) against utilization (large alpha: one hot port may borrow nearly
+// all idle memory — including, at alpha > 0, bytes another port's floor
+// would have admitted; hard carved reserves are a listed extension).
+// alpha = 0 with reserve = total/ports degenerates into equal static
+// partitioning — reserves then sum to the whole memory, the floor is a
+// true guarantee, and the pool reproduces the per-port model it replaces,
+// which the bigincast experiment uses as its comparison baseline.
+//
+// Nodes without a pool keep the standalone-link fallback: each half-link's
+// private LinkConfig.QueueBytes FIFO, exactly as before pools existed, so
+// historical figures stay reproducible.
+//
+// Domain ownership: a pool is touched only on admission and drain of
+// half-links transmitting FROM its node, and a node's sends always execute
+// in its own partition domain (the scheduling confinement contract in
+// NodeAfter). Pool state therefore needs no locks and transitions in
+// partition-invariant event order, keeping partitioned runs byte-identical.
+
+// PoolConfig sizes one node's shared buffer pool.
+type PoolConfig struct {
+	// TotalBytes is the shared packet memory (required, > 0).
+	TotalBytes int
+	// ReserveBytes is the per-port threshold floor: up to this occupancy a
+	// port is exempt from the dynamic threshold and can only be rejected
+	// by physical memory exhaustion (with Alpha = 0, reserves are never
+	// over-committed and the floor is a hard guarantee). Default 0 (pure
+	// DT).
+	ReserveBytes int
+	// Alpha is the Dynamic Threshold factor: beyond its reserve, a port may
+	// hold up to Alpha × (free pool bytes). 0 disables borrowing (static
+	// partitioning into reserves).
+	Alpha float64
+}
+
+// PoolStats is the observable state of one node's buffer pool.
+type PoolStats struct {
+	TotalBytes int
+	// Used is the memory currently occupied (drained to the node's clock).
+	Used int
+	// HighWater is the maximum occupancy ever reached — the headline
+	// shared-buffer pressure statistic of the bigincast figure.
+	HighWater int
+	// Drops counts admissions the pool rejected, summed over all ports
+	// (per-port attribution is in each port's LinkStats.DropsPool).
+	Drops uint64
+}
+
+// poolRec is one admitted frame awaiting serialization in the shared memory.
+type poolRec struct {
+	done Time
+	size int
+}
+
+// poolHeap is a monomorphic min-heap of poolRecs ordered by completion
+// time. One node's ports serialize independently, so completions interleave
+// across ports; the heap releases memory in completion order regardless of
+// admission order.
+type poolHeap []poolRec
+
+func (h *poolHeap) push(r poolRec) {
+	*h = append(*h, r)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].done <= q[i].done {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *poolHeap) pop() poolRec {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && q[right].done < q[left].done {
+			min = right
+		}
+		if q[min].done >= q[i].done {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
+// BufferPool is one node's shared packet memory.
+type BufferPool struct {
+	cfg       PoolConfig
+	used      int
+	highWater int
+	drops     uint64
+	pending   poolHeap
+}
+
+func (c PoolConfig) validate() error {
+	if c.TotalBytes <= 0 {
+		return fmt.Errorf("netsim: pool TotalBytes %d, want > 0", c.TotalBytes)
+	}
+	if c.ReserveBytes < 0 || c.ReserveBytes > c.TotalBytes {
+		return fmt.Errorf("netsim: pool ReserveBytes %d outside [0, %d]", c.ReserveBytes, c.TotalBytes)
+	}
+	if c.Alpha < 0 {
+		return fmt.Errorf("netsim: pool Alpha %g, want >= 0", c.Alpha)
+	}
+	return nil
+}
+
+// drainTo releases every admitted frame fully serialized at or before now.
+func (bp *BufferPool) drainTo(now Time) {
+	for len(bp.pending) > 0 && bp.pending[0].done <= now {
+		bp.used -= bp.pending.pop().size
+	}
+}
+
+// admit decides whether a port currently holding portQueued bytes may add a
+// size-byte frame, under the dynamic threshold. The caller must have drained
+// the pool to now first.
+func (bp *BufferPool) admit(portQueued, size int) bool {
+	free := bp.cfg.TotalBytes - bp.used
+	if size > free {
+		return false // the shared memory itself is full
+	}
+	after := portQueued + size
+	if after <= bp.cfg.ReserveBytes {
+		return true // inside the port's threshold floor
+	}
+	// Dynamic threshold: reserve plus a fraction of what is free right now.
+	return after <= bp.cfg.ReserveBytes+int(bp.cfg.Alpha*float64(free))
+}
+
+// charge records an admitted frame occupying the memory until done.
+func (bp *BufferPool) charge(done Time, size int) {
+	bp.used += size
+	if bp.used > bp.highWater {
+		bp.highWater = bp.used
+	}
+	bp.pending.push(poolRec{done: done, size: size})
+}
+
+// reset empties the memory (a crash/reboot losing all buffered frames).
+// Cumulative statistics survive: high-water marks and drop counts describe
+// the run, not the current boot.
+func (bp *BufferPool) reset() {
+	bp.used = 0
+	bp.pending = bp.pending[:0]
+}
+
+// SetNodePool attaches a shared buffer pool to node id: every half-link
+// transmitting from id switches from its private LinkConfig.QueueBytes FIFO
+// to DT admission against this pool. It may be called before or after the
+// node's links are connected (later Connects join the pool automatically),
+// but must precede Partition and any traffic.
+func (nw *Network) SetNodePool(id NodeID, cfg PoolConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if _, ok := nw.nodes[id]; !ok {
+		return fmt.Errorf("netsim: SetNodePool: unknown node %d", id)
+	}
+	if nw.domains != nil {
+		return fmt.Errorf("netsim: SetNodePool after Partition")
+	}
+	if nw.pools[id] != nil {
+		return fmt.Errorf("netsim: node %d already has a pool", id)
+	}
+	bp := &BufferPool{cfg: cfg}
+	nw.pools[id] = bp
+	for _, p := range nw.ports[id] {
+		p.out.pool = bp
+	}
+	return nil
+}
+
+// PoolStats returns the current state of node id's buffer pool, drained to
+// the fabric-wide clock, and whether the node has one. Call only while the
+// network is quiescent (before Run, at a RunUntil control point, or after
+// Run returns) — the fabric clock is only mode-independent there, which is
+// what keeps reported occupancy byte-identical at any -sim-workers value.
+func (nw *Network) PoolStats(id NodeID) (PoolStats, bool) {
+	bp := nw.pools[id]
+	if bp == nil {
+		return PoolStats{}, false
+	}
+	bp.drainTo(nw.Now())
+	return PoolStats{
+		TotalBytes: bp.cfg.TotalBytes,
+		Used:       bp.used,
+		HighWater:  bp.highWater,
+		Drops:      bp.drops,
+	}, true
+}
+
+// ResetPool zeroes node id's egress buffer occupancy accounting — the
+// shared pool, when the node has one, and every port's private queue
+// accounting either way, so pooled and poolless switches crash the same
+// way. Note the model's granularity: netsim schedules a frame's delivery
+// at admission time (there is no separate departure event), so frames
+// admitted before the crash still arrive at their neighbors, exactly as
+// SetLinkState's in-flight semantics keep already-accepted frames alive
+// across a link failure. What the reset changes is admission:
+// post-restart traffic sees empty queues instead of inheriting the dead
+// boot's occupancy. busyTill is deliberately NOT reset — the pre-crash
+// frames still occupy the serializer's timeline, so clearing it would
+// transiently double the port's effective bandwidth. Like all fault
+// operations it may only be called while the network is quiescent.
+func (nw *Network) ResetPool(id NodeID) {
+	if bp := nw.pools[id]; bp != nil {
+		bp.reset()
+	}
+	for _, p := range nw.ports[id] {
+		hl := p.out
+		hl.queued = 0
+		hl.inflight.clear()
+	}
+}

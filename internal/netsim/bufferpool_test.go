@@ -1,0 +1,273 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// poolWorld builds one source node (1) with two outgoing links (to sinks 2
+// and 3) over a deliberately slow fabric, so queued bytes linger and pool
+// occupancy is observable.
+func poolWorld(t *testing.T, cfg PoolConfig) (*Network, *sink, *sink) {
+	t.Helper()
+	nw := New(1)
+	b, c := &sink{}, &sink{}
+	nw.AddNode(1, &sink{})
+	nw.AddNode(2, b)
+	nw.AddNode(3, c)
+	slow := LinkConfig{BandwidthBps: 1_000_000, QueueBytes: 1 << 30} // 8 µs/byte
+	nw.Connect(1, 2, slow)
+	nw.Connect(1, 3, slow)
+	if err := nw.SetNodePool(1, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return nw, b, c
+}
+
+// TestPoolSharedMemoryFills: with alpha high enough, one port may claim the
+// whole shared memory; once full, every port is rejected and drops are
+// attributed to the port that overflowed.
+func TestPoolSharedMemoryFills(t *testing.T) {
+	nw, b, c := poolWorld(t, PoolConfig{TotalBytes: 1000, ReserveBytes: 100, Alpha: 4})
+	for i := 0; i < 12; i++ {
+		nw.Send(1, 0, make([]byte, 100))
+	}
+	// The DT cap for one port: at 900 B queued only 100 B are free, so the
+	// threshold is 100 + 4×100 = 500 < 1000 — the 10th frame is rejected
+	// even though it would physically fit. alpha bounds how much of the
+	// memory one port may monopolize.
+	if st := nw.PortStats(1, 0); st.TxFrames != 9 || st.DropsPool != 3 || st.DropsFull != 0 {
+		t.Fatalf("port 0 stats %+v", st)
+	}
+	// The other port's reserve still admits out of the remaining 100 B;
+	// after that the memory is physically full and everyone is rejected.
+	nw.Send(1, 1, make([]byte, 100))
+	nw.Send(1, 1, make([]byte, 100))
+	if st := nw.PortStats(1, 1); st.TxFrames != 1 || st.DropsPool != 1 {
+		t.Fatalf("port 1 stats %+v", st)
+	}
+	ps, ok := nw.PoolStats(1)
+	if !ok {
+		t.Fatal("node 1 has no pool")
+	}
+	if ps.Used != 1000 || ps.HighWater != 1000 || ps.Drops != 4 {
+		t.Fatalf("pool stats %+v", ps)
+	}
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.frames) != 9 || len(c.frames) != 1 {
+		t.Fatalf("delivered %d/%d", len(b.frames), len(c.frames))
+	}
+	// Everything serialized: the memory drains back to empty.
+	if ps, _ := nw.PoolStats(1); ps.Used != 0 || ps.HighWater != 1000 {
+		t.Fatalf("post-run pool stats %+v", ps)
+	}
+}
+
+// TestPoolStaticPartition: alpha = 0 with reserve = total/ports degenerates
+// into equal static partitioning — a port stops at its reserve even though
+// the rest of the memory is idle.
+func TestPoolStaticPartition(t *testing.T) {
+	nw, _, _ := poolWorld(t, PoolConfig{TotalBytes: 1000, ReserveBytes: 500, Alpha: 0})
+	for i := 0; i < 7; i++ {
+		nw.Send(1, 0, make([]byte, 100))
+	}
+	if st := nw.PortStats(1, 0); st.TxFrames != 5 || st.DropsPool != 2 {
+		t.Fatalf("static partition: port 0 stats %+v", st)
+	}
+	// The other port's reserve is untouched.
+	nw.Send(1, 1, make([]byte, 100))
+	if st := nw.PortStats(1, 1); st.TxFrames != 1 || st.DropsPool != 0 {
+		t.Fatalf("static partition: port 1 stats %+v", st)
+	}
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolDynamicThreshold pins the DT formula: beyond its reserve a port
+// may hold at most alpha × free additional bytes, so a congested pool
+// admits less.
+func TestPoolDynamicThreshold(t *testing.T) {
+	// Reserve 0, alpha 1: first 100 B frame sees free=1000, limit 1000 →
+	// admitted. Occupancy 100 → free 900, limit 900; queued 100+100=200 ≤
+	// 900 → admitted... the port asymptotically approaches alpha/(1+alpha)
+	// of the memory: 500 for alpha 1.
+	nw, _, _ := poolWorld(t, PoolConfig{TotalBytes: 1000, ReserveBytes: 0, Alpha: 1})
+	sent := 0
+	for i := 0; i < 20; i++ {
+		nw.Send(1, 0, make([]byte, 100))
+	}
+	sent = int(nw.PortStats(1, 0).TxFrames)
+	if sent != 5 {
+		t.Fatalf("alpha=1 admitted %d × 100 B, want 5 (the DT fixed point)", sent)
+	}
+	// The second port still gets its own DT share of what is left.
+	nw.Send(1, 1, make([]byte, 100))
+	if st := nw.PortStats(1, 1); st.TxFrames != 1 {
+		t.Fatalf("port 1 locked out below the threshold: %+v", st)
+	}
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolDrainReadmits: occupancy falls as frames serialize, so a port
+// rejected at t=0 is admitted after the backlog drains — the lazy-drain
+// equivalence the private-queue model already guarantees.
+func TestPoolDrainReadmits(t *testing.T) {
+	nw, b, _ := poolWorld(t, PoolConfig{TotalBytes: 300, ReserveBytes: 0, Alpha: 8})
+	for i := 0; i < 4; i++ {
+		nw.Send(1, 0, make([]byte, 100)) // fourth rejected: memory holds 3
+	}
+	if st := nw.PortStats(1, 0); st.TxFrames != 3 || st.DropsPool != 1 {
+		t.Fatalf("t=0 stats %+v", st)
+	}
+	// After the first frame serializes (800 µs at 1 Mb/s), memory is free.
+	if err := nw.RunUntil(Duration(800 * time.Microsecond)); err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(1, 0, make([]byte, 100))
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.PortStats(1, 0)
+	if st.TxFrames != 4 || st.DropsPool != 1 {
+		t.Fatalf("post-drain stats %+v; want the late frame admitted", st)
+	}
+	if len(b.frames) != 4 {
+		t.Fatalf("delivered %d", len(b.frames))
+	}
+}
+
+// TestPoolConfigValidation covers the configuration contract.
+func TestPoolConfigValidation(t *testing.T) {
+	nw := New(1)
+	nw.AddNode(1, &sink{})
+	nw.AddNode(2, &sink{})
+	nw.Connect(1, 2, LinkConfig{})
+	if err := nw.SetNodePool(1, PoolConfig{}); err == nil {
+		t.Fatal("zero TotalBytes accepted")
+	}
+	if err := nw.SetNodePool(1, PoolConfig{TotalBytes: 100, ReserveBytes: 200}); err == nil {
+		t.Fatal("reserve beyond total accepted")
+	}
+	if err := nw.SetNodePool(1, PoolConfig{TotalBytes: 100, Alpha: -1}); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	if err := nw.SetNodePool(9, PoolConfig{TotalBytes: 100}); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if err := nw.SetNodePool(1, PoolConfig{TotalBytes: 100, Alpha: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetNodePool(1, PoolConfig{TotalBytes: 100, Alpha: 1}); err == nil {
+		t.Fatal("duplicate pool accepted")
+	}
+	if _, ok := nw.PoolStats(2); ok {
+		t.Fatal("poolless node reported a pool")
+	}
+	// Pools must exist before Partition; afterwards installation is refused.
+	if err := nw.Partition([][]NodeID{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetNodePool(2, PoolConfig{TotalBytes: 100}); err == nil {
+		t.Fatal("SetNodePool after Partition accepted")
+	}
+}
+
+// TestPoolBeforeConnect: links connected after the pool is attached join it.
+func TestPoolBeforeConnect(t *testing.T) {
+	nw := New(1)
+	nw.AddNode(1, &sink{})
+	nw.AddNode(2, &sink{})
+	if err := nw.SetNodePool(1, PoolConfig{TotalBytes: 150, Alpha: 4}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Connect(1, 2, LinkConfig{BandwidthBps: 1_000_000, QueueBytes: 1 << 30})
+	nw.Send(1, 0, make([]byte, 100))
+	nw.Send(1, 0, make([]byte, 100)) // exceeds the 150 B memory
+	if st := nw.PortStats(1, 0); st.TxFrames != 1 || st.DropsPool != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolPartitionConformance: pooled admission is part of the replay
+// contract — random chatter workloads over fabrics where some nodes carry
+// shared pools must fingerprint identically at any partitioning, including
+// pool occupancy statistics.
+func TestPoolPartitionConformance(t *testing.T) {
+	run := func(seed int64, domains int) string {
+		nw, nodes := chatterWorld(t, seed, 12)
+		// Give a deterministic subset of nodes tight shared pools so DT
+		// rejections actually happen under the chatter load.
+		for i := 0; i < 12; i += 3 {
+			id := NodeID(i + 1)
+			if err := nw.SetNodePool(id, PoolConfig{
+				TotalBytes:   512,
+				ReserveBytes: 64,
+				Alpha:        0.5,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if domains > 1 {
+			if err := nw.Partition(randomGroups(12, domains, seed)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inject(nw, nodes, seed)
+		if err := nw.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		out := fingerprint(nw, nodes)
+		var poolDrops uint64
+		for i := 0; i < 12; i += 3 {
+			ps, ok := nw.PoolStats(NodeID(i + 1))
+			if !ok {
+				t.Fatalf("node %d lost its pool", i+1)
+			}
+			poolDrops += ps.Drops
+			out += fmt.Sprintf("pool %d: %+v\n", i+1, ps)
+		}
+		return fmt.Sprintf("pooldrops=%d\n%s", poolDrops, out)
+	}
+	for _, seed := range []int64{11, 23} {
+		seq := run(seed, 1)
+		if strings.HasPrefix(seq, "pooldrops=0\n") {
+			t.Fatalf("workload produced no pool drops; fingerprint:\n%s", seq)
+		}
+		for _, domains := range []int{2, 4} {
+			if got := run(seed, domains); got != seq {
+				t.Fatalf("pooled replay diverged at %d domains:\nsequential:\n%s\npartitioned:\n%s",
+					domains, seq, got)
+			}
+		}
+	}
+}
+
+// BenchmarkBurstAdmission guards the O(1)-amortized admission path: a
+// standing backlog of thousands of inflight frames (the big-incast regime)
+// must not make each further admission scan or shift the records.
+func BenchmarkBurstAdmission(b *testing.B) {
+	nw := New(1)
+	nw.AddNode(1, &sink{})
+	nw.AddNode(2, &sink{})
+	nw.Connect(1, 2, LinkConfig{
+		BandwidthBps: 1_000_000, // slow: backlog only grows during the burst
+		QueueBytes:   1 << 62,   // never tail-drop: admission cost only
+		Propagation:  time.Hour, // deliveries stay far in the future
+	})
+	frame := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Send(1, 0, frame)
+	}
+}

@@ -183,6 +183,86 @@ func TestRunUntilConformance(t *testing.T) {
 
 func boolPtr(b bool) *bool { return &b }
 
+// TestResetPoolOnCrash: a crash at a quiescent control point zeroes the
+// node's shared buffer occupancy accounting while cumulative statistics
+// survive, and post-restart admissions start against an empty pool — in
+// both engine modes, identically. (Already-admitted frames keep their
+// scheduled deliveries: netsim models departure at admission time.)
+func TestResetPoolOnCrash(t *testing.T) {
+	run := func(partitioned bool) string {
+		nw := New(5)
+		a, b := &sink{}, &sink{}
+		nw.AddNode(1, a)
+		nw.AddNode(2, b)
+		nw.Connect(1, 2, LinkConfig{BandwidthBps: 1_000_000, QueueBytes: 1 << 30})
+		if err := nw.SetNodePool(1, PoolConfig{TotalBytes: 300, Alpha: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if partitioned {
+			if err := nw.Partition([][]NodeID{{1}, {2}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			nw.Send(1, 0, make([]byte, 100)) // 3 admitted, 1 pool drop
+		}
+		// Advance a little: the first frame (800 µs) has not serialized yet,
+		// so the memory is still fully occupied at the control point.
+		if err := nw.RunUntil(Duration(100 * time.Microsecond)); err != nil {
+			t.Fatal(err)
+		}
+		before, _ := nw.PoolStats(1)
+		if before.Used != 300 {
+			t.Fatalf("pre-crash pool %+v, want 300 B occupied", before)
+		}
+		nw.ResetPool(1) // the crash: buffered frames are gone
+		after, _ := nw.PoolStats(1)
+		if after.Used != 0 || after.HighWater != 300 || after.Drops != 1 {
+			t.Fatalf("post-crash pool %+v; want empty with stats intact", after)
+		}
+		// Post-restart traffic is admitted against the empty memory.
+		for i := 0; i < 3; i++ {
+			nw.Send(1, 0, make([]byte, 100))
+		}
+		if err := nw.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		final, _ := nw.PoolStats(1)
+		return fmt.Sprintf("end=%v stats=%+v pool=%+v delivered=%d",
+			nw.Now(), nw.PortStats(1, 0), final, len(b.frames))
+	}
+	seq := run(false)
+	if par := run(true); par != seq {
+		t.Fatalf("ResetPool diverged between modes:\nseq: %s\npar: %s", seq, par)
+	}
+}
+
+// TestResetPoolWithoutPool: a poolless node's private queue accounting
+// still clears (pooled and poolless switches crash symmetrically); an
+// unknown node is a safe no-op.
+func TestResetPoolWithoutPool(t *testing.T) {
+	nw := New(1)
+	a, b := &sink{}, &sink{}
+	nw.AddNode(1, a)
+	nw.AddNode(2, b)
+	nw.Connect(1, 2, LinkConfig{BandwidthBps: 1_000_000, QueueBytes: 300})
+	for i := 0; i < 4; i++ {
+		nw.Send(1, 0, make([]byte, 100)) // fills the 300 B private FIFO
+	}
+	if st := nw.PortStats(1, 0); st.DropsFull != 1 {
+		t.Fatalf("pre-crash stats %+v", st)
+	}
+	nw.ResetPool(1) // crash: the dead boot's occupancy must not survive
+	nw.Send(1, 0, make([]byte, 100))
+	if st := nw.PortStats(1, 0); st.TxFrames != 4 || st.DropsFull != 1 {
+		t.Fatalf("post-crash stats %+v; want the fresh frame admitted", st)
+	}
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	nw.ResetPool(42) // unknown node: no-op
+}
+
 // TestRunUntilIdleAdvancesClocks: with nothing queued, RunUntil still
 // moves every clock to the deadline in both modes.
 func TestRunUntilIdleAdvancesClocks(t *testing.T) {

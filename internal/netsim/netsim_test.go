@@ -92,7 +92,7 @@ type sink struct {
 func (s *sink) Attach(nw *Network, id NodeID) { s.nw, s.id = nw, id }
 func (s *sink) HandleFrame(inPort int, frame []byte) {
 	s.frames = append(s.frames, frame)
-	s.times = append(s.times, s.nw.Eng.Now())
+	s.times = append(s.times, s.nw.NodeNow(s.id))
 }
 
 func TestDeliveryAndTiming(t *testing.T) {

@@ -52,7 +52,8 @@ func (c LinkConfig) withDefaults() LinkConfig {
 type LinkStats struct {
 	TxFrames  uint64
 	TxBytes   uint64
-	DropsFull uint64 // tail drops from queue overflow
+	DropsFull uint64 // tail drops from private-queue overflow (no pool)
+	DropsPool uint64 // dynamic-threshold rejections by the node's shared pool
 	DropsLoss uint64 // injected random losses
 	DropsDown uint64 // frames sent while the link was administratively down
 }
@@ -97,32 +98,61 @@ type halfLink struct {
 	srcDom *domain
 	dstDom *domain
 
+	// pool, when non-nil, is the shared buffer memory of the source node:
+	// admission charges it under the dynamic threshold instead of the
+	// private cfg.QueueBytes FIFO (see bufferpool.go).
+	pool *BufferPool
+
 	// inflight records accepted frames not yet drained from the queue
-	// accounting. Occupancy is only ever consulted at admission time, so
-	// instead of scheduling one engine event per frame to decrement queued
-	// (half of all send-side events before this existed), drains are applied
-	// lazily at the next admission: pop every record whose serialization
-	// finished at or before now. head indexes the first live record; the
-	// slice compacts when the dead prefix dominates.
-	inflight []txRec
-	head     int
+	// accounting, as a circular ring ordered by completion time (one port
+	// serializes FIFO, so push order is completion order). Occupancy is only
+	// ever consulted at admission time, so instead of scheduling one engine
+	// event per frame to decrement queued (half of all send-side events
+	// before this existed), drains are applied lazily at the next admission:
+	// pop every record whose serialization finished at or before now. The
+	// ring never shifts its contents, keeping big-incast burst admission
+	// O(1) amortized (BenchmarkBurstAdmission guards this).
+	inflight ring
 }
+
+// ring is a growable circular queue of txRecs: head is the oldest live
+// record, n the live count. Pop is O(1) with no memmove; push is O(1)
+// amortized (doubling on overflow).
+type ring struct {
+	buf  []txRec
+	head int
+	n    int
+}
+
+func (r *ring) push(rec txRec) {
+	if r.n == len(r.buf) {
+		grown := make([]txRec, 2*len(r.buf)+4)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = rec
+	r.n++
+}
+
+func (r *ring) front() *txRec { return &r.buf[r.head] }
+
+func (r *ring) popFront() {
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+	}
+}
+
+func (r *ring) clear() { r.head, r.n = 0, 0 }
 
 // drainTo applies every queue drain due at or before now.
 func (hl *halfLink) drainTo(now Time) {
-	i := hl.head
-	for i < len(hl.inflight) && hl.inflight[i].done <= now {
-		hl.queued -= hl.inflight[i].size
-		i++
-	}
-	hl.head = i
-	if i == len(hl.inflight) {
-		hl.inflight = hl.inflight[:0]
-		hl.head = 0
-	} else if i >= 32 && i*2 >= len(hl.inflight) {
-		n := copy(hl.inflight, hl.inflight[i:])
-		hl.inflight = hl.inflight[:n]
-		hl.head = 0
+	for hl.inflight.n > 0 && hl.inflight.front().done <= now {
+		hl.queued -= hl.inflight.front().size
+		hl.inflight.popFront()
 	}
 }
 
@@ -160,6 +190,7 @@ type Network struct {
 	ports map[NodeID][]*port
 	half  []*halfLink
 	links map[[2]NodeID]*linkPair
+	pools map[NodeID]*BufferPool
 	seed  uint64
 
 	// Partitioned mode (see partition.go). domains is nil until Partition
@@ -178,6 +209,7 @@ func New(seed uint64) *Network {
 		nodes: make(map[NodeID]Node),
 		ports: make(map[NodeID][]*port),
 		links: make(map[[2]NodeID]*linkPair),
+		pools: make(map[NodeID]*BufferPool),
 		seed:  seed,
 	}
 }
@@ -221,11 +253,13 @@ func (nw *Network) Connect(a, b NodeID, cfg LinkConfig) (aPort, bPort int) {
 		return rand.New(rand.NewSource(int64(hashing.Mix64(nw.seed ^ salt))))
 	}
 	ab := &halfLink{cfg: cfg, srcNode: a, dstNode: b, dstPort: bPort,
-		key: halfLinkKeyBase | uint64(len(nw.half)),
-		rng: mk(uint64(a)<<32 | uint64(b)<<8 | uint64(aPort))}
+		key:  halfLinkKeyBase | uint64(len(nw.half)),
+		pool: nw.pools[a],
+		rng:  mk(uint64(a)<<32 | uint64(b)<<8 | uint64(aPort))}
 	ba := &halfLink{cfg: cfg, srcNode: b, dstNode: a, dstPort: aPort,
-		key: halfLinkKeyBase | uint64(len(nw.half)+1),
-		rng: mk(uint64(b)<<32 | uint64(a)<<8 | uint64(bPort) | 1<<63)}
+		key:  halfLinkKeyBase | uint64(len(nw.half)+1),
+		pool: nw.pools[b],
+		rng:  mk(uint64(b)<<32 | uint64(a)<<8 | uint64(bPort) | 1<<63)}
 	nw.ports[a] = append(nw.ports[a], &port{out: ab})
 	nw.ports[b] = append(nw.ports[b], &port{out: ba})
 	nw.half = append(nw.half, ab, ba)
@@ -278,7 +312,16 @@ func (nw *Network) send(hl *halfLink, frame []byte) {
 	now := eng.Now()
 	hl.drainTo(now)
 
-	if hl.queued+size > hl.cfg.QueueBytes {
+	if hl.pool != nil {
+		// Shared-memory admission: the port's occupancy is judged against
+		// the dynamic threshold over the node-wide pool.
+		hl.pool.drainTo(now)
+		if !hl.pool.admit(hl.queued, size) {
+			hl.pool.drops++
+			hl.stats.DropsPool++
+			return
+		}
+	} else if hl.queued+size > hl.cfg.QueueBytes {
 		hl.stats.DropsFull++
 		return
 	}
@@ -298,7 +341,10 @@ func (nw *Network) send(hl *halfLink, frame []byte) {
 	done := start + txTime
 	hl.busyTill = done
 	hl.queued += size
-	hl.inflight = append(hl.inflight, txRec{done: done, size: size})
+	hl.inflight.push(txRec{done: done, size: size})
+	if hl.pool != nil {
+		hl.pool.charge(done, size)
+	}
 	hl.stats.TxFrames++
 	hl.stats.TxBytes += uint64(size)
 	hl.txSeq++
@@ -387,6 +433,24 @@ func (nw *Network) Processed() uint64 {
 	return n
 }
 
+// DomainEvents returns the number of events each partition domain has
+// executed, indexed by domain (a single-element slice while unpartitioned).
+// The spread across domains is the measured load skew of the partition cut:
+// a domain stuck near zero while another does all the work means the cut
+// wasted its goroutine. topology.Plan.PartitionGroups balances predicted
+// load to keep this flat; tests compare the prediction against these
+// counters.
+func (nw *Network) DomainEvents() []uint64 {
+	if nw.domains == nil {
+		return []uint64{nw.Eng.Processed}
+	}
+	out := make([]uint64, len(nw.domains))
+	for i, d := range nw.domains {
+		out[i] = d.eng.Processed
+	}
+	return out
+}
+
 // Pending returns the total number of queued events across all event heaps
 // (excluding undelivered cross-domain mail, which only exists transiently
 // inside Run).
@@ -460,6 +524,7 @@ func (nw *Network) TotalStats() LinkStats {
 		t.TxFrames += hl.stats.TxFrames
 		t.TxBytes += hl.stats.TxBytes
 		t.DropsFull += hl.stats.DropsFull
+		t.DropsPool += hl.stats.DropsPool
 		t.DropsLoss += hl.stats.DropsLoss
 	}
 	return t

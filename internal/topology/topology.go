@@ -44,6 +44,34 @@ type Plan struct {
 	Hosts    []netsim.NodeID
 	Switches []netsim.NodeID
 	Links    []Link
+
+	// Pools assigns shared-memory buffer pools to nodes (normally switches):
+	// Realize installs each one via netsim.Network.SetNodePool, switching
+	// that node's egress queues from private per-port FIFOs to Dynamic
+	// Threshold admission against one shared memory. Nodes absent from the
+	// map keep the LinkConfig.QueueBytes fallback, so plans without pools
+	// reproduce all historical figures bit-for-bit.
+	Pools map[netsim.NodeID]netsim.PoolConfig
+}
+
+// SetPool assigns a shared buffer pool to one node of the plan. The
+// config is not validated here; like the rest of a plan's structure
+// (duplicate nodes, unknown link endpoints), an invalid pool config is a
+// configuration error that panics at Realize time.
+func (p *Plan) SetPool(id netsim.NodeID, cfg netsim.PoolConfig) {
+	if p.Pools == nil {
+		p.Pools = make(map[netsim.NodeID]netsim.PoolConfig)
+	}
+	p.Pools[id] = cfg
+}
+
+// SetSwitchPools assigns cfg to every switch in the plan — the uniform
+// single-tier sizing. Multi-tier fabrics (leaf vs spine SRAM) call SetPool
+// per tier instead.
+func (p *Plan) SetSwitchPools(cfg netsim.PoolConfig) {
+	for _, sw := range p.Switches {
+		p.SetPool(sw, cfg)
+	}
 }
 
 // SingleSwitch is the paper's evaluation fabric: n hosts on one switch.
@@ -139,10 +167,18 @@ func FatTree(k int, cfg netsim.LinkConfig) (*Plan, error) {
 // PartitionGroups computes the rack-cut partitioning of the plan for the
 // parallel event engine (netsim.Network.Partition): one unit per rack (an
 // edge switch plus the hosts attached to it), hostless switches (spines,
-// aggregations, cores) pooled into one fabric unit, units dealt round-robin
-// into n groups. Cutting at rack boundaries keeps the chatty host<->leaf
-// traffic inside one domain and pays synchronization only on inter-rack
-// links.
+// aggregations, cores) pooled into one fabric unit. Cutting at rack
+// boundaries keeps the chatty host<->leaf traffic inside one domain and
+// pays synchronization only on inter-rack links.
+//
+// Units are packed into the n groups by predicted event load (each unit's
+// link-degree sum — every port an attached link gives a unit node is a
+// stream of frame-delivery work), longest-processing-time first into the
+// currently lightest group. Uneven fabrics (racks of different sizes, a fat
+// spine unit) therefore come out with the lowest predicted skew a static
+// assignment can give, instead of whatever round-robin dealt — the measured
+// counterpart is netsim.Network.DomainEvents. Ties break deterministically
+// (first group wins), so the grouping is a pure function of the plan.
 //
 // When n exceeds the number of rack units (a single-switch plan, say), the
 // plan is cut inside racks instead: nodes are dealt individually, so the
@@ -162,8 +198,32 @@ func (p *Plan) PartitionGroups(n int) [][]netsim.NodeID {
 	units := p.partitionUnits()
 	bins := make([][]netsim.NodeID, n)
 	if len(units) >= n {
-		for i, u := range units {
-			bins[i%n] = append(bins[i%n], u...)
+		// LPT bin packing: heaviest unit first, into the lightest bin.
+		deg := p.degrees()
+		weight := func(u []netsim.NodeID) int {
+			w := 0
+			for _, id := range u {
+				w += deg[id]
+			}
+			return w
+		}
+		order := make([]int, len(units))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return weight(units[order[a]]) > weight(units[order[b]])
+		})
+		loads := make([]int, n)
+		for _, ui := range order {
+			min := 0
+			for b := 1; b < n; b++ {
+				if loads[b] < loads[min] {
+					min = b
+				}
+			}
+			bins[min] = append(bins[min], units[ui]...)
+			loads[min] += weight(units[ui])
 		}
 		return bins
 	}
@@ -177,6 +237,32 @@ func (p *Plan) PartitionGroups(n int) [][]netsim.NodeID {
 		}
 	}
 	return bins
+}
+
+// degrees counts link endpoints per node — the static proxy for each node's
+// event rate the group balancer packs by.
+func (p *Plan) degrees() map[netsim.NodeID]int {
+	deg := make(map[netsim.NodeID]int, len(p.Hosts)+len(p.Switches))
+	for _, l := range p.Links {
+		deg[l.A]++
+		deg[l.B]++
+	}
+	return deg
+}
+
+// PredictedLoads returns each group's predicted event load (link-degree
+// sum) under the plan's weight model — the quantity PartitionGroups
+// balances. Exposed so tests and diagnostics can quantify cut skew against
+// the measured netsim.Network.DomainEvents.
+func (p *Plan) PredictedLoads(groups [][]netsim.NodeID) []int {
+	deg := p.degrees()
+	loads := make([]int, len(groups))
+	for i, g := range groups {
+		for _, id := range g {
+			loads[i] += deg[id]
+		}
+	}
+	return loads
 }
 
 // partitionUnits computes the plan's atomic partition units: one unit per
@@ -297,7 +383,35 @@ func (p *Plan) Realize(nw *netsim.Network,
 		f.adj[l.A] = append(f.adj[l.A], Edge{Peer: l.B, Port: pa})
 		f.adj[l.B] = append(f.adj[l.B], Edge{Peer: l.A, Port: pb})
 	}
+	installed := 0
+	for _, id := range append(append([]netsim.NodeID(nil), p.Switches...), p.Hosts...) {
+		if cfg, ok := p.Pools[id]; ok {
+			if err := nw.SetNodePool(id, cfg); err != nil {
+				panic(fmt.Sprintf("topology: installing pool on node %d: %v", id, err))
+			}
+			installed++
+		}
+	}
+	if installed != len(p.Pools) {
+		// A Pools key naming a node outside the plan would otherwise be
+		// silently skipped — and the experiment would quietly run on
+		// per-port FIFOs instead of the pool it asked for.
+		for id := range p.Pools {
+			if !containsNode(p.Switches, id) && !containsNode(p.Hosts, id) {
+				panic(fmt.Sprintf("topology: pool configured for node %d, which is not in the plan", id))
+			}
+		}
+	}
 	return f
+}
+
+func containsNode(ids []netsim.NodeID, id netsim.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Neighbors returns the adjacency of id (stable order).

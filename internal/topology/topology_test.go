@@ -409,3 +409,104 @@ func TestPathAvoiding(t *testing.T) {
 		t.Fatalf("memoized path changed: %v vs %v", got, base)
 	}
 }
+
+// unevenPlan is a handcrafted fabric with very different rack sizes: one
+// giant rack (16 hosts), three tiny ones (2 hosts each), and a spine.
+func unevenPlan() *Plan {
+	p := &Plan{Name: "uneven"}
+	spine := SwitchBase + 100
+	p.Switches = append(p.Switches, spine)
+	h := HostBase
+	for rack, size := range []int{16, 2, 2, 2} {
+		sw := SwitchBase + netsim.NodeID(rack)
+		p.Switches = append(p.Switches, sw)
+		p.Links = append(p.Links, Link{A: sw, B: spine})
+		for i := 0; i < size; i++ {
+			p.Hosts = append(p.Hosts, h)
+			p.Links = append(p.Links, Link{A: h, B: sw})
+			h++
+		}
+	}
+	return p
+}
+
+// TestPartitionGroupsBalanced: LPT packing must not stack the giant rack
+// with other units while bins sit near-empty — the predicted max load is
+// the giant rack alone, which no static rack-cut assignment can beat.
+func TestPartitionGroupsBalanced(t *testing.T) {
+	p := unevenPlan()
+	groups := p.PartitionGroups(2)
+	loads := p.PredictedLoads(groups)
+	if len(loads) != 2 {
+		t.Fatalf("groups %d", len(loads))
+	}
+	max, sum := 0, 0
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	// The giant rack (16 hosts × deg 1 + leaf deg 17 = 33) is the floor for
+	// the max bin; everything else must be packed opposite it.
+	deg := p.degrees()
+	giant := deg[SwitchBase]
+	for _, h := range p.Hosts[:16] {
+		giant += deg[h]
+	}
+	if max != giant {
+		t.Fatalf("max predicted load %d (loads %v), want the giant rack alone (%d)", max, loads, giant)
+	}
+	if min := sum - max; min == 0 {
+		t.Fatalf("one bin empty: loads %v", loads)
+	}
+}
+
+// TestDomainEventsMatchPartition: the per-domain executed-event counters sum
+// to the fabric total and follow the cut's load split.
+func TestDomainEventsMatchPartition(t *testing.T) {
+	p := LeafSpine(3, 1, 4, netsim.LinkConfig{})
+	nw := netsim.New(7)
+	mk := func(netsim.NodeID) netsim.Node { return nopNode{} }
+	f := p.Realize(nw, mk, mk)
+	if err := f.Partitions(3); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range p.Hosts {
+		nw.Send(h, 0, make([]byte, 64))
+	}
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	ev := nw.DomainEvents()
+	if len(ev) != 3 {
+		t.Fatalf("DomainEvents len %d, want 3", len(ev))
+	}
+	var sum uint64
+	for _, e := range ev {
+		sum += e
+	}
+	if sum != nw.Processed() {
+		t.Fatalf("DomainEvents sum %d != Processed %d", sum, nw.Processed())
+	}
+	if sum == 0 {
+		t.Fatal("no events executed")
+	}
+}
+
+// TestRealizeInstallsPools: pools declared on the plan are live on the
+// realized network, and poolless nodes keep the QueueBytes fallback.
+func TestRealizeInstallsPools(t *testing.T) {
+	p := SingleSwitch(3, netsim.LinkConfig{})
+	p.SetSwitchPools(netsim.PoolConfig{TotalBytes: 4096, ReserveBytes: 128, Alpha: 1})
+	nw := netsim.New(1)
+	mk := func(netsim.NodeID) netsim.Node { return nopNode{} }
+	p.Realize(nw, mk, mk)
+	ps, ok := nw.PoolStats(p.Switches[0])
+	if !ok || ps.TotalBytes != 4096 {
+		t.Fatalf("switch pool missing or wrong: %+v ok=%v", ps, ok)
+	}
+	if _, ok := nw.PoolStats(p.Hosts[0]); ok {
+		t.Fatal("host unexpectedly has a pool")
+	}
+}
