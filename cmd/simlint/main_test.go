@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/daiet/daiet/internal/analysis"
+)
+
+// TestDriverWiresEveryRegisteredAnalyzer asserts cmd/simlint runs the full
+// registry: every analysis.Names() entry appears in -list output, and
+// nothing else does.
+func TestDriverWiresEveryRegisteredAnalyzer(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errw.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	names := analysis.Names()
+	if len(lines) != len(names) {
+		t.Fatalf("-list printed %d analyzers, registry has %d:\n%s",
+			len(lines), len(names), out.String())
+	}
+	for _, name := range names {
+		found := false
+		for _, line := range lines {
+			if strings.HasPrefix(line, name+" ") || strings.TrimSpace(line) == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("registered analyzer %q missing from -list output:\n%s", name, out.String())
+		}
+	}
+}
+
+// writeTempModule lays out a self-contained module and returns its root.
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(files[name]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const tmpGoMod = "module tmpmod\n\ngo 1.24\n"
+
+// TestDriverFailsOnReintroducedWallclock is the acceptance check from the
+// issue: putting a bare time.Now() back into an internal/netsim package
+// must fail the lint run — and a reasoned suppression must clear it.
+func TestDriverFailsOnReintroducedWallclock(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"go.mod": tmpGoMod,
+		"internal/netsim/clock.go": "package netsim\n\n" +
+			"import \"time\"\n\n" +
+			"func leak() time.Time { return time.Now() }\n",
+	})
+	var out, errw bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("want exit 1 on wallclock violation, got %d\nout: %s\nerr: %s",
+			code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "wallclock") || !strings.Contains(out.String(), "time.Now") {
+		t.Fatalf("finding not attributed to wallclock:\n%s", out.String())
+	}
+
+	suppressed := writeTempModule(t, map[string]string{
+		"go.mod": tmpGoMod,
+		"internal/netsim/clock.go": "package netsim\n\n" +
+			"import \"time\"\n\n" +
+			"func leak() time.Time {\n" +
+			"\treturn time.Now() //simlint:wallclock declared-volatile measurement in this fixture\n" +
+			"}\n",
+	})
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-C", suppressed, "./..."}, &out, &errw); code != 0 {
+		t.Fatalf("want exit 0 with reasoned suppression, got %d\nout: %s\nerr: %s",
+			code, out.String(), errw.String())
+	}
+}
+
+// TestDriverFlagsBareSuppression: a reasonless waiver is itself a finding,
+// so the violation it annotates still fails the run.
+func TestDriverFlagsBareSuppression(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"go.mod": tmpGoMod,
+		"internal/netsim/clock.go": "package netsim\n\n" +
+			"import \"time\"\n\n" +
+			"func leak() time.Time {\n" +
+			"\treturn time.Now() //simlint:wallclock\n" +
+			"}\n",
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &out, &errw); code != 1 {
+		t.Fatalf("want exit 1, got %d\nout: %s\nerr: %s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "suppression without a reason") {
+		t.Fatalf("missing reasonless-suppression finding:\n%s", out.String())
+	}
+}
+
+// TestDriverCleanModuleExitsZero: nothing to report, exit 0, no output.
+func TestDriverCleanModuleExitsZero(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"go.mod": tmpGoMod,
+		"internal/netsim/clean.go": "package netsim\n\n" +
+			"func fine() int { return 1 }\n",
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &out, &errw); code != 0 {
+		t.Fatalf("want exit 0 on clean module, got %d\nout: %s\nerr: %s",
+			code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("want no findings, got:\n%s", out.String())
+	}
+}

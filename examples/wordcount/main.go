@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 
 	daiet "github.com/daiet/daiet"
 )
@@ -97,8 +98,13 @@ func runShuffle(splits [][]string, aggregate bool) (pairsRx, packetsRx uint64, e
 			if err != nil {
 				return 0, 0, err
 			}
-			for w, c := range counts[r] {
-				if err := s.Send([]byte(w[:min(16, len(w))]), c); err != nil {
+			words := make([]string, 0, len(counts[r]))
+			for w := range counts[r] {
+				words = append(words, w)
+			}
+			sort.Strings(words)
+			for _, w := range words {
+				if err := s.Send([]byte(w[:min(16, len(w))]), counts[r][w]); err != nil {
 					return 0, 0, err
 				}
 			}

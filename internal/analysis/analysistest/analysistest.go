@@ -1,0 +1,167 @@
+// Package analysistest runs a framework.Analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest (which this offline build
+// cannot depend on).
+//
+// Fixtures live under <analyzer dir>/testdata/src/<importpath>/: the
+// directory path below src is the import path the unit is checked under,
+// so path-scoped analyzers see realistic package paths. Fixture files may
+// import real module packages (e.g. internal/netsim); the loader
+// type-checks them from source.
+//
+// Grammar: an expectation comment `// want "re1" "re2"` on a source line
+// requires exactly those diagnostics (in any order) on that line, each
+// matching its double-quoted regular expression. Lines without a want
+// comment must produce no diagnostics. Suppression directives run through
+// the same pipeline as the real driver, so fixtures can assert both that
+// reasoned suppressions silence findings and that bare ones are reported.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/daiet/daiet/internal/analysis/framework"
+)
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory (tests run with the package directory as working directory).
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads each fixture package and asserts the analyzer's post-
+// suppression diagnostics match its // want expectations exactly.
+// Fixture imports resolve against sibling directories under
+// testdata/src first (hermetic stand-ins), then the real importer.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, importPaths ...string) {
+	t.Helper()
+	loader := framework.NewLoader()
+	loader.FixtureRoot = testdata
+	for _, ip := range importPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(ip))
+		units, err := loader.LoadDir(dir, ip)
+		if err != nil {
+			t.Errorf("load %s: %v", ip, err)
+			continue
+		}
+		for _, unit := range units {
+			diags, err := framework.RunAnalyzers(unit, []*framework.Analyzer{a}, nil)
+			if err != nil {
+				t.Errorf("run %s on %s: %v", a.Name, unit.Path, err)
+				continue
+			}
+			check(t, unit, diags)
+		}
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+// check compares diagnostics against the unit's want comments.
+func check(t *testing.T, unit *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	wants := map[key][]string{} // unmatched expectation regexps per line
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := unit.Fset.Position(c.Slash)
+				k := key{pos.Filename, pos.Line}
+				pats, err := parseWants(m[1])
+				if err != nil {
+					t.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					continue
+				}
+				wants[k] = append(wants[k], pats...)
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Position.Filename, d.Position.Line}
+		if i := matchWant(wants[k], d.Message); i >= 0 {
+			wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", unit.Path, d)
+	}
+	for k, pats := range wants {
+		for _, p := range pats {
+			t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, p)
+		}
+	}
+}
+
+// parseWants splits `"re1" "re2"` into its quoted patterns. Patterns may
+// be double-quoted (Go escapes apply) or backquoted (raw — convenient for
+// regexes full of backslashes).
+func parseWants(s string) ([]string, error) {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var raw string
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return nil, fmt.Errorf("unterminated pattern in %q", s)
+			}
+			raw, s = s[:end+1], s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated pattern in %q", s)
+			}
+			raw, s = s[:end+2], s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, pat)
+		s = strings.TrimSpace(s)
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("empty want")
+	}
+	return pats, nil
+}
+
+func matchWant(pats []string, msg string) int {
+	for i, p := range pats {
+		if ok, _ := regexp.MatchString(p, msg); ok {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,148 @@
+// Package framecopy guards the hot-path economics of the simulator's
+// frame-context structs. The dataplane Ctx (a full PHV: 48 integer slots,
+// 32 byte slots) and its peers are pooled and passed by pointer precisely
+// so that per-packet work never memmoves a kilobyte — the same discipline
+// PR 5's ring-buffer admission rewrite bought on the netsim side. A stray
+// by-value parameter or dereference copy silently reintroduces that cost
+// (and, for structs carrying pool or ring state, aliases accounting that
+// must stay unique).
+//
+// The analyzer flags, inside the hot packages (netsim, dataplane, core,
+// transport), any by-value traffic in structs at or over the size
+// threshold: function parameters, copy assignments (x := y, x := *p), and
+// range-value copies. Composite-literal construction and function-call
+// results are not copies and stay free.
+package framecopy
+
+import (
+	"go/ast"
+	"go/types"
+	"slices"
+
+	"github.com/daiet/daiet/internal/analysis/framework"
+)
+
+// Threshold is the struct size, in bytes, from which by-value copies are
+// flagged. 128 B clears every config struct in the tree while catching
+// PHV-sized contexts by two orders of magnitude.
+const Threshold = 128
+
+// hotPackages are the import-path leaf names on the per-frame path.
+var hotPackages = []string{"netsim", "dataplane", "core", "transport"}
+
+var Analyzer = &framework.Analyzer{
+	Name: "framecopy",
+	Doc: "flag by-value copies of large frame/ctx structs (>= 128 bytes) in hot-path packages; " +
+		"pass pooled contexts by pointer",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if !slices.Contains(hotPackages, pass.LastSegment()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(pass, n.Recv)
+				checkFieldList(pass, n.Type.Params)
+			case *ast.FuncLit:
+				checkFieldList(pass, n.Type.Params)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// Assigning to blank compiles to nothing: not a copy.
+					if i < len(n.Lhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					checkCopyExpr(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopyExpr(pass, v)
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if name, size, ok := largeStruct(pass, exprType(pass, n.Value)); ok {
+						pass.Reportf(n.Value.Pos(),
+							"range copies %s (%d bytes) per element; iterate by index or over pointers",
+							name, size)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFieldList(pass *framework.Pass, params *ast.FieldList) {
+	if params == nil {
+		return
+	}
+	for _, field := range params.List {
+		if name, size, ok := largeStruct(pass, pass.TypesInfo.Types[field.Type].Type); ok {
+			pass.Reportf(field.Type.Pos(),
+				"parameter passes %s (%d bytes) by value on the hot path; take *%s",
+				name, size, name)
+		}
+	}
+}
+
+// checkCopyExpr flags expressions whose evaluation copies a large struct:
+// plain reads (identifier, selector, index) and pointer dereferences.
+// Composite literals are construction and calls already returned a value;
+// neither is an avoidable copy at this site.
+func checkCopyExpr(pass *framework.Pass, rhs ast.Expr) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	if name, size, ok := largeStruct(pass, pass.TypesInfo.Types[rhs].Type); ok {
+		pass.Reportf(rhs.Pos(),
+			"assignment copies %s (%d bytes) on the hot path; keep a pointer instead",
+			name, size)
+	}
+}
+
+// exprType resolves e's type, falling back to the defined object for
+// idents introduced by := (range variables live in Defs, not Types).
+func exprType(pass *framework.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// largeStruct reports whether t is a struct type at or over Threshold,
+// with a printable name and its size.
+func largeStruct(pass *framework.Pass, t types.Type) (string, int64, bool) {
+	if t == nil || pass.Sizes == nil {
+		return "", 0, false
+	}
+	if _, ok := t.Underlying().(*types.Struct); !ok {
+		return "", 0, false
+	}
+	size := pass.Sizes.Sizeof(t)
+	if size < Threshold {
+		return "", 0, false
+	}
+	name := t.String()
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			name = obj.Pkg().Name() + "." + obj.Name()
+		} else {
+			name = obj.Name()
+		}
+	}
+	return name, size, true
+}

@@ -1,0 +1,13 @@
+package framecopy_test
+
+import (
+	"testing"
+
+	"github.com/daiet/daiet/internal/analysis/analysistest"
+	"github.com/daiet/daiet/internal/analysis/framecopy"
+)
+
+func TestFramecopy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), framecopy.Analyzer,
+		"dataplane", "stats")
+}

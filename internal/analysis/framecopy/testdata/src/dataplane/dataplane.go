@@ -1,0 +1,50 @@
+// Package dataplane plays a hot-path package for framecopy: by-value
+// traffic in structs >= 128 bytes is a finding.
+package dataplane
+
+// PHV is 48*8 + 32*4 = 512 bytes — two orders of magnitude over threshold.
+type PHV struct {
+	Slots [48]uint64
+	Bytes [32][4]byte
+}
+
+// Hdr is 16 bytes — well under threshold, always free.
+type Hdr struct {
+	Src, Dst uint64
+}
+
+func badParam(p PHV) uint64 { // want `parameter passes dataplane\.PHV \(512 bytes\) by value`
+	return p.Slots[0]
+}
+
+func (p PHV) badReceiver() uint64 { // want `parameter passes dataplane\.PHV \(512 bytes\) by value`
+	return p.Slots[0]
+}
+
+func badCopies(src *PHV, pool []PHV) {
+	local := *src  // want `assignment copies dataplane\.PHV \(512 bytes\)`
+	again := local // want `assignment copies dataplane\.PHV \(512 bytes\)`
+	_ = again
+	for _, f := range pool { // want `range copies dataplane\.PHV \(512 bytes\) per element`
+		_ = f.Slots[1]
+	}
+}
+
+func goodPointerParam(p *PHV) uint64 {
+	return p.Slots[0]
+}
+
+func goodConstructionAndSmall(h Hdr) PHV {
+	fresh := PHV{}
+	copyOfSmall := h
+	_ = copyOfSmall
+	for i := range make([]PHV, 2) {
+		_ = i
+	}
+	return fresh
+}
+
+func suppressedCopy(src *PHV) PHV {
+	snapshot := *src //simlint:framecopy cold path: one snapshot per trial for the report
+	return snapshot
+}

@@ -1,0 +1,131 @@
+// Package framework is a self-contained, stdlib-only reimplementation of
+// the slice of golang.org/x/tools/go/analysis that simlint needs: an
+// Analyzer runs over one type-checked package and reports Diagnostics,
+// which the driver filters through //simlint: suppression comments.
+//
+// The x/tools module is deliberately not a dependency — this repository
+// builds offline with no requirements beyond the standard library — so the
+// API mirrors go/analysis closely enough that migrating to the real thing
+// later is a mechanical rename.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects the package in Pass and
+// reports findings via Pass.Reportf; returning an error aborts the whole
+// lint run (reserved for internal failures, not findings).
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //simlint:<name> suppressions
+	Doc  string // one-paragraph description of the invariant enforced
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked compilation unit (a package, or a
+// package's external _test unit) through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the unit's import path ("github.com/daiet/daiet/internal/netsim";
+	// external test units carry a "_test" suffix). Analyzers scope
+	// themselves by path segments, never by directory.
+	PkgPath string
+	// Sizes measures types with the same model the gc compiler uses, for
+	// struct-size checks.
+	Sizes types.Sizes
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PathSegments splits the unit's import path on '/', trimming any
+// external-test suffix, so analyzers can scope by package name segments.
+func (p *Pass) PathSegments() []string {
+	path := strings.TrimSuffix(p.PkgPath, "_test")
+	return strings.Split(path, "/")
+}
+
+// LastSegment returns the final import-path segment (the package's
+// directory name), with any external-test suffix trimmed.
+func (p *Pass) LastSegment() string {
+	segs := p.PathSegments()
+	return segs[len(segs)-1]
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Message, d.Analyzer)
+}
+
+// RunAnalyzers applies every analyzer to the unit and returns the surviving
+// diagnostics after suppression filtering: findings on lines carrying a
+// reasoned //simlint:<analyzer> comment are dropped, reasonless
+// suppressions become findings themselves, and — when knownNames is
+// non-empty — suppressions naming an unknown analyzer are flagged too.
+// Diagnostics come back sorted by position.
+func RunAnalyzers(unit *Package, analyzers []*Analyzer, knownNames map[string]bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	active := map[string]bool{}
+	for _, a := range analyzers {
+		active[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      unit.Fset,
+			Files:     unit.Files,
+			Pkg:       unit.Types,
+			TypesInfo: unit.Info,
+			PkgPath:   unit.Path,
+			Sizes:     unit.Sizes,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, unit.Path, err)
+		}
+	}
+	diags = applySuppressions(unit, diags, active, knownNames)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

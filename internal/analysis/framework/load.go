@@ -1,0 +1,250 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked compilation unit ready for analysis: either
+// a package together with its in-package _test.go files, or the external
+// "_test" package of a directory.
+type Package struct {
+	Path  string // import path; external test units get a "_test" suffix
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Srcs  map[string][]byte // filename -> raw source, for suppression layout checks
+	Types *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+}
+
+// Loader parses and type-checks packages from source using only the
+// standard library. Imports — both standard-library and module-internal —
+// resolve through go/importer's source importer, which type-checks the
+// imported package's sources on first use and caches the result, so a
+// whole-repository lint pays for each dependency once.
+//
+// Loaders are not safe for concurrent use; the underlying source importer
+// shares caches without locking.
+type Loader struct {
+	fset  *token.FileSet
+	imp   types.ImporterFrom
+	sizes types.Sizes
+
+	// FixtureRoot, when non-empty, resolves imports from
+	// <FixtureRoot>/src/<importpath> before consulting the real importer,
+	// so analyzer testdata can be hermetic: a fixture package may import a
+	// stand-in sibling (e.g. a fake "netsim") that exists only under
+	// testdata. Fixture units load without their _test.go files and are
+	// cached per import path.
+	FixtureRoot string
+	fixtures    map[string]*Package
+}
+
+// NewLoader returns a Loader with a fresh file set and import cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	l := &Loader{
+		fset:     fset,
+		sizes:    sizes,
+		fixtures: map[string]*Package{},
+	}
+	l.imp = fixtureImporter{
+		l:    l,
+		next: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	return l
+}
+
+// fixtureImporter tries the loader's fixture tree first, then falls back
+// to the source importer (standard library and real module packages).
+type fixtureImporter struct {
+	l    *Loader
+	next types.ImporterFrom
+}
+
+func (i fixtureImporter) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, "", 0)
+}
+
+func (i fixtureImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := i.l
+	if l.FixtureRoot != "" {
+		if u, ok := l.fixtures[path]; ok {
+			return u.Types, nil
+		}
+		dir := filepath.Join(l.FixtureRoot, "src", filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			names, err := listGoFiles(dir, false)
+			if err != nil {
+				return nil, err
+			}
+			u, err := l.LoadFiles(dir, path, names)
+			if err != nil {
+				return nil, err
+			}
+			l.fixtures[path] = u
+			return u.Types, nil
+		}
+	}
+	return i.next.ImportFrom(path, srcDir, mode)
+}
+
+// listGoFiles returns dir's .go file names in sorted order, optionally
+// including _test.go files.
+func listGoFiles(dir string, tests bool) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// LoadFiles type-checks the named files (absolute or dir-relative) as one
+// unit with the given import path.
+func (l *Loader) LoadFiles(dir, importPath string, names []string) (*Package, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load %s: no files", importPath)
+	}
+	unit := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Srcs:  map[string][]byte{},
+		Sizes: l.sizes,
+	}
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		unit.Srcs[path] = src
+		unit.Files = append(unit.Files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l.imp, Sizes: l.sizes}
+	pkg, err := conf.Check(importPath, l.fset, unit.Files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	unit.Types = pkg
+	unit.Info = info
+	return unit, nil
+}
+
+// LoadDir reads every .go file in dir (no build-constraint filtering — use
+// ListPackages for real packages; this entry point serves analyzer
+// testdata) and returns up to two units: the package including its
+// in-package tests, and, when present, the external test package.
+func (l *Loader) LoadDir(dir, importPath string) ([]*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var pkgFiles, xtestFiles []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), name, src, parser.PackageClauseOnly)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			xtestFiles = append(xtestFiles, name)
+		} else {
+			pkgFiles = append(pkgFiles, name)
+		}
+	}
+	sort.Strings(pkgFiles)
+	sort.Strings(xtestFiles)
+	var units []*Package
+	if len(pkgFiles) > 0 {
+		u, err := l.LoadFiles(dir, importPath, pkgFiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	if len(xtestFiles) > 0 {
+		u, err := l.LoadFiles(dir, importPath+"_test", xtestFiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// LoadListed turns one `go list` record into analysis units: the package
+// with its in-package test files, plus the external test package if any.
+func (l *Loader) LoadListed(lp ListedPackage, includeTests bool) ([]*Package, error) {
+	files := append([]string(nil), lp.GoFiles...)
+	if includeTests {
+		files = append(files, lp.TestGoFiles...)
+	}
+	var units []*Package
+	if len(files) > 0 {
+		u, err := l.LoadFiles(lp.Dir, lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	if includeTests && len(lp.XTestGoFiles) > 0 {
+		u, err := l.LoadFiles(lp.Dir, lp.ImportPath+"_test", lp.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}

@@ -1,0 +1,113 @@
+package framework
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression grammar: a comment of the form
+//
+//	//simlint:<analyzer> <reason>
+//
+// waives findings of that analyzer. An end-of-line suppression covers its
+// own line; a suppression alone on a line covers the next line. The reason
+// is mandatory — a bare //simlint:<analyzer> does not suppress anything
+// and is itself reported, so every waived invariant carries a recorded
+// justification in the source.
+type suppression struct {
+	pos      token.Pos
+	file     string
+	line     int  // line the comment sits on
+	ownLine  bool // nothing but whitespace precedes the comment on its line
+	analyzer string
+	reason   string
+}
+
+// targetLine is the source line whose findings this suppression waives.
+func (s suppression) targetLine() int {
+	if s.ownLine {
+		return s.line + 1
+	}
+	return s.line
+}
+
+// parseSuppressions extracts every //simlint: directive in the unit.
+func parseSuppressions(unit *Package) []suppression {
+	var sups []suppression
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//simlint:")
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(text, " ")
+				pos := unit.Fset.Position(c.Slash)
+				sups = append(sups, suppression{
+					pos:      c.Slash,
+					file:     pos.Filename,
+					line:     pos.Line,
+					ownLine:  unit.onlyCommentOnLine(pos),
+					analyzer: strings.TrimSpace(name),
+					reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return sups
+}
+
+// onlyCommentOnLine reports whether nothing but whitespace precedes the
+// comment starting at pos on its source line.
+func (u *Package) onlyCommentOnLine(pos token.Position) bool {
+	src, ok := u.Srcs[pos.Filename]
+	if !ok {
+		return false
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}
+
+// applySuppressions filters diags through the unit's //simlint: comments.
+// active is the set of analyzer names that actually ran; knownNames, when
+// non-empty, is the full registry (directives naming analyzers outside it
+// are reported as findings — typos must not silently waive nothing).
+func applySuppressions(unit *Package, diags []Diagnostic, active, knownNames map[string]bool) []Diagnostic {
+	sups := parseSuppressions(unit)
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range sups {
+			if s.analyzer == d.Analyzer && s.reason != "" &&
+				s.file == d.Position.Filename && s.targetLine() == d.Position.Line {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, s := range sups {
+		switch {
+		case len(knownNames) > 0 && !knownNames[s.analyzer]:
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Position: unit.Fset.Position(s.pos),
+				Analyzer: "simlint",
+				Message:  "suppression names unknown analyzer " + s.analyzer,
+			})
+		case active[s.analyzer] && s.reason == "":
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Position: unit.Fset.Position(s.pos),
+				Analyzer: s.analyzer,
+				Message:  "suppression without a reason: write //simlint:" + s.analyzer + " <why>",
+			})
+		}
+	}
+	return out
+}

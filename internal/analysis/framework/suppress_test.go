@@ -1,0 +1,150 @@
+package framework
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// markAnalyzer flags every call to a function literally named "violate" —
+// the smallest possible analyzer, used to pin down suppression semantics.
+var markAnalyzer = &Analyzer{
+	Name: "mark",
+	Doc:  "flags calls to violate()",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "violate" {
+					pass.Reportf(call.Pos(), "call to violate")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// loadSrc type-checks one file written to a temp dir and runs markAnalyzer
+// with the full suppression pipeline.
+func loadSrc(t *testing.T, src string, knownNames map[string]bool) []Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	unit, err := NewLoader().LoadFiles(dir, "suppresstest", []string{"f.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(unit, []*Analyzer{markAnalyzer}, knownNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+const header = "package suppresstest\n\nfunc violate() {}\n\n"
+
+func TestReasonedSuppressionWaivesSameLine(t *testing.T) {
+	diags := loadSrc(t, header+
+		"func f() {\n"+
+		"\tviolate() //simlint:mark deliberate in this fixture\n"+
+		"}\n", nil)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestOwnLineSuppressionWaivesNextLine(t *testing.T) {
+	diags := loadSrc(t, header+
+		"func f() {\n"+
+		"\t//simlint:mark deliberate in this fixture\n"+
+		"\tviolate()\n"+
+		"}\n", nil)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestOwnLineSuppressionDoesNotReachFurther(t *testing.T) {
+	diags := loadSrc(t, header+
+		"func f() {\n"+
+		"\t//simlint:mark deliberate in this fixture\n"+
+		"\tviolate()\n"+
+		"\tviolate()\n"+
+		"}\n", nil)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "call to violate") {
+		t.Fatalf("want exactly the second call flagged, got %v", diags)
+	}
+}
+
+func TestBareSuppressionIsAFindingAndDoesNotWaive(t *testing.T) {
+	diags := loadSrc(t, header+
+		"func f() {\n"+
+		"\tviolate() //simlint:mark\n"+
+		"}\n", nil)
+	if len(diags) != 2 {
+		t.Fatalf("want finding + reasonless-suppression finding, got %v", diags)
+	}
+	var sawViolation, sawReasonless bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "call to violate") {
+			sawViolation = true
+		}
+		if strings.Contains(d.Message, "suppression without a reason") {
+			sawReasonless = true
+		}
+	}
+	if !sawViolation || !sawReasonless {
+		t.Fatalf("missing expected diagnostics in %v", diags)
+	}
+}
+
+func TestUnknownAnalyzerSuppressionIsAFinding(t *testing.T) {
+	diags := loadSrc(t, header+
+		"func f() {\n"+
+		"\tviolate() //simlint:nosuchcheck because reasons\n"+
+		"}\n", map[string]bool{"mark": true})
+	if len(diags) != 2 {
+		t.Fatalf("want violation + unknown-analyzer finding, got %v", diags)
+	}
+	var sawUnknown bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unknown analyzer nosuchcheck") {
+			sawUnknown = true
+		}
+	}
+	if !sawUnknown {
+		t.Fatalf("missing unknown-analyzer finding in %v", diags)
+	}
+}
+
+func TestSuppressionForDifferentAnalyzerDoesNotWaive(t *testing.T) {
+	diags := loadSrc(t, header+
+		"func f() {\n"+
+		"\tviolate() //simlint:wallclock reasoned, but for another analyzer\n"+
+		"}\n", map[string]bool{"mark": true, "wallclock": true})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "call to violate") {
+		t.Fatalf("want the violation to survive, got %v", diags)
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	diags := loadSrc(t, header+
+		"func f() {\n"+
+		"\tviolate()\n"+
+		"\tviolate()\n"+
+		"}\n", nil)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics, got %v", diags)
+	}
+	if diags[0].Position.Line > diags[1].Position.Line {
+		t.Fatalf("diagnostics out of order: %v", diags)
+	}
+}

@@ -1,0 +1,68 @@
+// Package globalrand bans the process-global math/rand source. Every
+// random decision in the simulator must flow from a trial seed through an
+// explicit *rand.Rand (rand.New(rand.NewSource(seed))), so that a figure
+// row is a pure function of its Trial — package-level rand.Intn and
+// rand.Seed read or mutate shared hidden state, which parallel trial
+// execution (and any unrelated caller) interleaves nondeterministically.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/daiet/daiet/internal/analysis/framework"
+)
+
+// allowed are the math/rand identifiers that do not touch the global
+// source: explicit-source constructors and type names.
+var allowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+	// math/rand/v2 additions
+	"NewPCG": true, "NewChaCha8": true, "PCG": true, "ChaCha8": true,
+}
+
+var Analyzer = &framework.Analyzer{
+	Name: "globalrand",
+	Doc: "ban package-level math/rand functions and rand.Seed; randomness must come from a " +
+		"seeded rand.New(rand.NewSource(...)) derived from the trial seed",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if allowed[sel.Sel.Name] {
+				return true
+			}
+			if sel.Sel.Name == "Seed" {
+				pass.Reportf(sel.Pos(),
+					"rand.Seed mutates the process-global source; thread a seeded *rand.Rand "+
+						"from the trial seed instead")
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"package-level rand.%s uses the shared global source and is not reproducible "+
+					"per trial; use a seeded rand.New(rand.NewSource(...))",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

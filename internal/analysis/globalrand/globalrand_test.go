@@ -1,0 +1,13 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"github.com/daiet/daiet/internal/analysis/analysistest"
+	"github.com/daiet/daiet/internal/analysis/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), globalrand.Analyzer,
+		"randuser", "randv2user")
+}

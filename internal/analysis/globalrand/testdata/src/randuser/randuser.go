@@ -1,0 +1,28 @@
+// Package randuser exercises the globalrand rules: package-level math/rand
+// reads shared hidden state; explicit seeded sources are the approved path.
+package randuser
+
+import "math/rand"
+
+func badGlobals() {
+	_ = rand.Intn(10)    // want `package-level rand\.Intn uses the shared global source`
+	_ = rand.Float64()   // want `package-level rand\.Float64 uses the shared global source`
+	_ = rand.Perm(4)     // want `package-level rand\.Perm uses the shared global source`
+	rand.Shuffle(3, nil) // want `package-level rand\.Shuffle uses the shared global source`
+	rand.Seed(42)        // want `rand\.Seed mutates the process-global source`
+}
+
+// Explicit seeded sources are the approved path: constructors and methods
+// on a threaded *rand.Rand are free.
+func goodSeeded(seed uint64) int {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	z := rand.NewZipf(rng, 1.2, 1, 100)
+	_ = z.Uint64()
+	rng.Shuffle(3, func(i, j int) {})
+	return rng.Intn(10)
+}
+
+// A reasoned suppression waives a deliberate global use.
+func suppressedGlobal() int {
+	return rand.Int() //simlint:globalrand fixture demonstrates a reasoned waiver
+}

@@ -1,0 +1,15 @@
+// Package randv2user proves the same rules bind math/rand/v2 (which has
+// no Seed but the same package-level global source).
+package randv2user
+
+import randv2 "math/rand/v2"
+
+func badV2Globals() {
+	_ = randv2.IntN(10) // want `package-level rand\.IntN uses the shared global source`
+	_ = randv2.Uint64() // want `package-level rand\.Uint64 uses the shared global source`
+}
+
+func goodV2Seeded(seed uint64) uint64 {
+	rng := randv2.New(randv2.NewPCG(seed, seed^0x9e3779b9))
+	return rng.Uint64()
+}

@@ -1,0 +1,89 @@
+// Package mapuser exercises maporder: map iteration with order-sensitive
+// effects is a finding; commutative loops and the collect-then-sort idiom
+// are not.
+package mapuser
+
+import (
+	"fmt"
+	"sort"
+)
+
+func badAppendOutlives(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `iteration over map m is order-sensitive \(appends to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badChannelSend(m map[int]int, ch chan int) {
+	for k := range m { // want `order-sensitive \(sends on a channel\)`
+		ch <- k
+	}
+}
+
+type engine struct{}
+
+func (engine) Schedule(at int, fn func()) {}
+
+func badSchedules(m map[int]func(), eng engine) {
+	for k, fn := range m { // want `order-sensitive \(calls Schedule\)`
+		eng.Schedule(k, fn)
+	}
+}
+
+func badWritesOutput(m map[string]int) {
+	for k, v := range m { // want `order-sensitive \(calls Println\)`
+		fmt.Println(k, v)
+	}
+}
+
+// The sanctioned shape: collect keys, sort, then walk the sorted slice.
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Commutative bodies — counting, summing, building another map — are
+// order-free and never flagged.
+func goodCommutative(m map[string]int) (int, map[int]string) {
+	total := 0
+	inverse := map[int]string{}
+	for k, v := range m {
+		total += v
+		inverse[v] = k
+	}
+	return total, inverse
+}
+
+// Per-bucket sort after the loop: sortedness propagates from the element
+// variable back to the container.
+func goodBucketsSortedLater(m map[int][]int, buckets map[int][]int) {
+	for k, vs := range m {
+		buckets[k] = append(buckets[k], vs...)
+	}
+	for _, list := range buckets {
+		sort.Ints(list)
+	}
+}
+
+// Ranging over a slice is always fine, whatever the body does.
+func goodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// A reasoned suppression waives a deliberate unordered walk.
+func suppressedWalk(m map[string]int) {
+	//simlint:maporder fixture output is a debug dump with no determinism contract
+	for k := range m {
+		fmt.Println(k)
+	}
+}

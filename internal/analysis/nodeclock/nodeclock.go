@@ -1,0 +1,110 @@
+// Package nodeclock enforces the partitioned-engine timer contract in
+// node-context packages (netsim, dataplane, core, transport, controller):
+// code that runs inside node callbacks must take time and timers from
+// Network.NodeAfter/NodeNow/Now, never from the raw event engine.
+//
+// Network.Eng is the single sequential engine and is nil once the fabric
+// is partitioned — PR 3 had to reroute every host/switch timer through
+// NodeAfter/NodeNow for exactly that reason, and PR 5 still caught a test
+// sink crashing on nil Eng. Beyond the crash, scheduling through a foreign
+// engine stamps events with interleaving-dependent origins, silently
+// breaking the partition-invariant total order that makes runs
+// byte-identical at any -sim-workers.
+//
+// Two rules:
+//
+//  1. No Network.Eng access. Applies to dataplane/core/transport/
+//     controller everywhere, and to netsim's _test.go files (netsim's
+//     non-test sources own the engine and are exempt — they ARE the
+//     implementation).
+//  2. No Engine method calls (After/Now/Schedule/Run/...) in dataplane/
+//     core/transport/controller at all: any Engine value reachable there
+//     was stashed from Network.Eng and carries the same hazard. netsim's
+//     own tests may drive standalone engines directly.
+package nodeclock
+
+import (
+	"go/ast"
+	"go/types"
+	"slices"
+	"strings"
+
+	"github.com/daiet/daiet/internal/analysis/framework"
+)
+
+// nodePackages are the import-path leaf names whose code runs in node
+// context (attached to the fabric, executed by the event loop).
+var nodePackages = []string{"dataplane", "core", "transport", "controller"}
+
+// engineMethods are the Engine entry points that bypass the node-routing
+// layer.
+var engineMethods = map[string]bool{
+	"After": true, "Now": true, "Schedule": true,
+	"Run": true, "RunUntil": true, "Step": true, "Pending": true,
+}
+
+var Analyzer = &framework.Analyzer{
+	Name: "nodeclock",
+	Doc: "in node-context packages, forbid Network.Eng access and raw Engine After/Now/Schedule " +
+		"calls; timers and clocks must route through Network.NodeAfter/NodeNow/Now",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	leaf := pass.LastSegment()
+	inNodePkg := slices.Contains(nodePackages, leaf)
+	inNetsim := leaf == "netsim"
+	if !inNodePkg && !inNetsim {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// netsim's non-test sources implement the engine; only its tests
+		// are node-context consumers.
+		if inNetsim && !pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if n.Sel.Name == "Eng" && isNetsimType(pass.TypesInfo.Types[n.X].Type, "Network") {
+					pass.Reportf(n.Sel.Pos(),
+						"direct Network.Eng access: Eng is nil once the fabric is partitioned; "+
+							"use Network.NodeAfter/NodeNow for node timers and Network.Now for the fabric clock")
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !engineMethods[sel.Sel.Name] || inNetsim {
+					return true
+				}
+				if isNetsimType(pass.TypesInfo.Types[sel.X].Type, "Engine") {
+					pass.Reportf(sel.Sel.Pos(),
+						"raw Engine.%s call in node context bypasses partition routing and stamps "+
+							"interleaving-dependent event origins; use Network.NodeAfter/NodeNow/Now",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isNetsimType reports whether t (or its pointee) is the named netsim type.
+func isNetsimType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "netsim" || strings.HasSuffix(path, "/netsim")
+}

@@ -1,0 +1,13 @@
+package nodeclock_test
+
+import (
+	"testing"
+
+	"github.com/daiet/daiet/internal/analysis/analysistest"
+	"github.com/daiet/daiet/internal/analysis/nodeclock"
+)
+
+func TestNodeclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nodeclock.Analyzer,
+		"netsim", "dataplane", "stats")
+}

@@ -1,0 +1,34 @@
+// Package dataplane plays a node-context package (import-path leaf
+// "dataplane"): both nodeclock rules apply to every file.
+package dataplane
+
+import "netsim"
+
+func badEngAccess(nw *netsim.Network) {
+	_ = nw.Eng // want `direct Network\.Eng access`
+}
+
+func badEngineCalls(eng *netsim.Engine) {
+	eng.After(5, nil)    // want `raw Engine\.After call in node context`
+	_ = eng.Now()        // want `raw Engine\.Now call in node context`
+	eng.Schedule(1, nil) // want `raw Engine\.Schedule call in node context`
+}
+
+func goodNodeRouting(nw *netsim.Network) {
+	nw.NodeAfter(3, 10, nil)
+	_ = nw.NodeNow(3)
+	_ = nw.Now()
+}
+
+// Unrelated types with the same method names stay free: only netsim.Engine
+// values are hazardous.
+type localTimer struct{}
+
+func (localTimer) After(d int, fn func()) {}
+func (localTimer) Now() int               { return 0 }
+
+func goodLocalTimer() {
+	var t localTimer
+	t.After(1, nil)
+	_ = t.Now()
+}

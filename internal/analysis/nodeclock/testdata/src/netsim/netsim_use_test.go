@@ -1,0 +1,24 @@
+package netsim
+
+// netsim's _test.go files are node-context consumers: rule 1 (no
+// Network.Eng access) applies to them even though the package's non-test
+// sources are exempt.
+
+func testDrivesFabric(nw *Network) {
+	_ = nw.Eng // want `direct Network\.Eng access`
+	_ = nw.Processed()
+	nw.NodeAfter(0, 10, nil)
+	_ = nw.Now()
+}
+
+// Rule 2 does not apply inside netsim: its tests may drive standalone
+// engines directly (they are testing the engine itself).
+func testDrivesStandaloneEngine() {
+	var e Engine
+	e.After(1, nil)
+	_ = e.Now()
+}
+
+func testSuppressedWithReason(nw *Network) {
+	_ = nw.Eng //simlint:nodeclock fixture exercises the raw engine on an unpartitioned fabric
+}

@@ -1,0 +1,10 @@
+// Package stats is outside the node-context scope: the analyzer must not
+// report anything here even on patterns it would flag in dataplane.
+package stats
+
+import "netsim"
+
+func freeOutsideScope(nw *netsim.Network, eng *netsim.Engine) {
+	_ = nw.Eng
+	eng.After(1, nil)
+}

@@ -1,0 +1,7 @@
+// Package cmdtool has no internal/ path segment: the analyzer does not
+// apply outside the simulator's internal tree.
+package cmdtool
+
+import "time"
+
+func freeOutsideInternal() time.Time { return time.Now() }

@@ -1,0 +1,29 @@
+// Package clockuser sits under an internal/ path segment and is not on
+// the wall-clock allowlist: every real-clock read is a finding.
+package clockuser
+
+import "time"
+
+func badReads() {
+	_ = time.Now()                 // want `wall-clock time\.Now in a sim package`
+	_ = time.Since(time.Time{})    // want `wall-clock time\.Since in a sim package`
+	time.Sleep(time.Millisecond)   // want `wall-clock time\.Sleep in a sim package`
+	<-time.After(time.Millisecond) // want `wall-clock time\.After in a sim package`
+	_ = time.NewTimer(time.Second) // want `wall-clock time\.NewTimer in a sim package`
+}
+
+// Pure time arithmetic and value types never read the clock and stay free.
+func goodArithmetic(d time.Duration) time.Duration {
+	deadline := 5 * time.Microsecond
+	if d > deadline {
+		return d.Round(time.Millisecond)
+	}
+	var t time.Time
+	_ = t.IsZero()
+	return time.Duration(42)
+}
+
+// A declared-volatile measurement site carries a reasoned suppression.
+func measuredSite() time.Time {
+	return time.Now() //simlint:wallclock feeds the declared-volatile wall_ms metric only
+}

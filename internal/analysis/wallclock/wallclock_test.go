@@ -1,0 +1,13 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"github.com/daiet/daiet/internal/analysis/analysistest"
+	"github.com/daiet/daiet/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), wallclock.Analyzer,
+		"daiet/internal/clockuser", "daiet/internal/runner", "daiet/cmdtool")
+}

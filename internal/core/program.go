@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/daiet/daiet/internal/dataplane"
@@ -281,12 +282,14 @@ func (p *Program) TreeStats(treeID uint32) (TreeStats, bool) {
 	return st.Stats, true
 }
 
-// Trees returns the configured tree IDs.
+// Trees returns the configured tree IDs in ascending order (the tree set
+// is a map; iteration order must not leak into reports).
 func (p *Program) Trees() []uint32 {
 	out := make([]uint32, 0, len(p.trees))
 	for id := range p.trees {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -456,6 +459,9 @@ func (p *Program) Crash() (lostPairs int) {
 		lostPairs += int(st.stackTop.Cells[0]) + int(st.spillCnt.Cells[0])
 		ids = append(ids, id)
 	}
+	// Tear down in ascending tree order: RemoveTree cancels replay state,
+	// and crash handling must replay identically at any -sim-workers.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		p.RemoveTree(id)
 	}

@@ -66,7 +66,7 @@ func BenchmarkSenderBurst(b *testing.B) {
 				if err := nw.Run(0); err != nil {
 					b.Fatal(err)
 				}
-				events = nw.Eng.Processed
+				events = nw.Processed()
 			}
 			b.ReportMetric(float64(events)/float64(pairs/10), "events/pkt")
 		})

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/daiet/daiet/internal/mapreduce"
@@ -256,8 +257,14 @@ func ablationWorkerCombiner(seed uint64, vocabPer, sim int) (*WorkerCombinerResu
 		afterWorker += len(counts)
 		// Re-encode as "word" repeated once with its count folded in via a
 		// count-valued job below: the combined stream carries one record
-		// per distinct word per mapper.
+		// per distinct word per mapper, in sorted order (counts is a map;
+		// its randomized iteration order must not shape the input stream).
+		words := make([]string, 0, len(counts))
 		for w := range counts {
+			words = append(words, w)
+		}
+		sort.Strings(words)
+		for _, w := range words {
 			combined[m] = append(combined[m], fmt.Sprintf("%s=%d", w, counts[w]))
 		}
 	}

@@ -55,12 +55,12 @@ func init() {
 		// counts, excluded from determinism comparisons.
 		Volatile: []string{"wall_ms"},
 		Run: func(pt Point, tr Trial) (map[string]float64, error) {
-			t0 := time.Now()
+			t0 := time.Now() //simlint:wallclock measures the declared-volatile wall_ms metric only
 			res, err := MultiRack(parallelSimConfig(tr.Seed, tr.Scale, int(pt.X)))
 			if err != nil {
 				return nil, err
 			}
-			wall := float64(time.Since(t0).Microseconds()) / 1000
+			wall := float64(time.Since(t0).Microseconds()) / 1000 //simlint:wallclock declared-volatile wall_ms metric
 			return map[string]float64{
 				"core_reduction_pct": res.CoreReductionPct,
 				"reducer_pairs":      float64(res.ReducerPairsDAIET),

@@ -1,0 +1,22 @@
+package mapreduce
+
+import "time"
+
+// reduceWallClock is the real-time source behind the measured reducer
+// durations (the paper's reduce-time panel). It exists to keep wall-clock
+// access visibly separated from simulation logic: reducer compute is the
+// ONLY real work in this package that is wall-timed, its duration feeds
+// exclusively the declared-volatile reduce_ms-style metrics, and nothing
+// in the simulated world ever branches on it. Tests may swap the clock to
+// prove that (TestReduceWallClockInjected).
+//
+//simlint:wallclock declared-volatile reduce wall-time measurement source; sim logic never reads it
+var reduceWallClock func() time.Time = time.Now
+
+// stopwatch captures the clock once and measures elapsed real time, via
+// the injected source.
+func startStopwatch() time.Time { return reduceWallClock() }
+
+func elapsedSince(start time.Time) time.Duration {
+	return reduceWallClock().Sub(start)
+}

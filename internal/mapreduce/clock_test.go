@@ -1,0 +1,55 @@
+package mapreduce
+
+import (
+	"testing"
+	"time"
+
+	"github.com/daiet/daiet/internal/core"
+)
+
+// TestReduceWallClockInjected proves the reducer stopwatch is fully
+// decoupled from the real clock: with a fake source installed, measured
+// durations are exactly the fake's elapsed time and nothing in the reduce
+// path reads wall time behind its back.
+func TestReduceWallClockInjected(t *testing.T) {
+	saved := reduceWallClock
+	defer func() { reduceWallClock = saved }()
+
+	base := time.Unix(1000, 0)
+	calls := 0
+	reduceWallClock = func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * 7 * time.Millisecond)
+	}
+
+	pairs := []core.KV{{Key: "b", Value: 2}, {Key: "a", Value: 1}, {Key: "a", Value: 3}}
+	sum, err := core.FuncByID(core.AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, dur := reduceSortAll(pairs, sum)
+	if len(out) != 2 || out[0].Key != "a" || out[0].Value != 4 || out[1].Key != "b" {
+		t.Fatalf("unexpected reduce output: %+v", out)
+	}
+	// startStopwatch reads once, elapsedSince reads once: exactly 7ms apart.
+	if dur != 7*time.Millisecond {
+		t.Fatalf("measured duration %v, want 7ms from the injected clock", dur)
+	}
+	if calls != 2 {
+		t.Fatalf("clock read %d times, want exactly 2", calls)
+	}
+
+	calls = 0
+	runs := [][]core.KV{
+		{{Key: "a", Value: 1}, {Key: "c", Value: 2}},
+		{{Key: "b", Value: 3}},
+	}
+	out, dur = reduceMergeRuns(runs, sum)
+	if len(out) != 3 {
+		t.Fatalf("unexpected merge output: %+v", out)
+	}
+	if dur != 7*time.Millisecond || calls != 2 {
+		t.Fatalf("merge measured %v over %d reads, want 7ms over 2", dur, calls)
+	}
+}

@@ -166,7 +166,7 @@ func runMapPhase(job Job, splits [][]string, nReducers int, geom wire.PairGeomet
 // reducer sorts everything and combines adjacent duplicates. The returned
 // duration is real measured wall time.
 func reduceSortAll(pairs []core.KV, agg core.AggFunc) ([]core.KV, time.Duration) {
-	start := time.Now()
+	start := startStopwatch()
 	sorted := append([]core.KV(nil), pairs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
 	out := make([]core.KV, 0, len(sorted))
@@ -177,13 +177,13 @@ func reduceSortAll(pairs []core.KV, agg core.AggFunc) ([]core.KV, time.Duration)
 			out = append(out, kv)
 		}
 	}
-	return out, time.Since(start)
+	return out, elapsedSince(start)
 }
 
 // reduceMergeRuns is the reducer work in the TCP baseline: each mapper's
 // run arrives sorted, so the reducer performs a k-way merge with combining.
 func reduceMergeRuns(runs [][]core.KV, agg core.AggFunc) ([]core.KV, time.Duration) {
-	start := time.Now()
+	start := startStopwatch()
 	type cursor struct {
 		run []core.KV
 		pos int
@@ -243,7 +243,7 @@ func reduceMergeRuns(runs [][]core.KV, agg core.AggFunc) ([]core.KV, time.Durati
 			push(c)
 		}
 	}
-	return out, time.Since(start)
+	return out, elapsedSince(start)
 }
 
 // verifyAgainstReference recomputes the job output directly from the spills

@@ -188,7 +188,9 @@ func TestQueueDrainsOverTime(t *testing.T) {
 		t.Fatalf("expected 1 drop at t=0, got %+v", st)
 	}
 	// After the first frame serializes, one slot is free again.
-	nw.Eng.RunUntil(Duration(800 * time.Microsecond))
+	if err := nw.RunUntil(Duration(800 * time.Microsecond)); err != nil {
+		t.Fatal(err)
+	}
 	nw.Send(1, 0, make([]byte, 100))
 	if err := nw.Run(0); err != nil {
 		t.Fatal(err)

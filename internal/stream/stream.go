@@ -13,6 +13,7 @@ package stream
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"github.com/daiet/daiet/internal/controller"
@@ -258,6 +259,15 @@ func (j *Job) runWindow(win int, shards [][]Event) (WindowReport, error) {
 			}
 		}
 
+		// Ship partials in ascending key order: map iteration order is
+		// randomized per range, and send order is frame order on the wire,
+		// so an unsorted walk would leak nondeterminism into the run.
+		keys := make([]string, 0, len(partial))
+		for k := range partial {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+
 		if j.cfg.Reliable {
 			s, err := core.NewReliableSender(j.host[j.workers[wi]], j.plan.TreeID, j.sink,
 				wire.DefaultGeometry, 0, core.ReliableConfig{
@@ -268,8 +278,8 @@ func (j *Job) runWindow(win int, shards [][]Event) (WindowReport, error) {
 				return rep, err
 			}
 			j.muxes[wi].Register(s)
-			for k, v := range partial {
-				if err := s.Send([]byte(k), v); err != nil {
+			for _, k := range keys {
+				if err := s.Send([]byte(k), partial[k]); err != nil {
 					return rep, err
 				}
 				rep.PairsSent++
@@ -282,8 +292,8 @@ func (j *Job) runWindow(win int, shards [][]Event) (WindowReport, error) {
 			if err != nil {
 				return rep, err
 			}
-			for k, v := range partial {
-				if err := s.Send([]byte(k), v); err != nil {
+			for _, k := range keys {
+				if err := s.Send([]byte(k), partial[k]); err != nil {
 					return rep, err
 				}
 				rep.PairsSent++

@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -156,15 +157,17 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Each visits all counters in undefined order.
+// Each visits all counters in ascending name order, so dumps and any
+// derived fingerprints are deterministic.
 func (r *Registry) Each(fn func(*Counter)) {
 	r.mu.Lock()
-	names := make([]*Counter, 0, len(r.m))
+	counters := make([]*Counter, 0, len(r.m))
 	for _, c := range r.m {
-		names = append(names, c)
+		counters = append(counters, c)
 	}
 	r.mu.Unlock()
-	for _, c := range names {
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name() < counters[j].Name() })
+	for _, c := range counters {
 		fn(c)
 	}
 }

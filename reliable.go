@@ -2,6 +2,7 @@ package daiet
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/daiet/daiet/internal/controller"
 	"github.com/daiet/daiet/internal/core"
@@ -48,6 +49,12 @@ func (n *Network) InstallReliableTree(reducer NodeID, mappers []NodeID, opt Tree
 	childrenOf := make(map[NodeID][]uint32)
 	for child, parent := range plan.Parent {
 		childrenOf[parent] = append(childrenOf[parent], uint32(child))
+	}
+	// Sender tables in sorted order: plan.Parent is a map, and table order
+	// must not inherit its randomized iteration order (the controller's
+	// InstallTree applies the same contract).
+	for _, kids := range childrenOf {
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
 	}
 	installed := make([]NodeID, 0, len(plan.SwitchNodes))
 	for _, sw := range plan.SwitchNodes {
