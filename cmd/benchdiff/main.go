@@ -74,6 +74,62 @@ type driftGate struct {
 	metric string // bare metric name; label-qualified headline keys match as prefixes
 }
 
+// allocGate is one figure's allocation budget: the current report's
+// allocs_per_frame must not exceed limit. Unlike drift gates it compares
+// against an absolute budget, not the baseline CI — the zero-alloc hot
+// path is a design contract, not a statistical baseline.
+type allocGate struct {
+	figure string
+	limit  float64
+}
+
+// parseAllocGates parses the -gate-allocs flag: comma-separated
+// "figure/limit" entries (empty = no allocation gating).
+func parseAllocGates(s string) ([]allocGate, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var gates []allocGate
+	for _, entry := range strings.Split(s, ",") {
+		fig, lim, ok := strings.Cut(strings.TrimSpace(entry), "/")
+		if !ok || fig == "" || lim == "" {
+			return nil, fmt.Errorf("benchdiff: -gate-allocs entry %q, want figure/limit", entry)
+		}
+		var limit float64
+		if _, err := fmt.Sscanf(lim, "%g", &limit); err != nil || limit < 0 {
+			return nil, fmt.Errorf("benchdiff: -gate-allocs entry %q: limit must be a non-negative number", entry)
+		}
+		gates = append(gates, allocGate{figure: fig, limit: limit})
+	}
+	return gates, nil
+}
+
+// checkAllocGates applies the allocation budgets against the current
+// report. A gate naming a figure absent from the current report is a dead
+// contract and fails, exactly like a dead drift gate.
+func checkAllocGates(gates []allocGate, cur *benchfmt.Report) []string {
+	var failures []string
+	for _, g := range gates {
+		found := false
+		for _, f := range cur.Figures {
+			if f.Name != g.figure {
+				continue
+			}
+			found = true
+			if f.AllocsPerFrame > g.limit {
+				failures = append(failures, fmt.Sprintf(
+					"figure %s allocates %.3f per frame (budget %g)",
+					f.Name, f.AllocsPerFrame, g.limit))
+			}
+		}
+		if !found {
+			failures = append(failures, fmt.Sprintf(
+				"-gate-allocs entry %s/%g matches no figure in the current report", g.figure, g.limit))
+		}
+	}
+	return failures
+}
+
 // parseDriftGates parses the -gate-drift flag: comma-separated
 // "figure/metric" entries (empty = no drift gating).
 func parseDriftGates(s string) ([]driftGate, error) {
@@ -144,6 +200,7 @@ func run(args []string, out io.Writer) error {
 	maxFigRegress := fs.Float64("max-figure-regress-pct", 30, "max tolerated per-figure wall-clock regression in percent")
 	minFigureMS := fs.Float64("min-figure-ms", 100, "per-figure gate only applies when the baseline figure took at least this many ms")
 	gateDrift := fs.String("gate-drift", "", "comma-separated figure/metric-prefix pairs whose headline drift fails the build (e.g. bigincast/drop_rate_pct)")
+	gateAllocs := fs.String("gate-allocs", "", "comma-separated figure/limit pairs: fail when a figure's allocs_per_frame exceeds the limit (e.g. megaincast/2.0)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,6 +208,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("benchdiff: -current is required")
 	}
 	gates, err := parseDriftGates(*gateDrift)
+	if err != nil {
+		return err
+	}
+	aGates, err := parseAllocGates(*gateAllocs)
 	if err != nil {
 		return err
 	}
@@ -277,8 +338,19 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "total wall clock: %.1f ms -> %.1f ms (%+.1f%%)\n",
 		base.TotalWallMS, cur.TotalWallMS, regressPct(base.TotalWallMS, cur.TotalWallMS))
 
+	// Allocation budgets: absolute contracts on the current report.
+	for _, g := range aGates {
+		for _, f := range cur.Figures {
+			if f.Name == g.figure {
+				fmt.Fprintf(out, "allocs: %s %.3f per frame (budget %g), %.0f events/s\n",
+					f.Name, f.AllocsPerFrame, g.limit, f.EventsPerSec)
+			}
+		}
+	}
+
 	b := budgets{maxTotalPct: *maxRegress, maxFigurePct: *maxFigRegress, minFigureMS: *minFigureMS}
-	failures := append(driftFailures, b.check(base, cur)...)
+	failures := append(driftFailures, checkAllocGates(aGates, cur)...)
+	failures = append(failures, b.check(base, cur)...)
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(out, "FAIL: %s\n", f)

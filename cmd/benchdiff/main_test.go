@@ -288,3 +288,76 @@ func TestRunCLIDriftGate(t *testing.T) {
 		t.Fatalf("volatile-only gate did not fail: err=%v\n%s", err, out.String())
 	}
 }
+
+func TestParseAllocGates(t *testing.T) {
+	if g, err := parseAllocGates(""); err != nil || g != nil {
+		t.Fatalf("empty flag: %v %v", g, err)
+	}
+	g, err := parseAllocGates("megaincast/0.5, bigincast/2")
+	if err != nil || len(g) != 2 || g[0].figure != "megaincast" || g[0].limit != 0.5 || g[1].limit != 2 {
+		t.Fatalf("parse: %v %v", g, err)
+	}
+	for _, bad := range []string{"megaincast", "/1", "f/", "f/x", "f/-1", "a/1,,"} {
+		if _, err := parseAllocGates(bad); err == nil {
+			t.Fatalf("malformed %q accepted", bad)
+		}
+	}
+}
+
+// allocReport clones report() and sets one figure's allocation rate.
+func allocReport(totalMS float64, figs map[string]float64, fig string, perFrame float64) *benchfmt.Report {
+	r := report(totalMS, figs)
+	for i := range r.Figures {
+		if r.Figures[i].Name == fig {
+			r.Figures[i].AllocsPerFrame = perFrame
+			r.Figures[i].EventsTotal = 1000
+			r.Figures[i].EventsPerSec = 1e6
+		}
+	}
+	return r
+}
+
+// TestRunCLIAllocGate: allocs_per_frame is gated against an absolute
+// budget per figure, with dead-gate detection like -gate-drift.
+func TestRunCLIAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFixture(t, dir, "base.json", report(1000, map[string]float64{"mega": 500}))
+
+	// Inside budget: passes, and the allocation line is reported.
+	cur := writeFixture(t, dir, "ok.json", allocReport(1000, map[string]float64{"mega": 500}, "mega", 0.2))
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-current", cur, "-gate-allocs", "mega/0.5"}, &out); err != nil {
+		t.Fatalf("in-budget allocs failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs: mega 0.200 per frame") {
+		t.Fatalf("allocation line not reported:\n%s", out.String())
+	}
+
+	// Over budget: fails.
+	cur = writeFixture(t, dir, "hot.json", allocReport(1000, map[string]float64{"mega": 500}, "mega", 3.5))
+	out.Reset()
+	err := run([]string{"-baseline", base, "-current", cur, "-gate-allocs", "mega/0.5"}, &out)
+	if err == nil || !strings.Contains(out.String(), "FAIL: figure mega allocates 3.500 per frame") {
+		t.Fatalf("allocation gate did not fire: err=%v\n%s", err, out.String())
+	}
+
+	// Exactly at the budget: passes (gate is strict >).
+	cur = writeFixture(t, dir, "edge.json", allocReport(1000, map[string]float64{"mega": 500}, "mega", 0.5))
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-current", cur, "-gate-allocs", "mega/0.5"}, &out); err != nil {
+		t.Fatalf("at-budget allocs failed: %v\n%s", err, out.String())
+	}
+
+	// A gate naming a figure absent from the current report is dead and
+	// must fail.
+	out.Reset()
+	err = run([]string{"-baseline", base, "-current", cur, "-gate-allocs", "gone/0.5"}, &out)
+	if err == nil || !strings.Contains(out.String(), "matches no figure") {
+		t.Fatalf("dead alloc gate did not fail: err=%v\n%s", err, out.String())
+	}
+
+	// Malformed flag: rejected.
+	if err := run([]string{"-baseline", base, "-current", cur, "-gate-allocs", "nonsense"}, &out); err == nil {
+		t.Fatal("malformed -gate-allocs accepted")
+	}
+}

@@ -39,6 +39,7 @@ import (
 
 	"github.com/daiet/daiet/internal/benchfmt"
 	"github.com/daiet/daiet/internal/experiments"
+	"github.com/daiet/daiet/internal/netsim"
 	"github.com/daiet/daiet/internal/runner"
 )
 
@@ -113,6 +114,14 @@ func main() {
 	start := time.Now()
 	results, err := runner.Map(len(specs), *parallel, func(shard int) (outcome, error) {
 		spec := specs[shard]
+		// Engine-scale accounting (schema 6): simulator event/frame counts
+		// and heap allocations across the whole figure, from process-wide
+		// counters. Exact at -parallel 1 (how CI generates the report);
+		// under concurrent figures the deltas interleave and are only an
+		// aggregate indication.
+		var m0, m1 runtime.MemStats
+		ev0, fr0 := netsim.SimCounters()
+		runtime.ReadMemStats(&m0)
 		t0 := time.Now()
 		res, err := spec.Execute(experiments.RunConfig{
 			Seed:        *seed,
@@ -124,18 +133,26 @@ func main() {
 		if err != nil {
 			return outcome{}, err
 		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		ev1, fr1 := netsim.SimCounters()
 		var buf bytes.Buffer
 		res.WriteTable(&buf)
-		return outcome{
-			out: buf.Bytes(),
-			rec: benchfmt.FigureRecord{
-				Name:     spec.Name,
-				WallMS:   float64(time.Since(t0).Microseconds()) / 1000,
-				Seeds:    res.Seeds,
-				Volatile: spec.Volatile,
-				Metrics:  res.Headline(),
-			},
-		}, nil
+		rec := benchfmt.FigureRecord{
+			Name:        spec.Name,
+			WallMS:      float64(wall.Microseconds()) / 1000,
+			Seeds:       res.Seeds,
+			Volatile:    spec.Volatile,
+			Metrics:     res.Headline(),
+			EventsTotal: ev1 - ev0,
+		}
+		if s := wall.Seconds(); s > 0 {
+			rec.EventsPerSec = float64(rec.EventsTotal) / s
+		}
+		if frames := fr1 - fr0; frames > 0 {
+			rec.AllocsPerFrame = float64(m1.Mallocs-m0.Mallocs) / float64(frames)
+		}
+		return outcome{out: buf.Bytes(), rec: rec}, nil
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,13 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"github.com/daiet/daiet/internal/analysis/analysistest"
+	"github.com/daiet/daiet/internal/analysis/arenaescape"
+)
+
+func TestArenaEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), arenaescape.Analyzer,
+		"netsim")
+}

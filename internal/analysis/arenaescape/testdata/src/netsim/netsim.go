@@ -1,0 +1,160 @@
+// Package netsim is a hermetic stand-in for the real event engine: the
+// same type names (frameArena, fnArena, event, mail) and helper names, so
+// the type-name-driven ownership rules bind exactly as they do in the
+// real package.
+package netsim
+
+type Node interface{ HandleFrame(port int, frame []byte) }
+
+type NodeID uint64
+
+type Time int64
+
+// frameArena and fnArena mirror the real slab arenas.
+type frameArena struct {
+	node []Node
+	port []int32
+	buf  [][]byte
+	free []int32
+	live int
+	peak int
+}
+
+type fnArena struct {
+	fn    []func()
+	owner []NodeID
+	live  int
+}
+
+type event struct {
+	at   Time
+	src  uint64
+	seq  uint64
+	slot int32
+	exec uint32
+}
+
+type mail struct {
+	at    Time
+	src   uint64
+	seq   uint64
+	dst   NodeID
+	node  Node
+	port  int32
+	frame []byte
+}
+
+type Engine struct {
+	frames frameArena
+	fns    fnArena
+	events []event
+	origin uint64
+	now    Time
+}
+
+// Arena methods may touch their own internals freely.
+func (a *frameArena) alloc(n Node, port int32, frame []byte) int32 {
+	a.node = append(a.node, n)
+	a.port = append(a.port, port)
+	a.buf = append(a.buf, frame)
+	a.live++
+	if a.live > a.peak {
+		a.peak = a.live
+	}
+	return int32(len(a.node) - 1)
+}
+
+func (a *frameArena) take(slot int32) (Node, int32, []byte) {
+	n, port, frame := a.node[slot], a.port[slot], a.buf[slot]
+	a.node[slot] = nil
+	a.buf[slot] = nil
+	a.free = append(a.free, slot)
+	a.live--
+	return n, port, frame
+}
+
+// The scheduling helpers are the slot's only birthplaces.
+func (e *Engine) scheduleFrame(at Time, src, seq uint64, dst NodeID, n Node, port int32, frame []byte) {
+	slot := e.frames.alloc(n, port, frame)
+	e.events = append(e.events, event{at: at, src: src, seq: seq, slot: slot, exec: uint32(dst)})
+}
+
+func (e *Engine) Step() {
+	ev := e.events[0]
+	e.events = e.events[1:]
+	if ev.slot >= 0 {
+		n, port, frame := e.frames.take(ev.slot)
+		if n != nil {
+			n.HandleFrame(int(port), frame)
+		}
+	}
+}
+
+// ArenaStats aggregates occupancy — reads are allowed here, including
+// through its closure.
+func (e *Engine) ArenaStats() int {
+	total := 0
+	add := func() {
+		total += e.frames.live + e.fns.live
+	}
+	add()
+	return total
+}
+
+// send is the only mail producer.
+func (e *Engine) send(at Time, dst NodeID, n Node, port int32, frame []byte, box *[]mail) {
+	*box = append(*box, mail{at: at, src: e.origin, dst: dst, node: n, port: port, frame: frame})
+}
+
+// flushMail re-slots mail through the handoff helper and may zero records.
+func (e *Engine) flushMail(box []mail) {
+	for i, m := range box {
+		e.scheduleFrame(m.at, m.src, m.seq, m.dst, m.node, m.port, m.frame)
+		box[i] = mail{}
+	}
+}
+
+// badPeek retains an arena-owned payload past delivery: the slot recycles
+// and the "kept" frame becomes a different packet.
+func (e *Engine) badPeek(slot int32) []byte {
+	return e.frames.buf[slot] // want `frameArena internals accessed outside the engine's helpers`
+}
+
+// badTimerSteal reaches into the callback arena.
+func (e *Engine) badTimerSteal(slot int32) func() {
+	return e.fns.fn[slot] // want `fnArena internals accessed outside the engine's helpers`
+}
+
+// badSlotStash stores a live slot for later use — dangling once the event
+// fires.
+func (e *Engine) badSlotStash() int32 {
+	return e.events[0].slot // want `event arena slot used outside the scheduling helpers`
+}
+
+// badEventForge builds a slot-carrying event outside the helpers.
+func (e *Engine) badEventForge(at Time, slot int32) {
+	e.events = append(e.events, event{at: at, slot: slot}) // want `event with an arena slot constructed outside the scheduling helpers`
+}
+
+// badMailForge fabricates a cross-domain record, bypassing the handoff.
+func (e *Engine) badMailForge(dst NodeID, frame []byte) mail {
+	return mail{dst: dst, frame: frame} // want `cross-domain mail record constructed outside send/flushMail`
+}
+
+// goodEventNoSlot: slotless event literals (heap sentinels, tests) are
+// fine anywhere.
+func (e *Engine) goodEventNoSlot(at Time) {
+	e.events = append(e.events, event{at: at, src: e.origin})
+}
+
+// goodZeroMail: zeroing a record is GC hygiene, not construction.
+func goodZeroMail(box []mail) {
+	for i := range box {
+		box[i] = mail{}
+	}
+}
+
+// suppressedPeek keeps the escape hatch working.
+func (e *Engine) suppressedPeek(slot int32) []byte {
+	return e.frames.buf[slot] //simlint:arenaescape debug-only inspection behind a build tag
+}

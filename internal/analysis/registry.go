@@ -5,6 +5,7 @@
 package analysis
 
 import (
+	"github.com/daiet/daiet/internal/analysis/arenaescape"
 	"github.com/daiet/daiet/internal/analysis/framecopy"
 	"github.com/daiet/daiet/internal/analysis/framework"
 	"github.com/daiet/daiet/internal/analysis/globalrand"
@@ -16,6 +17,7 @@ import (
 // Analyzers returns every registered analyzer, in stable order.
 func Analyzers() []*framework.Analyzer {
 	return []*framework.Analyzer{
+		arenaescape.Analyzer,
 		framecopy.Analyzer,
 		globalrand.Analyzer,
 		maporder.Analyzer,

@@ -17,8 +17,12 @@ import "github.com/daiet/daiet/internal/stats"
 // fault-injection and incast-jitter figures. Schema 5 added the bigincast
 // figure (shared-memory switch buffers: drop rates under DT vs static
 // split, pool high-water marks, per-sender fairness), whose drop-rate
-// metrics cmd/benchdiff can gate on via -gate-drift.
-const Schema = 5
+// metrics cmd/benchdiff can gate on via -gate-drift. Schema 6 added
+// per-figure engine-scale accounting (EventsTotal, EventsPerSec,
+// AllocsPerFrame — simulator events executed, their wall-clock rate, and
+// heap allocations per accepted frame) plus the megaincast figure;
+// cmd/benchdiff gates allocation regressions via -gate-allocs.
+const Schema = 6
 
 // FigureRecord is one figure's entry: wall-clock plus every headline
 // metric as a mean with confidence bounds.
@@ -31,6 +35,17 @@ type FigureRecord struct {
 	// across machines, so benchdiff's CI-drift check skips them.
 	Volatile []string                  `json:"volatile,omitempty"`
 	Metrics  map[string]stats.Estimate `json:"metrics"`
+
+	// Engine-scale accounting (schema 6), measured around the whole figure
+	// from the process-wide netsim counters and runtime.MemStats deltas.
+	// Deterministic and comparable only at -parallel 1 (concurrent figures
+	// interleave the process-wide counters); CI's report job runs that way.
+	// These are record-level fields, not Metrics: EventsPerSec is
+	// wall-clock-derived (volatile by nature) and AllocsPerFrame is gated
+	// by an absolute budget (-gate-allocs), not by baseline-CI drift.
+	EventsTotal    uint64  `json:"events_total"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
 }
 
 // IsVolatile reports whether headline metric key derives from a volatile

@@ -42,6 +42,9 @@ type BigIncastConfig struct {
 	// Racks is the number of sender racks (default 4); the reducer sits
 	// alone in one extra rack, so the tree crosses the spine.
 	Racks int
+	// Spines is the spine tier width (default 1). The megaincast figure
+	// runs 2 so the fabric has real path diversity at 16 racks.
+	Spines int
 	// Senders is the total fan-in degree, spread evenly across racks
 	// (default 256).
 	Senders int
@@ -75,11 +78,17 @@ type BigIncastConfig struct {
 	// (0 autotunes to min(rack units, GOMAXPROCS)); results are
 	// byte-identical at any value.
 	SimWorkers int
+	// Recut enables measured-skew dynamic re-partitioning (zero value
+	// disables); results stay byte-identical under any re-cut schedule.
+	Recut topology.RecutConfig
 }
 
 func (c BigIncastConfig) withDefaults() BigIncastConfig {
 	if c.Racks == 0 {
 		c.Racks = 4
+	}
+	if c.Spines == 0 {
+		c.Spines = 1
 	}
 	if c.Senders == 0 {
 		c.Senders = 256
@@ -141,13 +150,23 @@ type BigIncastResult struct {
 	// Completion is the virtual time at which every sender finished and
 	// the collector completed.
 	Completion netsim.Time
+
+	// Engine-scale accounting (PR 7): executed simulator events, accepted
+	// frames, the peak arena footprint across all domains, how many
+	// event-engine domains actually ran, and how many dynamic re-cuts the
+	// policy applied. All deterministic in (Seed, config).
+	Events     uint64
+	Frames     uint64
+	ArenaStats netsim.ArenaStats
+	Domains    int
+	Recuts     uint64
 }
 
 // bigIncastPlan builds the fabric: Racks sender racks plus one reducer
 // rack, one spine, shared-memory pools on every switch.
 func bigIncastPlan(cfg BigIncastConfig) (plan *topology.Plan, senders []netsim.NodeID, reducer netsim.NodeID) {
 	perRack := (cfg.Senders + cfg.Racks - 1) / cfg.Racks
-	plan = topology.LeafSpine(cfg.Racks+1, 1, perRack,
+	plan = topology.LeafSpine(cfg.Racks+1, cfg.Spines, perRack,
 		netsim.LinkConfig{QueueBytes: cfg.EdgeQueueBytes})
 	plan.Name = fmt.Sprintf("bigincast-%ds-%dr", cfg.Senders, cfg.Racks)
 	senders = plan.Hosts[:cfg.Senders]
@@ -194,7 +213,7 @@ func BigIncast(cfg BigIncastConfig) (*BigIncastResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := fb.fab.Partitions(cfg.SimWorkers); err != nil {
+	if err := fb.fab.PartitionsDynamic(cfg.SimWorkers, cfg.Recut); err != nil {
 		return nil, err
 	}
 	ctl := controller.New(fb.fab, fb.programs)
@@ -304,6 +323,11 @@ func BigIncast(cfg BigIncastConfig) (*BigIncastResult, error) {
 		}
 	}
 	res.DropRatePct = 100 * stats.Ratio(float64(res.FramesDropped), float64(res.FramesAttempted))
+	res.Events = nw.Processed()
+	res.Frames = nw.TotalStats().TxFrames
+	res.ArenaStats = nw.ArenaStats()
+	res.Domains = nw.Domains()
+	res.Recuts = nw.Recuts()
 	return res, nil
 }
 
@@ -369,6 +393,7 @@ func init() {
 				Vocab:          scaledInt(4096, tr.Scale, 320),
 				TableSize:      scaledInt(1024, tr.Scale, 64), // keep the collision ratio at small scale
 				SimWorkers:     tr.SimWorkers,
+				Recut:          tr.Recut,
 			}
 			dt := base
 			dt.PoolBytes = s.poolKiB << 10

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"testing"
+
+	"github.com/daiet/daiet/internal/netsim"
 )
 
 // smallBig is a fast-but-contended bigincast config for unit tests.
@@ -88,7 +90,12 @@ func TestBigIncast256x4SimWorkersDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res.Cfg.SimWorkers = 0 // the knob itself is the only allowed delta
+		// The knob itself and the engine-shape observability it implies
+		// (per-domain arena footprints, domain count) are the only allowed
+		// deltas; every workload counter must match byte-for-byte.
+		res.Cfg.SimWorkers = 0
+		res.ArenaStats = netsim.ArenaStats{}
+		res.Domains = 0
 		return fmt.Sprintf("%+v", *res)
 	}
 	seq := render(1)

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
+
+	"github.com/daiet/daiet/internal/topology"
 )
 
 // The runner's contract: for the same seed, every figure entry point must
@@ -244,5 +247,46 @@ func TestIncastPoolSimWorkersDeterministic(t *testing.T) {
 	seq := render(1)
 	for _, w := range simWorkerCounts {
 		assertIdentical(t, "incast pooled sim-workers", seq, render(w), w)
+	}
+}
+
+// TestSpecEngineRecutDeterministic extends the registry-wide conformance
+// suite with dynamic re-partitioning: every figure, executed with a live
+// measured-skew re-cut policy on a seeded random schedule, produces
+// byte-identical non-volatile metrics to the same figure with a static
+// cut, at 2 and 4 domains. Figures that pin their own engine configuration
+// (parallel-sim, megaincast) ignore the knob and pass trivially; every
+// fabric-building figure that honors Trial.Recut is exercised for real.
+func TestSpecEngineRecutDeterministic(t *testing.T) {
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := RunConfig{Seed: 7, Seeds: 2, Scale: 0.08, Parallelism: 1, SimWorkers: 1}
+			res, err := spec.Execute(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			static := res.DeterministicString(spec.Volatile)
+			for _, w := range simWorkerCounts {
+				for _, recutSeed := range []uint64{1, 42} {
+					cfg.SimWorkers = w
+					cfg.Recut = topology.RecutConfig{
+						Every:      3 * time.Microsecond,
+						MinSkewPct: 0, // re-cut on any measured imbalance
+						Seed:       recutSeed,
+					}
+					res, err := spec.Execute(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := res.DeterministicString(spec.Volatile)
+					if static != got {
+						t.Fatalf("%s diverged under dynamic re-cut (workers %d, recut seed %d):\nstatic: %s\nre-cut: %s",
+							spec.Name, w, recutSeed, static, got)
+					}
+				}
+			}
+		})
 	}
 }

@@ -83,6 +83,9 @@ type IncastConfig struct {
 	// cut explicitly, the senders themselves spread across domains;
 	// results are byte-identical at any value.
 	SimWorkers int
+	// Recut enables measured-skew dynamic re-partitioning (zero value
+	// disables); results stay byte-identical under any re-cut schedule.
+	Recut topology.RecutConfig
 }
 
 func (c IncastConfig) withDefaults() IncastConfig {
@@ -179,7 +182,7 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 		return nil, err
 	}
 	programs, hosts, fab := fb.programs, fb.hosts, fb.fab
-	if err := fab.Partitions(cfg.SimWorkers); err != nil {
+	if err := fab.PartitionsDynamic(cfg.SimWorkers, cfg.Recut); err != nil {
 		return nil, err
 	}
 	ctl := controller.New(fab, programs)
@@ -350,6 +353,7 @@ func init() {
 				Senders:        scaledInt(24, tr.Scale, 4),
 				PairsPerSender: scaledInt(1200, tr.Scale, 120),
 				SimWorkers:     tr.SimWorkers,
+				Recut:          tr.Recut,
 			}
 			small := base
 			small.QueueBytes = int(pt.X)
@@ -397,6 +401,7 @@ func init() {
 				Senders:        scaledInt(24, tr.Scale, 4),
 				PairsPerSender: scaledInt(1200, tr.Scale, 120),
 				SimWorkers:     tr.SimWorkers,
+				Recut:          tr.Recut,
 			}
 			jittered := base
 			jittered.QueueBytes = 4096

@@ -8,6 +8,7 @@ import (
 
 	"github.com/daiet/daiet/internal/runner"
 	"github.com/daiet/daiet/internal/stats"
+	"github.com/daiet/daiet/internal/topology"
 )
 
 // This file is the declarative sweep framework every figure runs on. A
@@ -69,6 +70,10 @@ type Trial struct {
 	// byte-identical at any worker count. Figures that do not build a
 	// netsim fabric ignore it.
 	SimWorkers int
+	// Recut enables measured-skew dynamic re-partitioning of each fabric's
+	// domain cut (zero value disables). Covered by the same determinism
+	// contract: any re-cut schedule replays byte-identically.
+	Recut topology.RecutConfig
 }
 
 // RunConfig parameterizes one Spec execution.
@@ -84,6 +89,10 @@ type RunConfig struct {
 	// It composes with Parallelism (trials × domains goroutines), and
 	// never changes results — only wall-clock.
 	SimWorkers int
+	// Recut enables measured-skew dynamic re-partitioning on every fabric
+	// the trials build (zero value disables). Results are unchanged by
+	// construction; only the domain cut adapts to measured load.
+	Recut topology.RecutConfig
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -131,7 +140,7 @@ func (s *Spec) Execute(cfg RunConfig) (*FigureResult, error) {
 	grid, err := runner.Grid(len(s.Points), cfg.Seeds, cfg.Parallelism,
 		func(point, trial int) (map[string]float64, error) {
 			seed := runner.ShardSeed(cfg.Seed, trial)
-			m, err := s.Run(s.Points[point], Trial{Seed: seed, Scale: cfg.Scale, SimWorkers: cfg.SimWorkers})
+			m, err := s.Run(s.Points[point], Trial{Seed: seed, Scale: cfg.Scale, SimWorkers: cfg.SimWorkers, Recut: cfg.Recut})
 			if err != nil {
 				return nil, fmt.Errorf("%s[%s] trial %d (seed %#x): %w",
 					s.Name, s.Points[point].Label, trial, seed, err)

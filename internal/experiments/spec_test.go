@@ -32,6 +32,7 @@ var wantSpecs = []string{
 	"fig3",
 	"incast",
 	"incast-jitter",
+	"megaincast",
 	"multirack",
 	"parallel-sim",
 }

@@ -45,6 +45,10 @@ type ClusterConfig struct {
 	// min(rack-cut units, GOMAXPROCS); 1 forces the sequential engine.
 	// Results are byte-identical at any value; only wall-clock changes.
 	SimWorkers int
+	// Recut enables measured-skew dynamic re-partitioning of the domain
+	// cut (topology.RecutConfig zero value disables). Like SimWorkers it
+	// never changes results, only how the wall-clock work is spread.
+	Recut topology.RecutConfig
 	// SwitchPool, when non-nil, attaches a shared-memory buffer pool of
 	// this size to every switch (netsim Dynamic-Threshold admission across
 	// the switch's egress ports) instead of the per-port QueueBytes FIFOs.
@@ -151,7 +155,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 		}
 	}
-	if err := c.Fab.Partitions(cfg.SimWorkers); err != nil {
+	if err := c.Fab.PartitionsDynamic(cfg.SimWorkers, cfg.Recut); err != nil {
 		return nil, err
 	}
 	c.Mappers = plan.Hosts[:cfg.NumMappers]

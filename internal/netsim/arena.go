@@ -1,0 +1,203 @@
+package netsim
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Per-domain slab arenas for the event hot path.
+//
+// Before PR 7 every frame delivery allocated a closure (capturing the
+// destination node, port and payload) that lived on the heap until the
+// event fired — at million-frame scale that is millions of short-lived
+// allocations per simulated second and a GC constantly walking the event
+// heap. Arenas replace the closure with an int32 slot into per-engine
+// struct-of-arrays storage: the fields the heap and halfLink admission
+// touch (timestamps, origin/seq keys) stay inline in the 32-byte event
+// struct, while the delivery record (node, port, payload reference) lives
+// in the engine's arena, recycled through a LIFO free list. Steady state
+// allocates nothing: BenchmarkFrameDelivery, BenchmarkBurstAdmission and
+// BenchmarkMegaIncast all report 0 allocs/op.
+//
+// Ownership rule (enforced by the arenaescape analyzer): an arena slot is
+// owned by exactly one engine, from alloc to take. Payloads stay
+// by-reference — the []byte is never copied — and ownership of the payload
+// passes with the slot: the sender gives it up at Send, the arena holds it
+// while the frame is in flight, and take hands it to the destination
+// node's HandleFrame, after which the arena retains nothing. Only the
+// engine's own push/take helpers may touch arena internals; cross-domain
+// frames travel as explicit mail records and re-enter an arena only
+// through Engine.scheduleFrame at the barrier (the handoff helper).
+
+// frameArena is the struct-of-arrays store for in-flight frame
+// deliveries: parallel slices indexed by slot. Slots are recycled LIFO so
+// a steady-state workload touches a small, cache-resident prefix.
+type frameArena struct {
+	node []Node
+	port []int32
+	buf  [][]byte
+	free []int32
+	live int
+	peak int
+}
+
+// alloc claims a slot and stores one delivery record in it.
+func (a *frameArena) alloc(n Node, port int32, frame []byte) int32 {
+	var slot int32
+	if k := len(a.free); k > 0 {
+		slot = a.free[k-1]
+		a.free = a.free[:k-1]
+		a.node[slot] = n
+		a.port[slot] = port
+		a.buf[slot] = frame
+	} else {
+		slot = int32(len(a.node))
+		a.node = append(a.node, n)
+		a.port = append(a.port, port)
+		a.buf = append(a.buf, frame)
+	}
+	a.live++
+	if a.live > a.peak {
+		a.peak = a.live
+	}
+	return slot
+}
+
+// take moves the slot's record out of the arena and recycles the slot.
+// Ownership of the payload passes to the caller; the arena keeps no
+// reference.
+func (a *frameArena) take(slot int32) (Node, int32, []byte) {
+	n, port, frame := a.node[slot], a.port[slot], a.buf[slot]
+	a.node[slot] = nil
+	a.buf[slot] = nil
+	a.free = append(a.free, slot)
+	a.live--
+	return n, port, frame
+}
+
+// bytes is the arena's resident metadata footprint (backing arrays and
+// free list; payload bytes are owned by their producers and excluded).
+func (a *frameArena) bytes() int64 {
+	return int64(cap(a.node))*int64(unsafe.Sizeof(Node(nil))) +
+		int64(cap(a.port))*int64(unsafe.Sizeof(int32(0))) +
+		int64(cap(a.buf))*int64(unsafe.Sizeof([]byte(nil))) +
+		int64(cap(a.free))*int64(unsafe.Sizeof(int32(0)))
+}
+
+// fnArena is the slot store for callback events (timers, control-plane
+// work): the closure plus the node that owns it for re-cut migration.
+type fnArena struct {
+	fn    []func()
+	owner []NodeID
+	free  []int32
+	live  int
+	peak  int
+}
+
+func (a *fnArena) alloc(owner NodeID, fn func()) int32 {
+	var slot int32
+	if k := len(a.free); k > 0 {
+		slot = a.free[k-1]
+		a.free = a.free[:k-1]
+		a.fn[slot] = fn
+		a.owner[slot] = owner
+	} else {
+		slot = int32(len(a.fn))
+		a.fn = append(a.fn, fn)
+		a.owner = append(a.owner, owner)
+	}
+	a.live++
+	if a.live > a.peak {
+		a.peak = a.live
+	}
+	return slot
+}
+
+// take moves the slot's callback out of the arena and recycles the slot.
+func (a *fnArena) take(slot int32) (func(), NodeID) {
+	fn, owner := a.fn[slot], a.owner[slot]
+	a.fn[slot] = nil
+	a.free = append(a.free, slot)
+	a.live--
+	return fn, owner
+}
+
+func (a *fnArena) bytes() int64 {
+	return int64(cap(a.fn))*int64(unsafe.Sizeof((func())(nil))) +
+		int64(cap(a.owner))*int64(unsafe.Sizeof(NodeID(0))) +
+		int64(cap(a.free))*int64(unsafe.Sizeof(int32(0)))
+}
+
+// ArenaStats aggregates arena occupancy across every event engine of a
+// network — the "peak arena bytes" figure of the megaincast experiment.
+type ArenaStats struct {
+	FrameCap  int   // frame slots ever allocated (capacity; never shrinks)
+	FrameLive int   // frame slots currently holding an in-flight delivery
+	FramePeak int   // high-water mark of live frame slots
+	TimerCap  int   // callback slots ever allocated
+	TimerPeak int   // high-water mark of live callback slots
+	Bytes     int64 // resident arena metadata bytes (payloads excluded)
+}
+
+// ArenaStats returns the summed arena statistics of all domains (or of
+// the single sequential engine).
+func (nw *Network) ArenaStats() ArenaStats {
+	var st ArenaStats
+	add := func(e *Engine) {
+		st.FrameCap += len(e.frames.node)
+		st.FrameLive += e.frames.live
+		st.FramePeak += e.frames.peak
+		st.TimerCap += len(e.fns.fn)
+		st.TimerPeak += e.fns.peak
+		st.Bytes += e.frames.bytes() + e.fns.bytes()
+	}
+	if nw.domains == nil {
+		add(nw.Eng)
+		return st
+	}
+	for _, d := range nw.domains {
+		add(d.eng)
+	}
+	return st
+}
+
+// simEvents and simFrames are process-wide counters of executed events
+// and accepted frames, accumulated at the end of every Network.Run /
+// RunUntil. cmd/daiet-bench reads deltas around each figure to report
+// events_total, events_per_sec and allocs_per_frame in BENCH_results.json
+// (schema 6). They are monotone and deterministic for a fixed figure
+// order (-parallel 1).
+var (
+	simEvents atomic.Uint64
+	simFrames atomic.Uint64
+)
+
+// SimCounters returns the process-wide totals of executed simulator
+// events and accepted (transmitted) frames.
+func SimCounters() (events, frames uint64) {
+	return simEvents.Load(), simFrames.Load()
+}
+
+// account publishes this network's event/frame progress into the
+// process-wide counters. Called once per Run/RunUntil return.
+func (nw *Network) account() {
+	ev := nw.Processed()
+	simEvents.Add(ev - nw.accEvents)
+	nw.accEvents = ev
+	fr := nw.framesScheduled()
+	simFrames.Add(fr - nw.accFrames)
+	nw.accFrames = fr
+}
+
+// framesScheduled sums accepted-frame counts over all engines (each
+// engine counts the frames its domain's transmitters accepted).
+func (nw *Network) framesScheduled() uint64 {
+	if nw.domains == nil {
+		return nw.Eng.txFrames
+	}
+	var n uint64
+	for _, d := range nw.domains {
+		n += d.eng.txFrames
+	}
+	return n
+}

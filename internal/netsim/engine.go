@@ -5,8 +5,9 @@
 // Design goals, in order: determinism (same seed, same result — experiments
 // are asserted in tests), measurement fidelity for the quantities the paper
 // reports (packets and bytes arriving at tree roots, queueing behaviour),
-// and speed (an event loop with no goroutine-per-packet; optionally one
-// event loop per fabric partition, see Network.Partition).
+// and speed (an event loop with no goroutine-per-packet and no per-frame
+// heap allocation — see arena.go; optionally one event loop per fabric
+// partition, see Network.Partition).
 //
 // Frames are raw []byte throughout; nodes parse them with internal/wire and
 // internal/dataplane, never via Go-struct side channels.
@@ -27,24 +28,31 @@ func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
 // String renders the time as a time.Duration for diagnostics.
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is one scheduled callback. Events are totally ordered by
-// (at, src, seq): src names the deterministic origin that scheduled the
-// event (a node, a half-link, or 0 for setup code) and seq is that origin's
-// own schedule counter. Because both components are derived from the
-// origin's causal history — never from the global interleaving of the event
-// loop — the order is identical whether the fabric runs on one event heap
-// or on one heap per partition domain. That invariance is what makes
-// partitioned runs byte-identical to sequential ones (asserted by the
-// conformance tests in this package and in internal/experiments).
+// event is one scheduled callback, packed to 32 bytes with no pointers so
+// heap sift copies stay cheap and the GC never scans the queue. Events are
+// totally ordered by (at, src, seq): src names the deterministic origin
+// that scheduled the event (a node, a half-link, or 0 for setup code) and
+// seq is that origin's own schedule counter. Because both components are
+// derived from the origin's causal history — never from the global
+// interleaving of the event loop — the order is identical whether the
+// fabric runs on one event heap or on one heap per partition domain, and
+// survives any dynamic re-cut (migration moves events between heaps but
+// never rewrites their keys). That invariance is what makes partitioned
+// runs byte-identical to sequential ones (asserted by the conformance
+// tests in this package and in internal/experiments).
 type event struct {
 	at  Time
 	src uint64
 	seq uint64
+	// slot locates the event's payload in its engine's arenas: slot >= 0
+	// is a frameArena slot (a frame delivery), slot < 0 is ^slot into the
+	// fnArena (a callback). See arena.go.
+	slot int32
 	// exec is the origin context the callback runs under: events the
 	// callback schedules are keyed (exec, exec's counter). For timers this
-	// equals src; for frame deliveries it is the destination node.
-	exec uint64
-	fn   func()
+	// equals src; for frame deliveries it is the destination node. Always
+	// a 24-bit node ID (or 0 for setup), so it fits uint32.
+	exec uint32
 }
 
 // eventHeap is a monomorphic binary min-heap ordered by (at, src, seq). It
@@ -83,14 +91,13 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
-// pop removes and returns the minimum event. The vacated tail slot is
-// zeroed so the popped callback's closure becomes collectable.
+// pop removes and returns the minimum event. Events hold no pointers (the
+// arenas do), so the vacated tail slot needs no zeroing.
 func (h *eventHeap) pop() event {
 	q := *h
 	top := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
-	q[n] = event{}
 	q = q[:n]
 	*h = q
 
@@ -114,6 +121,29 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// init re-establishes the heap invariant over arbitrary contents (used
+// after a re-cut filters migrated events out of the backing slice).
+func (h eventHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		for {
+			left := 2*i + 1
+			if left >= n {
+				break
+			}
+			min := left
+			if right := left + 1; right < n && h.less(right, left) {
+				min = right
+			}
+			if !h.less(min, i) {
+				break
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
+}
+
 // budget is the event bound shared by every domain of a partitioned run:
 // the total executed across all domains may not exceed max. Domains charge
 // it per event, so the bound is honored exactly — a domain stops the moment
@@ -134,16 +164,25 @@ func (b *budget) charge() bool {
 	return true
 }
 
-// Engine is the discrete-event core: a clock and an ordered event queue.
-// It is not safe for concurrent use; a simulation runs either entirely on
-// the caller's goroutine or, when the Network is partitioned, with one
-// Engine per domain, each confined to its domain's goroutine between
-// barriers.
+// Engine is the discrete-event core: a clock, an ordered event queue, and
+// the arenas holding the queued events' payloads. It is not safe for
+// concurrent use; a simulation runs either entirely on the caller's
+// goroutine or, when the Network is partitioned, with one Engine per
+// domain, each confined to its domain's goroutine between barriers.
 type Engine struct {
 	now    Time
 	events eventHeap
 	// Processed counts executed events, a cheap progress/livelock indicator.
 	Processed uint64
+	// txFrames counts frames accepted by this engine's transmitters (the
+	// per-domain share of Network.TotalStats().TxFrames).
+	txFrames uint64
+
+	// frames/fns hold the payloads of queued events (see arena.go). One
+	// arena pair per engine: a domain's in-flight state lives with its
+	// heap, so re-cut migration moves slot contents between arenas.
+	frames frameArena
+	fns    fnArena
 
 	// origin is the ordering-origin context of the currently executing
 	// event (0 outside event execution, i.e. during setup). counter caches
@@ -170,6 +209,18 @@ func (e *Engine) counterFor(origin uint64) *uint64 {
 	return c
 }
 
+// adoptSetupCounter replaces the engine's origin-0 (setup) schedule
+// counter with a shared one. Partition points every domain engine at one
+// network-wide setup counter so setup-scheduled events carry globally
+// unique, program-ordered keys — without this, a dynamic re-cut could
+// merge two heaps whose setup events carry colliding (0, seq) keys.
+func (e *Engine) adoptSetupCounter(c *uint64) {
+	e.counters[0] = c
+	if e.origin == 0 {
+		e.counter = c
+	}
+}
+
 // setOrigin switches the scheduling context to origin (the executing
 // event's exec field).
 func (e *Engine) setOrigin(origin uint64) {
@@ -187,22 +238,49 @@ func (e *Engine) Now() Time { return e.now }
 // is keyed under the current origin context, so callbacks scheduled by one
 // node (or by setup code) keep their relative order under any partitioning.
 func (e *Engine) Schedule(at Time, fn func()) {
-	if at < e.now {
-		panic(fmt.Sprintf("netsim: schedule at %v before now %v", at, e.now))
-	}
-	*e.counter++
-	e.events.push(event{at: at, src: e.origin, seq: *e.counter, exec: e.origin, fn: fn})
+	e.scheduleOwned(at, NodeID(e.origin), fn)
 }
 
-// scheduleKeyed enqueues an event under an explicit (src, seq) ordering key
-// and exec context. The Network uses it for frame deliveries, whose keys
-// derive from the transmitting half-link — identical no matter which domain
-// heap the event lands in.
-func (e *Engine) scheduleKeyed(at Time, src, seq, exec uint64, fn func()) {
+// scheduleOwned is Schedule with an explicit re-cut owner: the node whose
+// domain the pending callback must follow if the fabric is re-cut before
+// it fires. Network.NodeAfter passes the target node, so even timers
+// scheduled by setup code (origin 0) migrate with their node.
+//
+// Setup-context schedules with a real owner are keyed by the owner, not
+// by origin 0: the owner's counter lives in (and migrates with) the
+// node's domain, so concurrent domains never touch the shared setup
+// counter mid-run — under origin-0 keys, two domains executing
+// setup-scheduled callbacks would race on that counter and stamp
+// interleaving-dependent sequence numbers. The owner key is
+// partition-invariant, so sequential and partitioned runs still agree
+// byte-for-byte; the callback also *executes* as the owner (exec), so
+// everything it schedules in turn stays owner-keyed.
+func (e *Engine) scheduleOwned(at Time, owner NodeID, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("netsim: schedule at %v before now %v", at, e.now))
 	}
-	e.events.push(event{at: at, src: src, seq: seq, exec: exec, fn: fn})
+	src := e.origin
+	ctr := e.counter
+	if src == 0 && owner != 0 {
+		src = uint64(owner)
+		ctr = e.counterFor(src)
+	}
+	*ctr++
+	slot := e.fns.alloc(owner, fn)
+	e.events.push(event{at: at, src: src, seq: *ctr, slot: ^slot, exec: uint32(src)})
+}
+
+// scheduleFrame enqueues a frame delivery under an explicit (src, seq)
+// ordering key derived from the transmitting half-link — identical no
+// matter which domain heap the event lands in. The delivery record lives
+// in this engine's frame arena; this is the only way a frame enters an
+// arena (the cross-domain barrier hands mailed frames back through here).
+func (e *Engine) scheduleFrame(at Time, src, seq uint64, dst NodeID, n Node, port int32, frame []byte) {
+	if at < e.now {
+		panic(fmt.Sprintf("netsim: schedule at %v before now %v", at, e.now))
+	}
+	slot := e.frames.alloc(n, port, frame)
+	e.events.push(event{at: at, src: src, seq: seq, slot: slot, exec: uint32(dst)})
 }
 
 // After runs fn d ticks from now.
@@ -216,9 +294,61 @@ func (e *Engine) Step() bool {
 	ev := e.events.pop()
 	e.now = ev.at
 	e.Processed++
-	e.setOrigin(ev.exec)
-	ev.fn()
+	e.setOrigin(uint64(ev.exec))
+	if ev.slot >= 0 {
+		n, port, frame := e.frames.take(ev.slot)
+		if n != nil {
+			n.HandleFrame(int(port), frame)
+		}
+	} else {
+		fn, _ := e.fns.take(^ev.slot)
+		fn()
+	}
 	return true
+}
+
+// eventOwner resolves the node a queued event migrates with on re-cut:
+// the destination for frame deliveries, the recorded owner for callbacks.
+func (e *Engine) eventOwner(ev event) NodeID {
+	if ev.slot >= 0 {
+		return NodeID(ev.exec)
+	}
+	return e.fns.owner[^ev.slot]
+}
+
+// extractMoved removes every queued event whose owner the re-cut assigns
+// to a different domain, handing each to emit together with its arena
+// payload, and re-heapifies the remainder. Cold path: runs only inside
+// Network.Repartition at a quiescent barrier.
+func (e *Engine) extractMoved(moves func(owner NodeID) bool, emit func(ev event, owner NodeID, n Node, port int32, frame []byte, fn func())) {
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		owner := e.eventOwner(ev)
+		if !moves(owner) {
+			kept = append(kept, ev)
+			continue
+		}
+		if ev.slot >= 0 {
+			n, port, frame := e.frames.take(ev.slot)
+			emit(ev, owner, n, port, frame, nil)
+		} else {
+			fn, _ := e.fns.take(^ev.slot)
+			emit(ev, owner, nil, 0, nil, fn)
+		}
+	}
+	e.events = kept
+	e.events.init()
+}
+
+// adopt re-homes a migrated event: the payload is re-slotted into this
+// engine's arenas (keeping its original ordering key) and pushed.
+func (e *Engine) adopt(ev event, owner NodeID, n Node, port int32, frame []byte, fn func()) {
+	if ev.slot >= 0 {
+		ev.slot = e.frames.alloc(n, port, frame)
+	} else {
+		ev.slot = ^e.fns.alloc(owner, fn)
+	}
+	e.events.push(ev)
 }
 
 // Run drains the event queue. maxEvents bounds runaway simulations

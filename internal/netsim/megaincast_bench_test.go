@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// fwdNode forwards every received frame out port 0 — its uplink, because
+// the benchmark wires each switch's uplink first. It models the switch
+// dataplane with zero per-frame state so the benchmark isolates the
+// engine: heap, arenas, link serialization and DT pool admission.
+type fwdNode struct {
+	nw *Network
+	id NodeID
+}
+
+func (f *fwdNode) Attach(nw *Network, id NodeID) { f.nw, f.id = nw, id }
+func (f *fwdNode) HandleFrame(_ int, frame []byte) {
+	f.nw.Send(f.id, 0, frame)
+}
+
+// countSink counts deliveries without retaining the payload, so the
+// benchmark's steady state allocates nothing.
+type countSink struct{ n uint64 }
+
+func (*countSink) Attach(*Network, NodeID)       {}
+func (s *countSink) HandleFrame(_ int, _ []byte) { s.n++ }
+
+// BenchmarkMegaIncast is the megaincast figure's per-frame cost in pure
+// engine terms: 1024 senders across 16 racks feed 2 spines and one root
+// through forwarding switches with shared-memory DT pools — three store-
+// and-forward hops per frame. Each iteration injects one frame; the
+// fabric drains after every full sender round, so ns/op amortizes the
+// whole tree traversal and the heap/arena churn of ~1024 in-flight
+// frames. The headline is allocs/op: the steady state must allocate
+// nothing.
+func BenchmarkMegaIncast(b *testing.B) {
+	const (
+		racks   = 16
+		spines  = 2
+		perRack = 64 // 1024 senders
+	)
+	nw := New(1)
+	root := NodeID(1)
+	sink := &countSink{}
+	nw.AddNode(root, sink)
+	spineIDs := make([]NodeID, spines)
+	for i := range spineIDs {
+		spineIDs[i] = NodeID(2 + i)
+		nw.AddNode(spineIDs[i], &fwdNode{})
+		nw.Connect(spineIDs[i], root, LinkConfig{}) // uplink first: port 0
+		nw.SetNodePool(spineIDs[i], PoolConfig{TotalBytes: 1 << 20, ReserveBytes: 2 << 10, Alpha: 2})
+	}
+	hosts := make([]NodeID, 0, racks*perRack)
+	for r := 0; r < racks; r++ {
+		leaf := NodeID(10 + r)
+		nw.AddNode(leaf, &fwdNode{})
+		nw.Connect(leaf, spineIDs[r%spines], LinkConfig{}) // uplink first: port 0
+		nw.SetNodePool(leaf, PoolConfig{TotalBytes: 512 << 10, ReserveBytes: 2 << 10, Alpha: 2})
+		for h := 0; h < perRack; h++ {
+			id := NodeID(100 + r*perRack + h)
+			nw.AddNode(id, &countSink{}) // hosts only transmit here
+			nw.Connect(id, leaf, LinkConfig{})
+			hosts = append(hosts, id)
+		}
+	}
+	frame := make([]byte, 256)
+	// Warm the arenas and pool state through one full round.
+	for _, h := range hosts {
+		nw.Send(h, 0, frame)
+	}
+	if err := nw.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Send(hosts[i%len(hosts)], 0, frame)
+		if i%len(hosts) == len(hosts)-1 {
+			if err := nw.Run(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if err := nw.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	if sink.n == 0 {
+		b.Fatal("no frame reached the root")
+	}
+}

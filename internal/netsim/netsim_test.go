@@ -406,6 +406,7 @@ func BenchmarkFrameDelivery(b *testing.B) {
 	nw.Connect(1, 2, LinkConfig{})
 	frame := make([]byte, 256)
 	b.SetBytes(256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nw.Send(1, 0, frame)

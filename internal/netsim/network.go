@@ -74,6 +74,7 @@ type halfLink struct {
 	srcNode  NodeID
 	dstNode  NodeID
 	dstPort  int
+	dst      Node // resolved destination, cached so send never hits the node map
 	busyTill Time // when the transmitter finishes its current backlog
 	queued   int  // bytes accepted but not yet fully serialized
 	stats    LinkStats
@@ -195,10 +196,17 @@ type Network struct {
 
 	// Partitioned mode (see partition.go). domains is nil until Partition
 	// is called with more than one group; nodeDom maps every node to its
-	// domain; lookahead is the conservative window width.
+	// domain; lookahead is the conservative window width. recut, when
+	// non-nil, re-evaluates the cut at window barriers (see recut.go).
 	domains   []*domain
 	nodeDom   map[NodeID]*domain
 	lookahead Time
+	recut     *recutState
+
+	// accEvents/accFrames remember what this network already published
+	// into the process-wide SimCounters (see arena.go).
+	accEvents uint64
+	accFrames uint64
 }
 
 // New creates an empty network over a fresh engine. seed drives all loss
@@ -253,10 +261,12 @@ func (nw *Network) Connect(a, b NodeID, cfg LinkConfig) (aPort, bPort int) {
 		return rand.New(rand.NewSource(int64(hashing.Mix64(nw.seed ^ salt))))
 	}
 	ab := &halfLink{cfg: cfg, srcNode: a, dstNode: b, dstPort: bPort,
+		dst:  nw.nodes[b],
 		key:  halfLinkKeyBase | uint64(len(nw.half)),
 		pool: nw.pools[a],
 		rng:  mk(uint64(a)<<32 | uint64(b)<<8 | uint64(aPort))}
 	ba := &halfLink{cfg: cfg, srcNode: b, dstNode: a, dstPort: aPort,
+		dst:  nw.nodes[a],
 		key:  halfLinkKeyBase | uint64(len(nw.half)+1),
 		pool: nw.pools[b],
 		rng:  mk(uint64(b)<<32 | uint64(a)<<8 | uint64(bPort) | 1<<63)}
@@ -348,25 +358,24 @@ func (nw *Network) send(hl *halfLink, frame []byte) {
 	hl.stats.TxFrames++
 	hl.stats.TxBytes += uint64(size)
 	hl.txSeq++
+	eng.txFrames++
 
 	arrival := done + Duration(hl.cfg.Propagation)
-	dst, dstPort := hl.dstNode, hl.dstPort
-	n := nw.nodes[dst]
-	fn := func() {
-		if n != nil {
-			n.HandleFrame(dstPort, frame)
-		}
-	}
 	if hl.srcDom == nil || hl.dstDom == hl.srcDom {
-		// Same event heap: deliver locally under the half-link's key.
-		eng.scheduleKeyed(arrival, hl.key, hl.txSeq, uint64(dst), fn)
+		// Same event heap: deliver locally under the half-link's key. The
+		// delivery record goes into this engine's frame arena — no closure,
+		// no per-frame heap allocation.
+		eng.scheduleFrame(arrival, hl.key, hl.txSeq, hl.dstNode, hl.dst, int32(hl.dstPort), frame)
 		return
 	}
-	// Cross-domain: mail the delivery to the destination domain. The event
-	// carries its full ordering key, so the barrier can push it into the
-	// peer heap in any order without perturbing determinism.
+	// Cross-domain: mail the delivery to the destination domain. The record
+	// carries its full ordering key and payload by reference — it references
+	// no arena, so the barrier can re-slot it into the peer's arena (the
+	// handoff helper, Engine.scheduleFrame) in any order without perturbing
+	// determinism.
 	hl.srcDom.out[hl.dstDom.idx] = append(hl.srcDom.out[hl.dstDom.idx],
-		event{at: arrival, src: hl.key, seq: hl.txSeq, exec: uint64(dst), fn: fn})
+		mail{at: arrival, src: hl.key, seq: hl.txSeq, dst: hl.dstNode, node: hl.dst,
+			port: int32(hl.dstPort), frame: frame})
 }
 
 // engFor returns the engine that owns node id's events: the domain engine
@@ -396,7 +405,8 @@ func (nw *Network) engFor(id NodeID) *Engine {
 // as frames (Send), never as timers. Setup code (before Run) may schedule
 // on any node.
 func (nw *Network) NodeAfter(id NodeID, d Time, fn func()) {
-	nw.engFor(id).After(d, fn)
+	eng := nw.engFor(id)
+	eng.scheduleOwned(eng.now+d, id, fn)
 }
 
 // NodeNow returns node id's current virtual time (its domain clock).
@@ -535,6 +545,7 @@ func (nw *Network) TotalStats() LinkStats {
 // domain (see partition.go). maxEvents bounds the total executed event
 // count across all domains; 0 means unlimited.
 func (nw *Network) Run(maxEvents uint64) error {
+	defer nw.account()
 	if nw.domains == nil {
 		return nw.Eng.Run(maxEvents)
 	}
@@ -549,6 +560,7 @@ func (nw *Network) Run(maxEvents uint64) error {
 // new work at >= deadline, exactly like setup code — whether the fabric is
 // sequential or partitioned, the observable behaviour is identical.
 func (nw *Network) RunUntil(deadline Time) error {
+	defer nw.account()
 	if nw.domains == nil {
 		nw.Eng.RunUntil(deadline)
 		return nil

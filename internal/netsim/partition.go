@@ -30,6 +30,22 @@ import (
 // (asserted by TestPartitionConformanceProperty here and by the registry
 // conformance tests in internal/experiments).
 
+// mail is one cross-domain frame delivery in transit between heaps: the
+// full ordering key plus the delivery record, payload by reference. It
+// deliberately carries no arena slot — the source domain's arena never
+// holds it, and the barrier re-slots it into the destination engine's
+// arena via Engine.scheduleFrame (the handoff helper the arenaescape
+// analyzer pins cross-domain sends to).
+type mail struct {
+	at    Time
+	src   uint64
+	seq   uint64
+	dst   NodeID
+	node  Node
+	port  int32
+	frame []byte
+}
+
 // domain is one partition: an engine, its node set, and one outbox per peer
 // domain. Outboxes are written only by this domain's goroutine during a
 // window and drained only at the barrier, so they need no locks.
@@ -37,7 +53,7 @@ type domain struct {
 	idx   int
 	eng   *Engine
 	nodes []NodeID
-	out   [][]event // out[j]: deliveries destined for domain j
+	out   [][]mail // out[j]: deliveries destined for domain j
 }
 
 // maxTime is the horizon sentinel when no cross-domain links exist (a
@@ -75,8 +91,15 @@ func (nw *Network) Partition(groups [][]NodeID) error {
 
 	doms := make([]*domain, len(nonEmpty))
 	nodeDom := make(map[NodeID]*domain, len(nw.nodes))
+	// All domain engines share one setup (origin-0) schedule counter: setup
+	// code only runs while the network is quiescent, so the shared counter
+	// stamps setup events with exactly the globally unique, program-ordered
+	// keys a sequential run would — which keeps them totally ordered even
+	// when a dynamic re-cut later merges events from two heaps into one.
+	setupCtr := new(uint64)
 	for i, g := range nonEmpty {
-		d := &domain{idx: i, eng: NewEngine(), out: make([][]event, len(nonEmpty))}
+		d := &domain{idx: i, eng: NewEngine(), out: make([][]mail, len(nonEmpty))}
+		d.eng.adoptSetupCounter(setupCtr)
 		doms[i] = d
 		for _, id := range g {
 			if _, ok := nw.nodes[id]; !ok {
@@ -93,6 +116,17 @@ func (nw *Network) Partition(groups [][]NodeID) error {
 		return fmt.Errorf("netsim: partition covers %d of %d nodes", len(nodeDom), len(nw.nodes))
 	}
 
+	nw.domains = doms
+	nw.nodeDom = nodeDom
+	nw.bindDomains(nodeDom)
+	nw.Eng = nil // all further scheduling must route through a domain
+	return nil
+}
+
+// bindDomains points every half-link at its endpoints' domains and
+// recomputes the conservative lookahead (minimum in-flight latency over
+// cut links). Shared by Partition and Repartition.
+func (nw *Network) bindDomains(nodeDom map[NodeID]*domain) {
 	lookahead := maxTime
 	for _, hl := range nw.half {
 		hl.srcDom = nodeDom[hl.srcNode]
@@ -105,12 +139,7 @@ func (nw *Network) Partition(groups [][]NodeID) error {
 			}
 		}
 	}
-
-	nw.domains = doms
-	nw.nodeDom = nodeDom
 	nw.lookahead = lookahead
-	nw.Eng = nil // all further scheduling must route through a domain
-	return nil
 }
 
 // Domains returns how many event-engine domains the network runs on
@@ -122,21 +151,25 @@ func (nw *Network) Domains() int {
 	return len(nw.domains)
 }
 
-// flushMail folds every outbox into its destination heap. Called only at
+// flushMail folds every outbox into its destination heap, re-slotting each
+// delivery into the destination engine's frame arena. Called only at
 // barriers (and before Run's error returns), when no domain goroutine is
-// executing. Push order cannot affect pop order: each event carries its
-// full deterministic key.
+// executing. Push order cannot affect pop order: each record carries its
+// full deterministic key. Outbox slices are truncated and reused, so a
+// steady-state cross-domain flow allocates nothing after warm-up.
 func (nw *Network) flushMail() {
 	for _, d := range nw.domains {
 		for j := range d.out {
-			if len(d.out[j]) == 0 {
+			box := d.out[j]
+			if len(box) == 0 {
 				continue
 			}
 			peer := nw.domains[j].eng
-			for _, ev := range d.out[j] {
-				peer.events.push(ev)
+			for i, m := range box {
+				peer.scheduleFrame(m.at, m.src, m.seq, m.dst, m.node, m.port, m.frame)
+				box[i] = mail{} // drop the payload reference for the GC
 			}
-			d.out[j] = d.out[j][:0]
+			d.out[j] = box[:0]
 		}
 	}
 }
@@ -207,6 +240,16 @@ func (nw *Network) runPartitioned(maxEvents uint64, deadline Time) error {
 				}
 			}
 			return nil
+		}
+		if nw.recut != nil && next >= nw.recut.nextAt {
+			// Control point: the fabric is quiescent (mail flushed, no
+			// goroutine executing), so the coordinator may re-cut. Trigger
+			// and schedule depend only on virtual time and per-domain event
+			// counts — fully deterministic.
+			if err := nw.maybeRecut(next); err != nil {
+				shutdown()
+				return err
+			}
 		}
 		horizon := maxTime
 		if nw.lookahead != maxTime {

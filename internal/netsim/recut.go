@@ -1,0 +1,249 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/daiet/daiet/internal/hashing"
+)
+
+// Measured-skew dynamic re-partitioning.
+//
+// A static rack cut balances *predicted* load (topology's link-degree
+// model), but real workloads drift: an incast pushes most events into the
+// root's domain, a failed rack goes idle. At every window barrier the
+// fabric is quiescent — mail flushed, no domain goroutine running — which
+// makes the barrier a safe control point to compare the measured
+// per-domain event rates (Network.DomainEvents deltas) against the cut's
+// prediction and re-cut when the skew exceeds a threshold, migrating node
+// state, pending events and their arena payloads between domains.
+//
+// Determinism is preserved by construction: events are ordered by
+// (timestamp, origin, seq) keys that never change, migration only moves
+// events between heaps, and both the trigger (virtual time + event
+// counts) and the schedule jitter (seeded rng) are pure functions of the
+// simulation's own deterministic state. A run with any re-cut schedule is
+// byte-identical to the sequential run — the conformance tests assert it
+// with randomized schedules.
+
+// RecutPolicy configures dynamic re-partitioning on a partitioned
+// network. Groups receives the current grouping and the per-domain event
+// counts measured since the previous evaluation, and returns the new cut
+// (one group per existing domain; nil keeps the current cut).
+type RecutPolicy struct {
+	// Interval is the virtual time between skew evaluations (> 0).
+	Interval Time
+	// MinSkewPct triggers a re-cut when the busiest domain's measured
+	// event count exceeds the mean by more than this percentage.
+	MinSkewPct float64
+	// Seed, when non-zero, jitters each evaluation interval uniformly in
+	// [Interval/2, 3*Interval/2] from a deterministic stream — a seeded
+	// random re-cut schedule for conformance stress.
+	Seed uint64
+	// Groups computes the new cut from the current one and the measured
+	// per-domain loads.
+	Groups func(current [][]NodeID, measured []uint64) [][]NodeID
+}
+
+// recutState is the network's live re-cut bookkeeping.
+type recutState struct {
+	pol     RecutPolicy
+	nextAt  Time
+	last    []uint64 // DomainEvents snapshot at the previous evaluation
+	rng     *rand.Rand
+	evals   uint64
+	applied uint64
+}
+
+func (st *recutState) interval() Time {
+	iv := st.pol.Interval
+	if st.rng != nil {
+		iv = iv/2 + Time(st.rng.Int63n(int64(iv)+1))
+	}
+	return iv
+}
+
+// SetRecutPolicy installs dynamic re-partitioning. The network must
+// already be partitioned; call while quiescent (setup, or a RunUntil
+// control point).
+func (nw *Network) SetRecutPolicy(p RecutPolicy) error {
+	if nw.domains == nil {
+		return fmt.Errorf("netsim: SetRecutPolicy on an unpartitioned network")
+	}
+	if p.Interval <= 0 {
+		return fmt.Errorf("netsim: recut policy needs a positive Interval")
+	}
+	if p.Groups == nil {
+		return fmt.Errorf("netsim: recut policy needs a Groups func")
+	}
+	st := &recutState{pol: p, last: make([]uint64, len(nw.domains))}
+	if p.Seed != 0 {
+		st.rng = rand.New(rand.NewSource(int64(hashing.Mix64(p.Seed))))
+	}
+	for i, d := range nw.domains {
+		st.last[i] = d.eng.Processed
+	}
+	st.nextAt = nw.Now() + st.interval()
+	nw.recut = st
+	return nil
+}
+
+// Recuts returns how many dynamic re-cuts have been applied so far.
+func (nw *Network) Recuts() uint64 {
+	if nw.recut == nil {
+		return 0
+	}
+	return nw.recut.applied
+}
+
+// maybeRecut runs one skew evaluation at a window barrier: measure
+// per-domain event rates since the last evaluation, advance the schedule
+// past next, and re-cut via the policy when the spread is above
+// threshold. Caller guarantees quiescence (outboxes empty).
+func (nw *Network) maybeRecut(next Time) error {
+	st := nw.recut
+	for next >= st.nextAt {
+		st.nextAt += st.interval()
+	}
+	st.evals++
+	meas := make([]uint64, len(nw.domains))
+	var total, max uint64
+	for i, d := range nw.domains {
+		meas[i] = d.eng.Processed - st.last[i]
+		st.last[i] = d.eng.Processed
+		total += meas[i]
+		if meas[i] > max {
+			max = meas[i]
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	mean := float64(total) / float64(len(nw.domains))
+	skewPct := (float64(max) - mean) / mean * 100
+	if skewPct <= st.pol.MinSkewPct {
+		return nil
+	}
+	current := make([][]NodeID, len(nw.domains))
+	for i, d := range nw.domains {
+		current[i] = append([]NodeID(nil), d.nodes...)
+	}
+	groups := st.pol.Groups(current, meas)
+	if groups == nil {
+		return nil
+	}
+	if err := nw.Repartition(groups); err != nil {
+		return fmt.Errorf("netsim: dynamic re-cut: %w", err)
+	}
+	st.applied++
+	return nil
+}
+
+// Repartition re-cuts a partitioned network onto a new node grouping
+// (groups[i] becomes domain i's node set; exactly one group per existing
+// domain, every node in exactly one group). It migrates pending events —
+// with their arena payloads — and per-node schedule counters to the
+// domains that now own them, rebinds every half-link, and recomputes the
+// lookahead. Ordering keys are never rewritten, so the total event order,
+// and therefore every simulation result, is unchanged.
+//
+// It may only be called while the network is quiescent: between Run /
+// RunUntil calls, or (internally) at a window barrier. Calling it with
+// undelivered cross-domain mail is an error.
+func (nw *Network) Repartition(groups [][]NodeID) error {
+	if nw.domains == nil {
+		return fmt.Errorf("netsim: Repartition before Partition")
+	}
+	if len(groups) != len(nw.domains) {
+		return fmt.Errorf("netsim: Repartition with %d groups for %d domains",
+			len(groups), len(nw.domains))
+	}
+	for _, d := range nw.domains {
+		for _, box := range d.out {
+			if len(box) != 0 {
+				return fmt.Errorf("netsim: Repartition with undelivered cross-domain mail")
+			}
+		}
+	}
+	nodeDom := make(map[NodeID]*domain, len(nw.nodes))
+	changed := false
+	for i, g := range groups {
+		d := nw.domains[i]
+		for _, id := range g {
+			if _, ok := nw.nodes[id]; !ok {
+				return fmt.Errorf("netsim: re-cut group %d names unknown node %d", i, id)
+			}
+			if _, dup := nodeDom[id]; dup {
+				return fmt.Errorf("netsim: node %d appears in two re-cut groups", id)
+			}
+			nodeDom[id] = d
+			if nw.nodeDom[id] != d {
+				changed = true
+			}
+		}
+	}
+	if len(nodeDom) != len(nw.nodes) {
+		return fmt.Errorf("netsim: re-cut covers %d of %d nodes", len(nodeDom), len(nw.nodes))
+	}
+	if !changed {
+		return nil
+	}
+
+	// Move per-node schedule counters to the engines that now own the
+	// nodes (iterating the group slices keeps the order deterministic;
+	// counter values travel so origin sequences stay monotone).
+	for i, g := range groups {
+		to := nw.domains[i].eng
+		for _, id := range g {
+			from := nw.nodeDom[id]
+			if from == nw.domains[i] {
+				continue
+			}
+			key := uint64(id)
+			if c, ok := from.eng.counters[key]; ok {
+				delete(from.eng.counters, key)
+				to.counters[key] = c
+			}
+		}
+	}
+
+	// Migrate pending events whose owner moved: extract from each source
+	// heap (with arena payloads), then adopt into the destination heaps.
+	// Two passes so no heap is pushed to while it is being filtered.
+	type moved struct {
+		ev    event
+		owner NodeID
+		node  Node
+		port  int32
+		frame []byte
+		fn    func()
+	}
+	moves := make([][]moved, len(nw.domains))
+	for _, d := range nw.domains {
+		src := d
+		d.eng.extractMoved(
+			func(owner NodeID) bool {
+				nd := nodeDom[owner]
+				return nd != nil && nd != src
+			},
+			func(ev event, owner NodeID, n Node, port int32, frame []byte, fn func()) {
+				idx := nodeDom[owner].idx
+				moves[idx] = append(moves[idx], moved{ev: ev, owner: owner,
+					node: n, port: port, frame: frame, fn: fn})
+			})
+	}
+	for i, ms := range moves {
+		e := nw.domains[i].eng
+		for _, m := range ms {
+			e.adopt(m.ev, m.owner, m.node, m.port, m.frame, m.fn)
+		}
+	}
+
+	// Rebind node sets, the node->domain index, links and lookahead.
+	for i, d := range nw.domains {
+		d.nodes = append(d.nodes[:0], groups[i]...)
+	}
+	nw.nodeDom = nodeDom
+	nw.bindDomains(nodeDom)
+	return nil
+}

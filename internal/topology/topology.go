@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"github.com/daiet/daiet/internal/hashing"
 	"github.com/daiet/daiet/internal/netsim"
@@ -196,45 +197,53 @@ func (p *Plan) PartitionGroups(n int) [][]netsim.NodeID {
 	}
 
 	units := p.partitionUnits()
-	bins := make([][]netsim.NodeID, n)
 	if len(units) >= n {
-		// LPT bin packing: heaviest unit first, into the lightest bin.
 		deg := p.degrees()
-		weight := func(u []netsim.NodeID) int {
-			w := 0
+		weights := make([]float64, len(units))
+		for i, u := range units {
 			for _, id := range u {
-				w += deg[id]
+				weights[i] += float64(deg[id])
 			}
-			return w
 		}
-		order := make([]int, len(units))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			return weight(units[order[a]]) > weight(units[order[b]])
-		})
-		loads := make([]int, n)
-		for _, ui := range order {
-			min := 0
-			for b := 1; b < n; b++ {
-				if loads[b] < loads[min] {
-					min = b
-				}
-			}
-			bins[min] = append(bins[min], units[ui]...)
-			loads[min] += weight(units[ui])
-		}
-		return bins
+		return lptPack(units, weights, n)
 	}
 	// Fewer racks than requested domains: cut inside racks, dealing nodes
 	// individually (unit order keeps each switch near the front of its bin).
+	bins := make([][]netsim.NodeID, n)
 	i := 0
 	for _, u := range units {
 		for _, id := range u {
 			bins[i%n] = append(bins[i%n], id)
 			i++
 		}
+	}
+	return bins
+}
+
+// lptPack is the one LPT bin-packing implementation shared by the static
+// cut (PartitionGroups) and the measured-rate re-cut (Reweigh): heaviest
+// unit first, into the currently lightest bin. The stable sort and
+// first-minimum scan break ties deterministically, so the packing is a
+// pure function of (units, weights, n).
+func lptPack(units [][]netsim.NodeID, weights []float64, n int) [][]netsim.NodeID {
+	bins := make([][]netsim.NodeID, n)
+	order := make([]int, len(units))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weights[order[a]] > weights[order[b]]
+	})
+	loads := make([]float64, n)
+	for _, ui := range order {
+		min := 0
+		for b := 1; b < n; b++ {
+			if loads[b] < loads[min] {
+				min = b
+			}
+		}
+		bins[min] = append(bins[min], units[ui]...)
+		loads[min] += weights[ui]
 	}
 	return bins
 }
@@ -263,6 +272,68 @@ func (p *Plan) PredictedLoads(groups [][]netsim.NodeID) []int {
 		}
 	}
 	return loads
+}
+
+// Reweigh computes a re-cut of the plan's rack units from measured
+// per-domain event counts: the same LPT packing as PartitionGroups, but
+// with each unit's static link-degree weight scaled by how much hotter or
+// colder its current domain ran than the static model predicted
+// (measured share / predicted share). A domain that did twice its
+// predicted share of the work makes all of its units twice as heavy, so
+// the re-cut spreads them; a cold domain's units merge. current is the
+// grouping in effect (one group per domain, as netsim reports it) and
+// measured the per-domain event counts over the measurement window.
+// Returns nil — keep the current cut — when nothing was measured or the
+// shapes do not line up.
+func (p *Plan) Reweigh(current [][]netsim.NodeID, measured []uint64) [][]netsim.NodeID {
+	n := len(current)
+	if n == 0 || len(measured) != n {
+		return nil
+	}
+	var total uint64
+	for _, m := range measured {
+		total += m
+	}
+	predicted := p.PredictedLoads(current)
+	predTotal := 0
+	for _, l := range predicted {
+		predTotal += l
+	}
+	if total == 0 || predTotal == 0 {
+		return nil
+	}
+	domOf := make(map[netsim.NodeID]int, len(p.Hosts)+len(p.Switches))
+	for i, g := range current {
+		for _, id := range g {
+			domOf[id] = i
+		}
+	}
+	factor := make([]float64, n)
+	for i := range factor {
+		predShare := float64(predicted[i]) / float64(predTotal)
+		measShare := float64(measured[i]) / float64(total)
+		if predShare <= 0 {
+			factor[i] = 1
+		} else {
+			factor[i] = measShare / predShare
+		}
+	}
+	units := p.partitionUnits()
+	if len(units) < n {
+		return nil // sub-rack cuts keep their initial dealing
+	}
+	deg := p.degrees()
+	weights := make([]float64, len(units))
+	for i, u := range units {
+		for _, id := range u {
+			w := float64(deg[id])
+			if dom, ok := domOf[id]; ok {
+				w *= factor[dom]
+			}
+			weights[i] += w
+		}
+	}
+	return lptPack(units, weights, n)
 }
 
 // partitionUnits computes the plan's atomic partition units: one unit per
@@ -346,6 +417,45 @@ func (f *Fabric) Partitions(n int) error {
 	return f.Net.Partition(f.Plan.PartitionGroups(n))
 }
 
+// RecutConfig enables measured-skew dynamic re-partitioning on top of the
+// static rack cut (see Fabric.PartitionsDynamic). The zero value disables
+// re-cutting, so it can ride along in experiment configs at no cost.
+type RecutConfig struct {
+	// Every is the virtual-time cadence of skew evaluations; <= 0 disables
+	// dynamic re-cutting.
+	Every time.Duration
+	// MinSkewPct is the measured event-count skew — busiest domain over
+	// the mean, in percent — above which the cut is recomputed.
+	MinSkewPct float64
+	// Seed, when non-zero, jitters the evaluation schedule (netsim's
+	// seeded random re-cut points, used by the conformance tests).
+	Seed uint64
+}
+
+// PartitionsDynamic is Partitions plus a dynamic re-cut policy: at every
+// evaluation point the engine's measured per-domain event counts
+// (netsim.Network.DomainEvents deltas) are compared against the cut's
+// prediction, and when the skew exceeds rc.MinSkewPct the rack units are
+// re-packed by Plan.Reweigh — the same LPT as the initial cut, driven by
+// measured rates. Determinism is unchanged: any re-cut schedule replays
+// byte-identically (the re-cut only moves state between engines, never
+// reorders events).
+func (f *Fabric) PartitionsDynamic(n int, rc RecutConfig) error {
+	if err := f.Partitions(n); err != nil {
+		return err
+	}
+	if rc.Every <= 0 || f.Net.Domains() <= 1 {
+		return nil
+	}
+	plan := f.Plan
+	return f.Net.SetRecutPolicy(netsim.RecutPolicy{
+		Interval:   netsim.Duration(rc.Every),
+		MinSkewPct: rc.MinSkewPct,
+		Seed:       rc.Seed,
+		Groups:     plan.Reweigh,
+	})
+}
+
 // Edge is one adjacency entry: the local out-port that reaches Peer.
 type Edge struct {
 	Peer netsim.NodeID
@@ -359,6 +469,16 @@ type Fabric struct {
 	adj  map[netsim.NodeID][]Edge
 	// bfs memoizes per-destination predecessor maps (next hop toward dst).
 	bfs map[netsim.NodeID]map[netsim.NodeID]netsim.NodeID
+	// Dense mirror of the graph, built once in Realize. Routing install at
+	// fabric scale (megaincast: one BFS per host over a thousand nodes) is
+	// map-bound, so the empty-avoid path — every InstallRouting and tree
+	// plan — runs on slice-indexed adjacency instead. Next-hop choices are
+	// identical to the map BFS: candidate order is the per-node edge order
+	// either way, and the ECMP pick hashes (node, dst) IDs only.
+	ids  []netsim.NodeID                   // dense index -> node ID
+	idx  map[netsim.NodeID]int32           // node ID -> dense index
+	dadj [][]int32                         // dense adjacency, same edge order as adj
+	nh   map[netsim.NodeID][]netsim.NodeID // per-dst dense next hops (0 = unreachable)
 }
 
 // Realize adds every planned node to nw (switches via mkSwitch, hosts via
@@ -382,6 +502,20 @@ func (p *Plan) Realize(nw *netsim.Network,
 		pa, pb := nw.Connect(l.A, l.B, l.Cfg)
 		f.adj[l.A] = append(f.adj[l.A], Edge{Peer: l.B, Port: pa})
 		f.adj[l.B] = append(f.adj[l.B], Edge{Peer: l.A, Port: pb})
+	}
+	// Dense graph mirror for the routing fast path: switches then hosts,
+	// edges in the same order as adj.
+	f.idx = make(map[netsim.NodeID]int32, len(p.Switches)+len(p.Hosts))
+	f.nh = make(map[netsim.NodeID][]netsim.NodeID)
+	for _, id := range append(append([]netsim.NodeID(nil), p.Switches...), p.Hosts...) {
+		f.idx[id] = int32(len(f.ids))
+		f.ids = append(f.ids, id)
+	}
+	f.dadj = make([][]int32, len(f.ids))
+	for i, id := range f.ids {
+		for _, e := range f.adj[id] {
+			f.dadj[i] = append(f.dadj[i], f.idx[e.Peer])
+		}
 	}
 	installed := 0
 	for _, id := range append(append([]netsim.NodeID(nil), p.Switches...), p.Hosts...) {
@@ -465,17 +599,23 @@ func (a *Avoid) link(x, y netsim.NodeID) bool {
 // avoid set only: failover queries see the fabric's current failures, so
 // they recompute each time.
 func (f *Fabric) nextHopMap(dst netsim.NodeID, avoid *Avoid) map[netsim.NodeID]netsim.NodeID {
-	memoize := avoid.empty()
-	if memoize {
+	if avoid.empty() {
+		// Fast path: materialize the memoized map from the dense BFS.
 		if m, ok := f.bfs[dst]; ok {
 			return m
 		}
+		dn := f.nextHopDense(dst)
+		m := map[netsim.NodeID]netsim.NodeID{dst: dst}
+		for i, nh := range dn {
+			if nh != 0 {
+				m[f.ids[i]] = nh
+			}
+		}
+		f.bfs[dst] = m
+		return m
 	}
 	next := map[netsim.NodeID]netsim.NodeID{dst: dst}
 	if avoid.node(dst) {
-		if memoize {
-			f.bfs[dst] = next
-		}
 		return next
 	}
 	// Pass 1: BFS distances from dst (traffic never transits hosts).
@@ -524,9 +664,71 @@ func (f *Fabric) nextHopMap(dst netsim.NodeID, avoid *Avoid) map[netsim.NodeID]n
 		binary.BigEndian.PutUint32(key[4:8], uint32(dst))
 		next[node] = candidates[hashing.ECMPPick(key[:], len(candidates))]
 	}
-	if memoize {
-		f.bfs[dst] = next
+	return next
+}
+
+// nextHopDense is nextHopMap's empty-avoid fast path on the dense graph
+// mirror: one slice-indexed BFS per destination, memoized. Entry i is the
+// next hop from f.ids[i] toward dst, or 0 (never a valid NodeID) when
+// unreachable. Candidate order and the ECMP pick match the map BFS
+// exactly, so the chosen routes are identical.
+func (f *Fabric) nextHopDense(dst netsim.NodeID) []netsim.NodeID {
+	if dn, ok := f.nh[dst]; ok {
+		return dn
 	}
+	n := len(f.ids)
+	next := make([]netsim.NodeID, n)
+	di, known := f.idx[dst]
+	if !known {
+		f.nh[dst] = next
+		return next
+	}
+	// Pass 1: BFS distances from dst (traffic never transits hosts).
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[di] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, di)
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		if !IsSwitchID(f.ids[cur]) && cur != di {
+			continue // hosts are leaves of the BFS
+		}
+		for _, peer := range f.dadj[cur] {
+			if dist[peer] < 0 {
+				dist[peer] = dist[cur] + 1
+				queue = append(queue, peer)
+			}
+		}
+	}
+	// Pass 2: per node, collect all equal-cost next hops and hash-pick.
+	var key [8]byte
+	var candidates []netsim.NodeID
+	for node := int32(0); node < int32(n); node++ {
+		d := dist[node]
+		if d <= 0 {
+			continue // unreached, or dst itself
+		}
+		candidates = candidates[:0]
+		for _, peer := range f.dadj[node] {
+			if dist[peer] == d-1 {
+				// The next hop must be able to carry transit traffic (be a
+				// switch) unless it is the destination itself.
+				if peerID := f.ids[peer]; IsSwitchID(peerID) || peerID == dst {
+					candidates = append(candidates, peerID)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			continue // unreachable through valid transit
+		}
+		binary.BigEndian.PutUint32(key[0:4], uint32(f.ids[node]))
+		binary.BigEndian.PutUint32(key[4:8], uint32(dst))
+		next[node] = candidates[hashing.ECMPPick(key[:], len(candidates))]
+	}
+	f.nh[dst] = next
 	return next
 }
 
@@ -540,6 +742,15 @@ func (f *Fabric) NextHop(from, dst netsim.NodeID) (netsim.NodeID, bool) {
 func (f *Fabric) NextHopAvoiding(from, dst netsim.NodeID, avoid *Avoid) (netsim.NodeID, bool) {
 	if from == dst {
 		return dst, true
+	}
+	if avoid.empty() {
+		// Dense lookup: no per-query map materialization.
+		fi, ok := f.idx[from]
+		if !ok {
+			return 0, false
+		}
+		nh := f.nextHopDense(dst)[fi]
+		return nh, nh != 0
 	}
 	nh, ok := f.nextHopMap(dst, avoid)[from]
 	return nh, ok

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"github.com/daiet/daiet/internal/netsim"
 )
@@ -508,5 +509,132 @@ func TestRealizeInstallsPools(t *testing.T) {
 	}
 	if _, ok := nw.PoolStats(p.Hosts[0]); ok {
 		t.Fatal("host unexpectedly has a pool")
+	}
+}
+
+// TestReweighSharesLPTWithInitialCut: with measured loads exactly matching
+// the static prediction, Reweigh must reproduce the initial cut — one LPT
+// implementation, two callers.
+func TestReweighSharesLPTWithInitialCut(t *testing.T) {
+	p := unevenPlan()
+	groups := p.PartitionGroups(2)
+	pred := p.PredictedLoads(groups)
+	measured := make([]uint64, len(pred))
+	for i, l := range pred {
+		measured[i] = uint64(l) * 1000 // same shares, different magnitude
+	}
+	re := p.Reweigh(groups, measured)
+	if re == nil {
+		t.Fatal("Reweigh returned nil for a valid measurement")
+	}
+	if fmt.Sprint(re) != fmt.Sprint(groups) {
+		t.Fatalf("prediction-matching measurement changed the cut:\nstatic: %v\nreweigh: %v", groups, re)
+	}
+}
+
+// TestReweighUnevenRacks: when the measured rates contradict the static
+// model — the giant rack ran cold, the small racks ran hot — the re-cut
+// must rebalance by measured weight, moving small racks away from the
+// domain the static model overloaded.
+func TestReweighUnevenRacks(t *testing.T) {
+	p := unevenPlan()
+	groups := p.PartitionGroups(2)
+	// Find the domain holding the giant rack (leaf SwitchBase+0).
+	giantDom := -1
+	for i, g := range groups {
+		for _, id := range g {
+			if id == SwitchBase {
+				giantDom = i
+			}
+		}
+	}
+	if giantDom < 0 {
+		t.Fatal("giant rack not placed")
+	}
+	// Measure the giant rack's domain as nearly idle and the rest as hot.
+	measured := make([]uint64, len(groups))
+	for i := range measured {
+		if i == giantDom {
+			measured[i] = 1
+		} else {
+			measured[i] = 100_000
+		}
+	}
+	re := p.Reweigh(groups, measured)
+	if re == nil {
+		t.Fatal("Reweigh returned nil")
+	}
+	// Every node still appears exactly once.
+	seen := map[netsim.NodeID]int{}
+	for _, g := range re {
+		for _, id := range g {
+			seen[id]++
+		}
+	}
+	for _, id := range append(append([]netsim.NodeID(nil), p.Switches...), p.Hosts...) {
+		if seen[id] != 1 {
+			t.Fatalf("node %d appears %d times in re-cut %v", id, seen[id], re)
+		}
+	}
+	// The cold giant rack must now share its domain with other units: its
+	// measured weight no longer justifies a domain of its own.
+	for i, g := range re {
+		hasGiant := false
+		for _, id := range g {
+			if id == SwitchBase {
+				hasGiant = true
+			}
+		}
+		if hasGiant && len(g) <= 17 {
+			t.Fatalf("group %d still holds the giant rack alone (%d nodes): %v", i, len(g), re)
+		}
+	}
+	// Degenerate measurements keep the current cut.
+	if got := p.Reweigh(groups, make([]uint64, len(groups))); got != nil {
+		t.Fatalf("all-zero measurement re-cut: %v", got)
+	}
+	if got := p.Reweigh(groups, []uint64{1}); got != nil {
+		t.Fatal("shape-mismatched measurement accepted")
+	}
+	if got := p.Reweigh(nil, nil); got != nil {
+		t.Fatal("empty current accepted")
+	}
+}
+
+// TestPartitionsDynamicRuns: the dynamic variant behaves like Partitions
+// and installs a live policy that re-cuts deterministically.
+func TestPartitionsDynamicRuns(t *testing.T) {
+	run := func(rc RecutConfig, n int) (string, uint64) {
+		p := LeafSpine(4, 1, 3, netsim.LinkConfig{})
+		nw := netsim.New(11)
+		mk := func(netsim.NodeID) netsim.Node { return nopNode{} }
+		f := p.Realize(nw, mk, mk)
+		if err := f.PartitionsDynamic(n, rc); err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 50; round++ {
+			for _, h := range p.Hosts {
+				nw.Send(h, 0, make([]byte, 64))
+			}
+			if err := nw.RunUntil(netsim.Duration(time.Duration(round+1) * 40 * time.Microsecond)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := nw.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v %d %v", nw.Now(), nw.Processed(), nw.TotalStats()), nw.Recuts()
+	}
+	static, recuts := run(RecutConfig{}, 4)
+	if recuts != 0 {
+		t.Fatalf("zero RecutConfig re-cut %d times", recuts)
+	}
+	dyn, _ := run(RecutConfig{Every: 30 * time.Microsecond, MinSkewPct: 1, Seed: 3}, 4)
+	if dyn != static {
+		t.Fatalf("dynamic re-cut changed results:\nstatic: %s\ndynamic: %s", static, dyn)
+	}
+	seq, _ := run(RecutConfig{Every: 30 * time.Microsecond, MinSkewPct: 1, Seed: 3}, 1)
+	if seq != static {
+		t.Fatalf("sequential diverged:\nstatic: %s\nsequential: %s", static, seq)
 	}
 }
