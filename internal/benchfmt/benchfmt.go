@@ -21,8 +21,11 @@ import "github.com/daiet/daiet/internal/stats"
 // per-figure engine-scale accounting (EventsTotal, EventsPerSec,
 // AllocsPerFrame — simulator events executed, their wall-clock rate, and
 // heap allocations per accepted frame) plus the megaincast figure;
-// cmd/benchdiff gates allocation regressions via -gate-allocs.
-const Schema = 6
+// cmd/benchdiff gates allocation regressions via -gate-allocs. Schema 7
+// added the tenants figure (multi-class hard-carved pool slicing: per-tenant
+// victim/aggressor drop attribution, completion inflation, Jain fairness),
+// whose victim drop rate cmd/benchdiff gates via -gate-drift.
+const Schema = 7
 
 // FigureRecord is one figure's entry: wall-clock plus every headline
 // metric as a mean with confidence bounds.

@@ -202,6 +202,15 @@ type TreeOptions struct {
 	RootReplay int
 	RootRTO    time.Duration
 	HopReplay  bool
+
+	// DataClass/AckClass select the shared-buffer traffic class the tree's
+	// switch emissions are admitted under on pooled switches — flushes,
+	// spills and replays leave under DataClass, cumulative ACKs under
+	// AckClass (see core.TreeConfig and netsim.PoolConfig.Classes). Both
+	// default to 0. Tenant is an attribution tag for multi-job runs.
+	DataClass int
+	AckClass  int
+	Tenant    int
 }
 
 // InstallTree configures every switch in the plan. On failure, switches
@@ -244,6 +253,9 @@ func (c *Controller) InstallTree(plan *TreePlan, opt TreeOptions) error {
 			SpillCap:  opt.SpillCap,
 			Epoch:     opt.Epoch,
 			PinEpoch:  opt.PinEpoch,
+			DataClass: opt.DataClass,
+			AckClass:  opt.AckClass,
+			Tenant:    opt.Tenant,
 		}
 		if opt.Reliable {
 			cfg.Reliable = true

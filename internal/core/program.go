@@ -92,6 +92,23 @@ type TreeConfig struct {
 	Epoch    uint8
 	PinEpoch bool
 
+	// DataClass/AckClass select the shared-buffer traffic class (see
+	// netsim.PoolConfig.Classes) this tree's egress traffic is admitted
+	// under on pooled switches: downstream DATA/END flushes, spills, and
+	// replay retransmissions leave under DataClass; upstream cumulative
+	// acknowledgements under AckClass. Multi-tenant installs give each
+	// tenant's trees their own class so one tenant's incast cannot fill
+	// another tenant's carved reserve floor. Both default to 0 (the pool's
+	// first class); pools with fewer classes fold out-of-range classes to 0,
+	// and poolless switches ignore them.
+	DataClass int
+	AckClass  int
+
+	// Tenant tags the tree with the job/tenant that owns it — pure
+	// attribution for multi-job runs (mapreduce.RunJobs); the dataplane
+	// ignores it.
+	Tenant int
+
 	// RootReplay enables the switch-side downstream reliability extension
 	// on this hop: the switch retains up to RootReplay emitted packets in
 	// a bounded per-tree replay buffer until its tree parent cumulatively
@@ -168,9 +185,11 @@ type treeState struct {
 	Stats TreeStats
 }
 
-// replayPkt is one retained downstream packet: enough to retransmit it.
+// replayPkt is one retained downstream packet: enough to retransmit it,
+// including the traffic class the original emission left under.
 type replayPkt struct {
 	port  int
+	class int
 	frame []byte
 }
 
@@ -305,6 +324,8 @@ func (p *Program) InstallRoute(dst uint32, port int) error {
 
 // ConfigureTree allocates the tree's registers and activates aggregation
 // for its tree ID. Allocation failures (SRAM exhausted) roll back cleanly.
+//
+//simlint:framecopy control-plane call, once per tree install; the copy is deliberate — defaults are patched into the local cfg before it is stored
 func (p *Program) ConfigureTree(cfg TreeConfig) (err error) {
 	if _, dup := p.trees[cfg.TreeID]; dup {
 		return fmt.Errorf("core: tree %d already configured", cfg.TreeID)
@@ -754,7 +775,8 @@ func (p *Program) handleRootAck(c *dataplane.Ctx, st *treeState) {
 // retransmission and arms the timer. The frame is copied: the emitted
 // original is owned by the fabric once transmitted.
 func (p *Program) recordReplay(st *treeState, port int, frame []byte) {
-	st.replay = append(st.replay, replayPkt{port: port, frame: append([]byte(nil), frame...)})
+	st.replay = append(st.replay, replayPkt{
+		port: port, class: st.cfg.DataClass, frame: append([]byte(nil), frame...)})
 	p.armReplayTimer(st)
 }
 
@@ -792,7 +814,7 @@ func (p *Program) onReplayTimer(st *treeState, gen int) {
 		return // tree torn down (or switch crashed) since arming
 	}
 	for _, pkt := range st.replay {
-		p.sw.Inject(pkt.port, append([]byte(nil), pkt.frame...))
+		p.sw.InjectClass(pkt.port, pkt.class, append([]byte(nil), pkt.frame...))
 		st.Stats.RootRetransmissions++
 	}
 	p.armReplayTimer(st)
@@ -815,7 +837,7 @@ func (p *Program) emitAck(c *dataplane.Ctx, st *treeState, dst uint32, cumSeq ui
 		Flags:  uint16(epoch) << 8,
 	}
 	frame := wire.BuildDaietFrame(buf, hdr, uint32(p.sw.ID()), dst, wire.UDPPortDaiet)
-	c.Emit(c.InPort, frame)
+	c.EmitClass(c.InPort, st.cfg.AckClass, frame)
 	st.Stats.AcksOut++
 }
 
@@ -1001,7 +1023,7 @@ func (p *Program) emitDaiet(c *dataplane.Ctx, st *treeState, buf *wire.Buffer,
 		Flags:    flags | uint16(st.cfg.Epoch)<<8,
 	}
 	frame := wire.BuildDaietFrame(buf, hdr, uint32(p.sw.ID()), st.cfg.TreeID, wire.UDPPortDaiet)
-	c.Emit(st.cfg.OutPort, frame)
+	c.EmitClass(st.cfg.OutPort, st.cfg.DataClass, frame)
 	if st.cfg.RootReplay > 0 {
 		// Spill emissions during aggregation bypass the flush-loop
 		// backpressure check, so the buffer can transiently exceed its cap

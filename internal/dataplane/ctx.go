@@ -36,9 +36,11 @@ var (
 )
 
 // emit is one generated packet: the mirror/packet-generator path real
-// switches use for flushes.
+// switches use for flushes. class selects the shared-buffer traffic class
+// the egress admission runs under (netsim.SendClass).
 type emit struct {
 	port  int
+	class int
 	frame []byte
 }
 
@@ -64,9 +66,10 @@ type Ctx struct {
 	// RecircCount counts how many times this packet has recirculated.
 	RecircCount int
 
-	verdict Verdict
-	outPort int
-	emits   []emit
+	verdict  Verdict
+	outPort  int
+	outClass int
+	emits    []emit
 
 	ops         int
 	opBudget    int
@@ -83,6 +86,7 @@ func (c *Ctx) reset(frame []byte, inPort, opBudget, parseBudget int) {
 	c.RecircCount = 0
 	c.verdict = VerdictDrop
 	c.outPort = -1
+	c.outClass = 0
 	c.emits = c.emits[:0]
 	c.ops = 0
 	c.opBudget = opBudget
@@ -111,6 +115,7 @@ func (c *Ctx) resetForPass() {
 	c.parseOff = 0
 	c.verdict = VerdictDrop
 	c.outPort = -1
+	c.outClass = 0
 	c.ops = 0
 	for k := range c.applied {
 		delete(c.applied, k)
@@ -273,13 +278,26 @@ func (c *Ctx) HashIndex(b []byte, size int) int {
 	return int(hashing.FNV1a64(b) % uint64(size))
 }
 
-// Forward sets the verdict to forward out of port.
+// Forward sets the verdict to forward out of port, under traffic class 0.
 func (c *Ctx) Forward(port int) {
 	if c.err != nil {
 		return
 	}
 	c.verdict = VerdictForward
 	c.outPort = port
+	c.outClass = 0
+}
+
+// ForwardClass is Forward with an explicit shared-buffer traffic class: the
+// egress admission on a pooled switch runs against that class's carved
+// reserve and threshold (see netsim.PoolConfig.Classes).
+func (c *Ctx) ForwardClass(port, class int) {
+	if c.err != nil {
+		return
+	}
+	c.verdict = VerdictForward
+	c.outPort = port
+	c.outClass = class
 }
 
 // Drop sets the verdict to drop.
@@ -311,14 +329,24 @@ func (c *Ctx) Stall() {
 	c.verdict = VerdictStall
 }
 
-// Emit queues a generated packet for transmission out of port: the
-// mirror/packet-generation path used to flush aggregated state. The frame
-// is owned by the dataplane after the call.
+// Emit queues a generated packet for transmission out of port under
+// traffic class 0: the mirror/packet-generation path used to flush
+// aggregated state. The frame is owned by the dataplane after the call.
 func (c *Ctx) Emit(port int, frame []byte) {
 	if !c.op() {
 		return
 	}
 	c.emits = append(c.emits, emit{port: port, frame: frame})
+}
+
+// EmitClass is Emit with an explicit shared-buffer traffic class — how a
+// tree's flushes (DataClass) and acknowledgements (AckClass) land in their
+// tenant's carved slice of a pooled switch's memory.
+func (c *Ctx) EmitClass(port, class int, frame []byte) {
+	if !c.op() {
+		return
+	}
+	c.emits = append(c.emits, emit{port: port, class: class, frame: frame})
 }
 
 // WriteFrame rewrites n bytes of the frame at off (header rewrites).

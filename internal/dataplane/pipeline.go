@@ -82,9 +82,10 @@ func (p *Pipeline) Config() PipelineConfig { return p.cfg }
 
 // PassResult describes the outcome of running one pass.
 type passResult struct {
-	verdict Verdict
-	outPort int
-	err     error
+	verdict  Verdict
+	outPort  int
+	outClass int
+	err      error
 }
 
 // runPass executes parser and stages over ctx once.
@@ -103,5 +104,5 @@ func (p *Pipeline) runPass(ctx *Ctx) passResult {
 			return passResult{verdict: VerdictDrop, err: ctx.err}
 		}
 	}
-	return passResult{verdict: ctx.verdict, outPort: ctx.outPort}
+	return passResult{verdict: ctx.verdict, outPort: ctx.outPort, outClass: ctx.outClass}
 }

@@ -109,10 +109,15 @@ func (s *Switch) After(d netsim.Time, fn func()) { s.nw.NodeAfter(s.id, d, fn) }
 func (s *Switch) Now() netsim.Time { return s.nw.NodeNow(s.id) }
 
 // Inject transmits a program-generated frame out of port from control
-// logic running outside a pipeline pass (timer-driven retransmission). It
-// is accounted like an emitted packet. Injection on a crashed switch or an
-// invalid port is counted and dropped.
-func (s *Switch) Inject(port int, frame []byte) {
+// logic running outside a pipeline pass (timer-driven retransmission),
+// under traffic class 0. It is accounted like an emitted packet. Injection
+// on a crashed switch or an invalid port is counted and dropped.
+func (s *Switch) Inject(port int, frame []byte) { s.InjectClass(port, 0, frame) }
+
+// InjectClass is Inject with an explicit shared-buffer traffic class, so
+// replay retransmissions leave under the same class as the original
+// emission.
+func (s *Switch) InjectClass(port, class int, frame []byte) {
 	if s.down {
 		s.Counters.DropsDown++
 		return
@@ -124,7 +129,7 @@ func (s *Switch) Inject(port int, frame []byte) {
 	s.Counters.Emitted++
 	s.Counters.TxFrames++
 	s.trace(trace.KindEmit, int64(port), int64(len(frame)), "")
-	s.nw.Send(s.id, port, frame)
+	s.nw.SendClass(s.id, port, class, frame)
 }
 
 // Attach implements netsim.Node.
@@ -191,7 +196,7 @@ func (s *Switch) process(ctx *Ctx) {
 		s.Counters.Emitted++
 		s.Counters.TxFrames++
 		s.trace(trace.KindEmit, int64(e.port), int64(len(e.frame)), "")
-		s.nw.Send(s.id, e.port, e.frame)
+		s.nw.SendClass(s.id, e.port, e.class, e.frame)
 	}
 	ctx.emits = ctx.emits[:0]
 
@@ -219,7 +224,7 @@ func (s *Switch) process(ctx *Ctx) {
 		}
 		s.Counters.TxFrames++
 		s.trace(trace.KindTx, int64(res.outPort), int64(len(ctx.frame)), "")
-		s.nw.Send(s.id, res.outPort, ctx.frame)
+		s.nw.SendClass(s.id, res.outPort, res.outClass, ctx.frame)
 		s.putCtx(ctx)
 	case VerdictRecirculate:
 		if ctx.RecircCount >= s.pipe.cfg.MaxRecirc {

@@ -187,7 +187,18 @@ func bigIncastPlan(cfg BigIncastConfig) (plan *topology.Plan, senders []netsim.N
 			// model, expressed in pool terms (alpha 0 forbids borrowing).
 			return netsim.PoolConfig{TotalBytes: total, ReserveBytes: total / ports, Alpha: 0}
 		}
-		return netsim.PoolConfig{TotalBytes: total, ReserveBytes: cfg.PoolReserve, Alpha: cfg.Alpha}
+		// Floors are hard-carved out of the memory: bytes reserved per port
+		// leave the borrowable pool permanently, so an unchecked floor on a
+		// high-radix tier doesn't just over-commit (which validation
+		// rejects) — it silently degenerates DT into the static split by
+		// carving everything. Cap the total carve at a quarter of the
+		// memory so sharing stays the dominant regime (the 128 KiB sweep
+		// point meets a 65-port leaf here).
+		reserve := cfg.PoolReserve
+		if cap := total / (4 * ports); reserve > cap {
+			reserve = cap
+		}
+		return netsim.PoolConfig{TotalBytes: total, ReserveBytes: reserve, Alpha: cfg.Alpha}
 	}
 	for i, sw := range plan.Switches {
 		total := cfg.PoolBytes

@@ -168,9 +168,16 @@ func Incast(cfg IncastConfig) (*IncastResult, error) {
 	if cfg.PoolBytes > 0 {
 		// Shared-memory mode: the switch's egress queues (per-worker ACK
 		// streams + the flush stream to the reducer) share one DT pool.
+		// Reserve floors are hard-carved, so the per-port floor cannot
+		// exceed an equal split of the memory across the switch's
+		// cfg.Senders+1 ports — clamp the default when the fan-in is wide.
+		reserve := cfg.PoolReserve
+		if split := cfg.PoolBytes / (cfg.Senders + 1); reserve > split {
+			reserve = split
+		}
 		plan.SetPool(sw, netsim.PoolConfig{
 			TotalBytes:   cfg.PoolBytes,
-			ReserveBytes: cfg.PoolReserve,
+			ReserveBytes: reserve,
 			Alpha:        cfg.PoolAlpha,
 		})
 	}

@@ -101,8 +101,11 @@ type halfLink struct {
 
 	// pool, when non-nil, is the shared buffer memory of the source node:
 	// admission charges it under the dynamic threshold instead of the
-	// private cfg.QueueBytes FIFO (see bufferpool.go).
-	pool *BufferPool
+	// private cfg.QueueBytes FIFO (see bufferpool.go). poolSlot is this
+	// port's slot in the pool's per-(port, class) occupancy accounting,
+	// assigned when the port joins the pool.
+	pool     *BufferPool
+	poolSlot int32
 
 	// inflight records accepted frames not yet drained from the queue
 	// accounting, as a circular ring ordered by completion time (one port
@@ -261,15 +264,17 @@ func (nw *Network) Connect(a, b NodeID, cfg LinkConfig) (aPort, bPort int) {
 		return rand.New(rand.NewSource(int64(hashing.Mix64(nw.seed ^ salt))))
 	}
 	ab := &halfLink{cfg: cfg, srcNode: a, dstNode: b, dstPort: bPort,
-		dst:  nw.nodes[b],
-		key:  halfLinkKeyBase | uint64(len(nw.half)),
-		pool: nw.pools[a],
-		rng:  mk(uint64(a)<<32 | uint64(b)<<8 | uint64(aPort))}
+		dst: nw.nodes[b],
+		key: halfLinkKeyBase | uint64(len(nw.half)),
+		rng: mk(uint64(a)<<32 | uint64(b)<<8 | uint64(aPort))}
 	ba := &halfLink{cfg: cfg, srcNode: b, dstNode: a, dstPort: aPort,
-		dst:  nw.nodes[a],
-		key:  halfLinkKeyBase | uint64(len(nw.half)+1),
-		pool: nw.pools[b],
-		rng:  mk(uint64(b)<<32 | uint64(a)<<8 | uint64(bPort) | 1<<63)}
+		dst: nw.nodes[a],
+		key: halfLinkKeyBase | uint64(len(nw.half)+1),
+		rng: mk(uint64(b)<<32 | uint64(a)<<8 | uint64(bPort) | 1<<63)}
+	// Ports born after SetNodePool join the node's pool, each carving its
+	// own reserve slot; an over-committed carve is a configuration error.
+	nw.joinPool(a, ab)
+	nw.joinPool(b, ba)
 	nw.ports[a] = append(nw.ports[a], &port{out: ab})
 	nw.ports[b] = append(nw.ports[b], &port{out: ba})
 	nw.half = append(nw.half, ab, ba)
@@ -283,11 +288,34 @@ func (nw *Network) Connect(a, b NodeID, cfg LinkConfig) (aPort, bPort int) {
 	return aPort, bPort
 }
 
-// Send transmits frame out of (from, portNum). The network takes ownership
-// of the frame slice. Frames that overflow the port queue or hit injected
-// loss are counted and dropped.
+// joinPool attaches hl to node id's shared pool, when one exists, carving
+// the port's reserve slot. Called from Connect, which panics on its other
+// configuration errors too.
+func (nw *Network) joinPool(id NodeID, hl *halfLink) {
+	bp := nw.pools[id]
+	if bp == nil {
+		return
+	}
+	slot := bp.nSlots
+	if err := bp.carvePorts(1); err != nil {
+		panic(fmt.Sprintf("netsim: connect: node %d: %v", id, err))
+	}
+	hl.pool, hl.poolSlot = bp, int32(slot)
+}
+
+// Send transmits frame out of (from, portNum) under traffic class 0. The
+// network takes ownership of the frame slice. Frames that overflow the port
+// queue or hit injected loss are counted and dropped.
 func (nw *Network) Send(from NodeID, portNum int, frame []byte) {
-	nw.send(nw.outHalf(from, portNum), frame)
+	nw.send(nw.outHalf(from, portNum), 0, frame)
+}
+
+// SendClass is Send with an explicit traffic class: on pooled nodes the
+// frame is admitted against that class's hard-carved reserve and dynamic
+// threshold (see PoolConfig.Classes); classes outside the pool's configured
+// range fold into class 0, and poolless nodes ignore the class entirely.
+func (nw *Network) SendClass(from NodeID, portNum, class int, frame []byte) {
+	nw.send(nw.outHalf(from, portNum), class, frame)
 }
 
 // SendBurst transmits several frames out of (from, portNum) back-to-back,
@@ -297,7 +325,7 @@ func (nw *Network) Send(from NodeID, portNum int, frame []byte) {
 func (nw *Network) SendBurst(from NodeID, portNum int, frames [][]byte) {
 	hl := nw.outHalf(from, portNum)
 	for _, frame := range frames {
-		nw.send(hl, frame)
+		nw.send(hl, 0, frame)
 	}
 }
 
@@ -309,7 +337,7 @@ func (nw *Network) outHalf(from NodeID, portNum int) *halfLink {
 	return ports[portNum].out
 }
 
-func (nw *Network) send(hl *halfLink, frame []byte) {
+func (nw *Network) send(hl *halfLink, class int, frame []byte) {
 	eng := nw.Eng
 	if hl.srcDom != nil {
 		eng = hl.srcDom.eng
@@ -323,11 +351,13 @@ func (nw *Network) send(hl *halfLink, frame []byte) {
 	hl.drainTo(now)
 
 	if hl.pool != nil {
-		// Shared-memory admission: the port's occupancy is judged against
-		// the dynamic threshold over the node-wide pool.
+		// Shared-memory admission: the (port, class) queue's occupancy is
+		// judged against its hard floor and the dynamic threshold over the
+		// node-wide pool.
+		class = hl.pool.foldClass(class)
 		hl.pool.drainTo(now)
-		if !hl.pool.admit(hl.queued, size) {
-			hl.pool.drops++
+		if !hl.pool.admit(int(hl.poolSlot), class, size) {
+			hl.pool.rejected(class)
 			hl.stats.DropsPool++
 			return
 		}
@@ -353,7 +383,7 @@ func (nw *Network) send(hl *halfLink, frame []byte) {
 	hl.queued += size
 	hl.inflight.push(txRec{done: done, size: size})
 	if hl.pool != nil {
-		hl.pool.charge(done, size)
+		hl.pool.charge(int(hl.poolSlot), class, done, size)
 	}
 	hl.stats.TxFrames++
 	hl.stats.TxBytes += uint64(size)
