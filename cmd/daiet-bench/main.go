@@ -11,6 +11,8 @@
 //	daiet-bench -experiment fig3           # one figure by registry name
 //	daiet-bench -seeds 10                  # wider ensembles
 //	daiet-bench -scale 0.25                # smaller problem sizes
+//	daiet-bench -telemetry out/            # record fabric timelines too
+//	daiet-bench -cpuprofile cpu.pprof      # profile the whole run
 //
 // -seed fixes the base seed (per-trial seeds derive from it, so the same
 // seed reproduces the same intervals); -parallel sets the sharded runner's
@@ -22,6 +24,17 @@
 // path (default BENCH_results.json) so the performance trajectory is
 // tracked across changes; CI diffs it against the committed baseline via
 // cmd/benchdiff and uploads a parallel-vs-sequential comparison.
+//
+// -telemetry <dir> additionally replays every registered timeline spec
+// (internal/experiments.TimelineSpecs) with the sim-time recorder attached,
+// writes each timeline as <dir>/<name>_timeline.txt (render with
+// cmd/daiet-trace), and appends a "<name>_telemetry" figure record to the
+// -json report whose AllocsPerFrame measures the telemetry-ON allocation
+// budget — CI gates it with cmd/benchdiff -gate-allocs.
+//
+// -cpuprofile, -memprofile and -exectrace write standard runtime/pprof and
+// runtime/trace captures of the whole run for go tool pprof / go tool
+// trace; they compose with every other flag.
 package main
 
 import (
@@ -31,7 +44,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strconv"
 	"strings"
@@ -55,6 +71,10 @@ var (
 	simWorkers = flag.String("sim-workers", "1", "intra-simulation parallelism: event-engine domains per fabric, or \"auto\" for min(rack-cut units, GOMAXPROCS) per fabric (results identical at any value)")
 	jsonOut    = flag.Bool("json", false, "write per-figure wall-clock and headline metrics to the -out path")
 	outPath    = flag.String("out", defaultJSONPath, "path for the -json report")
+	telemetry  = flag.String("telemetry", "", "directory for recorded fabric timelines (<name>_timeline.txt per timeline spec); empty disables recording")
+	cpuProfile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the whole run to this path")
+	memProfile = flag.String("memprofile", "", "write a runtime/pprof heap profile (after the run) to this path")
+	execTrace  = flag.String("exectrace", "", "write a runtime/trace execution trace of the whole run to this path")
 )
 
 // parseSimWorkers maps the -sim-workers flag onto the RunConfig knob:
@@ -74,9 +94,40 @@ func parseSimWorkers(s string) (int, error) {
 func main() {
 	log.SetFlags(0)
 	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is main's body, factored out so the deferred profile writers flush
+// before the process exits — log.Fatal inside would truncate them.
+func run() error {
 	simW, err := parseSimWorkers(*simWorkers)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			return fmt.Errorf("-exectrace: %w", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("-exectrace: %w", err)
+		}
+		defer trace.Stop()
 	}
 
 	var specs []*experiments.Spec
@@ -91,7 +142,7 @@ func main() {
 			names = append(names, s.Name)
 		}
 		sort.Strings(names)
-		log.Fatalf("unknown experiment %q (registered: %s)", *experiment, strings.Join(names, ", "))
+		return fmt.Errorf("unknown experiment %q (registered: %s)", *experiment, strings.Join(names, ", "))
 	}
 
 	// Figures fan out across the runner's pool; when several run
@@ -155,7 +206,7 @@ func main() {
 		return outcome{out: buf.Bytes(), rec: rec}, nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	totalMS := float64(time.Since(start).Microseconds()) / 1000
 
@@ -173,17 +224,95 @@ func main() {
 		os.Stdout.Write(r.out)
 		report.Figures = append(report.Figures, r.rec)
 	}
+
+	if *telemetry != "" {
+		recs, err := recordTimelines(*telemetry, simW)
+		if err != nil {
+			return err
+		}
+		report.Figures = append(report.Figures, recs...)
+	}
+
 	fmt.Printf("\ntotal wall clock: %.1f ms (parallelism %d, %d seeds/point)\n",
 		totalMS, report.Parallelism, *seeds)
 
 	if *jsonOut {
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("wrote %s\n", *outPath)
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return nil
+}
+
+// recordTimelines replays every registered timeline spec with the
+// recorder attached, writes <dir>/<name>_timeline.txt, and returns one
+// "<name>_telemetry" figure record per spec. The runs execute
+// sequentially so the process-wide counters yield an exact telemetry-ON
+// allocs-per-frame reading for the -gate-allocs budget.
+func recordTimelines(dir string, simW int) ([]benchfmt.FigureRecord, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("-telemetry: %w", err)
+	}
+	var recs []benchfmt.FigureRecord
+	for _, spec := range experiments.TimelineSpecs() {
+		var m0, m1 runtime.MemStats
+		ev0, fr0 := netsim.SimCounters()
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		tl, err := spec.Run(experiments.Trial{Seed: *seed, Scale: *scale, SimWorkers: simW})
+		if err != nil {
+			return nil, fmt.Errorf("timeline %s: %w", spec.Name, err)
+		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		ev1, fr1 := netsim.SimCounters()
+
+		path := filepath.Join(dir, spec.Name+"_timeline.txt")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("timeline %s: %w", spec.Name, err)
+		}
+		if _, err := tl.WriteTo(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("timeline %s: %w", spec.Name, err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("timeline %s: %w", spec.Name, err)
+		}
+		fmt.Printf("recorded %s (%d records, %d engine samples)\n",
+			path, len(tl.Records), len(tl.Engine))
+
+		rec := benchfmt.FigureRecord{
+			Name:        spec.Name + "_telemetry",
+			WallMS:      float64(wall.Microseconds()) / 1000,
+			Seeds:       1,
+			EventsTotal: ev1 - ev0,
+			Telemetry:   true,
+		}
+		if s := wall.Seconds(); s > 0 {
+			rec.EventsPerSec = float64(rec.EventsTotal) / s
+		}
+		if frames := fr1 - fr0; frames > 0 {
+			rec.AllocsPerFrame = float64(m1.Mallocs-m0.Mallocs) / float64(frames)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
 }

@@ -10,7 +10,8 @@
 // where it indexes the wrong engine's arena.
 //
 // The analyzer is type-name driven and flags, in the hot packages (netsim,
-// dataplane), three escapes:
+// dataplane, telemetry — whose hop sampler sees raw frame bytes), three
+// escapes:
 //
 //   - touching frameArena/fnArena internals outside the engine's own
 //     helpers (the arenas' methods, the scheduling/step/migration
@@ -30,7 +31,7 @@ import (
 )
 
 // hotPackages are the import-path leaf names the ownership rule governs.
-var hotPackages = []string{"netsim", "dataplane"}
+var hotPackages = []string{"netsim", "dataplane", "telemetry"}
 
 // arenaTypes are the slab-arena types whose internals are engine-private.
 var arenaTypes = []string{"frameArena", "fnArena"}

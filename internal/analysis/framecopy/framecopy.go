@@ -8,7 +8,7 @@
 // must stay unique).
 //
 // The analyzer flags, inside the hot packages (netsim, dataplane, core,
-// transport), any by-value traffic in structs at or over the size
+// transport, telemetry), any by-value traffic in structs at or over the size
 // threshold: function parameters, copy assignments (x := y, x := *p), and
 // range-value copies. Composite-literal construction and function-call
 // results are not copies and stay free.
@@ -28,7 +28,7 @@ import (
 const Threshold = 128
 
 // hotPackages are the import-path leaf names on the per-frame path.
-var hotPackages = []string{"netsim", "dataplane", "core", "transport"}
+var hotPackages = []string{"netsim", "dataplane", "core", "transport", "telemetry"}
 
 var Analyzer = &framework.Analyzer{
 	Name: "framecopy",

@@ -1,5 +1,6 @@
 // Package nodeclock enforces the partitioned-engine timer contract in
-// node-context packages (netsim, dataplane, core, transport, controller):
+// node-context packages (netsim, dataplane, core, transport, controller,
+// telemetry):
 // code that runs inside node callbacks must take time and timers from
 // Network.NodeAfter/NodeNow/Now, never from the raw event engine.
 //
@@ -34,7 +35,7 @@ import (
 
 // nodePackages are the import-path leaf names whose code runs in node
 // context (attached to the fabric, executed by the event loop).
-var nodePackages = []string{"dataplane", "core", "transport", "controller"}
+var nodePackages = []string{"dataplane", "core", "transport", "controller", "telemetry"}
 
 // engineMethods are the Engine entry points that bypass the node-routing
 // layer.

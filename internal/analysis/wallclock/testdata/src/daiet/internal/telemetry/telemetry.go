@@ -1,0 +1,39 @@
+// Package telemetry mirrors the real recorder package: probes must stamp
+// records with VIRTUAL time from the simulation clock — a wall-clock read
+// here would make the exported timeline differ run-to-run and
+// machine-to-machine, breaking the byte-identity contract. The analyzer
+// must flag every real-clock read; sim-time arithmetic stays free.
+package telemetry
+
+import "time"
+
+// Record is a cut-down timeline record.
+type Record struct {
+	At   int64 // virtual nanoseconds
+	Wall time.Time
+}
+
+// Recorder samples gauges on a fixed sim-clock cadence.
+type Recorder struct {
+	records []Record
+}
+
+// sample is the tempting mistake: stamping a probe sample with the host
+// clock instead of the node's virtual clock.
+func (r *Recorder) sample(simNow int64) {
+	r.records = append(r.records, Record{
+		At:   simNow,
+		Wall: time.Now(), // want `wall-clock time\.Now in a sim package`
+	})
+}
+
+// flushLatency measures with the host clock — also a finding.
+func (r *Recorder) flushLatency(started time.Time) time.Duration {
+	return time.Since(started) // want `wall-clock time\.Since in a sim package`
+}
+
+// cadence arithmetic uses only time.Duration values and never reads the
+// clock, so it stays free.
+func (r *Recorder) nextDeadline(now int64, cadence time.Duration) int64 {
+	return now + int64(cadence/time.Nanosecond)
+}

@@ -9,5 +9,6 @@ import (
 
 func TestWallclock(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), wallclock.Analyzer,
-		"daiet/internal/clockuser", "daiet/internal/runner", "daiet/cmdtool")
+		"daiet/internal/clockuser", "daiet/internal/runner", "daiet/cmdtool",
+		"daiet/internal/telemetry")
 }

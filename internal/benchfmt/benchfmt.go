@@ -24,8 +24,13 @@ import "github.com/daiet/daiet/internal/stats"
 // cmd/benchdiff gates allocation regressions via -gate-allocs. Schema 7
 // added the tenants figure (multi-class hard-carved pool slicing: per-tenant
 // victim/aggressor drop attribution, completion inflation, Jain fairness),
-// whose victim drop rate cmd/benchdiff gates via -gate-drift.
-const Schema = 7
+// whose victim drop rate cmd/benchdiff gates via -gate-drift. Schema 8
+// added telemetry records: when daiet-bench runs with -telemetry, each
+// recorded timeline contributes a figure record (Telemetry: true, named
+// "<timeline>_telemetry") whose AllocsPerFrame measures the telemetry-ON
+// budget — gated absolutely via -gate-allocs next to the telemetry-OFF
+// megaincast contract.
+const Schema = 8
 
 // FigureRecord is one figure's entry: wall-clock plus every headline
 // metric as a mean with confidence bounds.
@@ -49,6 +54,12 @@ type FigureRecord struct {
 	EventsTotal    uint64  `json:"events_total"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	AllocsPerFrame float64 `json:"allocs_per_frame"`
+
+	// Telemetry marks a record produced by a recorded timeline run
+	// (schema 8): its AllocsPerFrame includes the recorder's fixed budget
+	// (probe sampling, hop slabs), unlike ordinary figure records whose
+	// workloads run unobserved.
+	Telemetry bool `json:"telemetry,omitempty"`
 }
 
 // IsVolatile reports whether headline metric key derives from a volatile

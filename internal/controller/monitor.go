@@ -33,6 +33,49 @@ type Monitor struct {
 	lastFlaps map[[2]netsim.NodeID]uint64 // flap generation at the last poll
 	deadSw    map[netsim.NodeID]bool
 	deadLink  map[[2]netsim.NodeID]bool
+
+	// observer, when non-nil, receives every liveness transition Poll
+	// reports, in report (plan) order — the telemetry recorder's feed.
+	observer func(now netsim.Time, ev MonitorEvent)
+}
+
+// MonitorEvent is one liveness transition as seen by a Poll: Kind is one
+// of "switch-dead", "switch-restarted", "link-dead", "link-revived" or
+// "link-flapped"; A is the switch (or link endpoint A), B the link's
+// other endpoint (zero for switch events).
+type MonitorEvent struct {
+	Kind string
+	A, B netsim.NodeID
+}
+
+// SetObserver installs (or, with nil, removes) the monitor's event
+// observer. Poll runs only at quiescent control points, so the observer
+// inherits that context.
+func (m *Monitor) SetObserver(fn func(now netsim.Time, ev MonitorEvent)) {
+	m.observer = fn
+}
+
+// emit publishes the poll's transitions to the observer in the same
+// deterministic order PollReport lists them.
+func (m *Monitor) emit(now netsim.Time, rep *PollReport) {
+	if m.observer == nil {
+		return
+	}
+	for _, sw := range rep.RestartedSwitches {
+		m.observer(now, MonitorEvent{Kind: "switch-restarted", A: sw})
+	}
+	for _, sw := range rep.NewlyDeadSwitches {
+		m.observer(now, MonitorEvent{Kind: "switch-dead", A: sw})
+	}
+	for _, l := range rep.FlappedLinks {
+		m.observer(now, MonitorEvent{Kind: "link-flapped", A: l[0], B: l[1]})
+	}
+	for _, l := range rep.RevivedLinks {
+		m.observer(now, MonitorEvent{Kind: "link-revived", A: l[0], B: l[1]})
+	}
+	for _, l := range rep.NewlyDeadLinks {
+		m.observer(now, MonitorEvent{Kind: "link-dead", A: l[0], B: l[1]})
+	}
 }
 
 // PollReport is what one Poll observed, in deterministic (plan) order.
@@ -133,6 +176,7 @@ func (m *Monitor) Poll(now netsim.Time) (PollReport, error) {
 			rep.NewlyDeadLinks = append(rep.NewlyDeadLinks, key)
 		}
 	}
+	m.emit(now, &rep)
 	return rep, nil
 }
 

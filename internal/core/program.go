@@ -301,6 +301,32 @@ func (p *Program) TreeStats(treeID uint32) (TreeStats, bool) {
 	return st.Stats, true
 }
 
+// TreeResidency is a point-in-time gauge of one tree's register-file
+// occupancy — the state a telemetry probe samples on cadence, as opposed
+// to TreeStats' cumulative counters. All four gauges are plain reads of
+// switch-local registers, so sampling them from the switch's own timer
+// context is race-free and deterministic.
+type TreeResidency struct {
+	Cells      int // occupied aggregation cells (stack depth)
+	TableSize  int // configured cell capacity
+	SpillPairs int // pairs parked in the spillover bucket
+	ReplayLen  int // retained root-replay packets awaiting ack
+}
+
+// TreeResidency returns the named tree's current register residency.
+func (p *Program) TreeResidency(treeID uint32) (TreeResidency, bool) {
+	st, ok := p.trees[treeID]
+	if !ok {
+		return TreeResidency{}, false
+	}
+	return TreeResidency{
+		Cells:      int(st.stackTop.Cells[0]),
+		TableSize:  st.valid.Len(),
+		SpillPairs: int(st.spillCnt.Cells[0]),
+		ReplayLen:  len(st.replay),
+	}, true
+}
+
 // Trees returns the configured tree IDs in ascending order (the tree set
 // is a map; iteration order must not leak into reports).
 func (p *Program) Trees() []uint32 {

@@ -9,6 +9,7 @@ import (
 	"github.com/daiet/daiet/internal/core"
 	"github.com/daiet/daiet/internal/netsim"
 	"github.com/daiet/daiet/internal/stats"
+	"github.com/daiet/daiet/internal/telemetry"
 	"github.com/daiet/daiet/internal/topology"
 	"github.com/daiet/daiet/internal/wire"
 )
@@ -81,6 +82,11 @@ type BigIncastConfig struct {
 	// Recut enables measured-skew dynamic re-partitioning (zero value
 	// disables); results stay byte-identical under any re-cut schedule.
 	Recut topology.RecutConfig
+	// Telemetry, when non-nil, records a fabric timeline during the run:
+	// every pooled switch is probed on the config's cadence (pool, port
+	// and tree-residency gauges) and the INT-style path sampler covers
+	// the switch tier. Nil leaves the workload hot path untouched.
+	Telemetry *telemetry.Config
 }
 
 func (c BigIncastConfig) withDefaults() BigIncastConfig {
@@ -160,6 +166,10 @@ type BigIncastResult struct {
 	ArenaStats netsim.ArenaStats
 	Domains    int
 	Recuts     uint64
+
+	// Timeline is the recorded fabric timeline, non-nil only when
+	// Cfg.Telemetry asked for one.
+	Timeline *telemetry.Timeline
 }
 
 // bigIncastPlan builds the fabric: Racks sender racks plus one reducer
@@ -284,11 +294,27 @@ func BigIncast(cfg BigIncastConfig) (*BigIncastResult, error) {
 		s.End()
 	}
 
-	if err := nw.Run(500_000_000); err != nil {
+	var rec *telemetry.Recorder
+	if cfg.Telemetry != nil {
+		rec = telemetry.NewRecorder(nw, *cfg.Telemetry)
+		for _, swNode := range plan.Switches {
+			if err := rec.WatchSwitch(swNode, fb.programs[swNode]); err != nil {
+				return nil, fmt.Errorf("experiments: bigincast: %w", err)
+			}
+		}
+		rec.EnablePathTrace(plan.Switches)
+		rec.Start()
+		if err := rec.RunSampled(500_000_000); err != nil {
+			return nil, fmt.Errorf("experiments: bigincast: %w", err)
+		}
+	} else if err := nw.Run(500_000_000); err != nil {
 		return nil, fmt.Errorf("experiments: bigincast: %w", err)
 	}
 
 	res := &BigIncastResult{Cfg: cfg, Completion: nw.Now()}
+	if rec != nil {
+		res.Timeline = rec.Timeline()
+	}
 	perSender := make([]float64, len(senders))
 	for i, s := range senders {
 		if !s.Done() {

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/daiet/daiet/internal/telemetry"
+)
+
+// TestTimelineSpecsSimWorkersDeterministic is the telemetry conformance
+// suite the tentpole promises: every registered timeline — probe series
+// AND sampled per-frame hop traces — is byte-identical at 1/2/4 engine
+// domains and under a measured-skew re-cut schedule. Only the
+// DeterministicBytes section is compared; the engine-diagnostics section
+// is cut-dependent by design.
+func TestTimelineSpecsSimWorkersDeterministic(t *testing.T) {
+	specs := TimelineSpecs()
+	if len(specs) < 2 {
+		t.Fatalf("timeline registry has %d entries, want >= 2", len(specs))
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			base := Trial{Seed: 11, Scale: 0.08, SimWorkers: 1}
+			tl, err := spec.Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tl.Records) == 0 {
+				t.Fatal("timeline recorded nothing")
+			}
+			seq := tl.DeterministicBytes()
+			variants := []Trial{
+				{Seed: base.Seed, Scale: base.Scale, SimWorkers: 2},
+				{Seed: base.Seed, Scale: base.Scale, SimWorkers: 4},
+				{Seed: base.Seed, Scale: base.Scale, SimWorkers: 4, Recut: recutSchedule(base.Seed)},
+			}
+			for _, tr := range variants {
+				tl, err := spec.Run(tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := tl.DeterministicBytes()
+				if !bytes.Equal(seq, got) {
+					t.Fatalf("%s timeline diverged at sim-workers %d (recut=%v): %d vs %d bytes\nfirst divergence: %s",
+						spec.Name, tr.SimWorkers, tr.Recut.Every != 0, len(seq), len(got), firstDiff(seq, got))
+				}
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(a, b []byte) string {
+	la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: %d vs %d", len(la), len(lb))
+}
+
+// TestTelemetryObserverEffect pins the observer-neutrality contract: a
+// recorded run's frame-level outcome is identical to the unrecorded run.
+// (Events and Completion legitimately differ — probe timers are real
+// engine events and the final drain lands on a probe tick — so the
+// comparison covers the workload counters only.)
+func TestTelemetryObserverEffect(t *testing.T) {
+	cfg := BigIncastConfig{
+		Seed: 9, Senders: 16, Racks: 2, PairsPerSender: 30,
+		Vocab: 320, TableSize: 64, SimWorkers: 2,
+	}
+	plain, err := BigIncast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Telemetry = artifactTelemetry(cfg.Seed)
+	recorded, err := BigIncast(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded.Timeline == nil || len(recorded.Timeline.Records) == 0 {
+		t.Fatal("recorded run produced no timeline")
+	}
+	render := func(r *BigIncastResult) string {
+		return fmt.Sprintf("att=%d drop=%d tx=%d retx=%d pairs=%d swretx=%d stalls=%d hw=%v fair=%v frames=%d",
+			r.FramesAttempted, r.FramesDropped, r.Transmissions, r.Retransmissions,
+			r.PairsSent, r.SwitchRetransmissions, r.FlushStalls,
+			r.PoolHighWaterPct, r.PortFairness, r.Frames)
+	}
+	if p, r := render(plain), render(recorded); p != r {
+		t.Fatalf("telemetry perturbed the workload:\n  off: %s\n   on: %s", p, r)
+	}
+}
+
+// TestTimelineHasFigureSubstance spot-checks the tenants artifact: the
+// per-class gauges the figure plots must actually move — the aggressor
+// class has to reach a nonzero high-water, and hop records must include
+// pool-level drop verdicts during the incast burst.
+func TestTimelineHasFigureSubstance(t *testing.T) {
+	spec := LookupTimeline("tenants")
+	if spec == nil {
+		t.Fatal("tenants timeline spec missing")
+	}
+	tl, err := spec.Run(Trial{Seed: 11, Scale: 0.08, SimWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aggHW int64
+	hops := 0
+	for i := range tl.Records {
+		r := &tl.Records[i]
+		switch {
+		case r.Kind == telemetry.KindClass && r.K == 1: // aggressor class
+			if r.V1 > aggHW {
+				aggHW = r.V1
+			}
+		case r.Kind == telemetry.KindHop:
+			hops++
+		}
+	}
+	if aggHW == 0 {
+		t.Fatal("aggressor class high-water never moved")
+	}
+	if hops == 0 {
+		t.Fatal("no sampled hop records")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/daiet/daiet/internal/core"
 	"github.com/daiet/daiet/internal/netsim"
 	"github.com/daiet/daiet/internal/stats"
+	"github.com/daiet/daiet/internal/telemetry"
 	"github.com/daiet/daiet/internal/topology"
 	"github.com/daiet/daiet/internal/wire"
 )
@@ -72,6 +73,11 @@ type TenantsConfig struct {
 	// VictimOnly drops the aggressor's traffic and tree: the uncontended
 	// reference the completion-inflation metric divides by.
 	VictimOnly bool
+
+	// Telemetry, when non-nil, records the shared switch's occupancy
+	// timeline during the run — per-class pool gauges are the figure's
+	// victim-vs-aggressor money shot. Nil leaves the hot path untouched.
+	Telemetry *telemetry.Config
 }
 
 func (c TenantsConfig) withDefaults() TenantsConfig {
@@ -130,6 +136,10 @@ type TenantsResult struct {
 
 	// Completions are per-tenant virtual times of the last END.
 	VictimCompletion, AggCompletion netsim.Time
+
+	// Timeline is the recorded switch timeline, non-nil only when
+	// Cfg.Telemetry asked for one.
+	Timeline *telemetry.Timeline
 }
 
 // Tenants runs one two-tenant round and verifies both tenants' aggregates
@@ -288,7 +298,19 @@ func Tenants(cfg TenantsConfig) (*TenantsResult, error) {
 		}
 	}
 
-	if err := nw.Run(400_000_000); err != nil {
+	var rec *telemetry.Recorder
+	if cfg.Telemetry != nil {
+		rec = telemetry.NewRecorder(nw, *cfg.Telemetry)
+		if err := rec.WatchSwitch(sw, fb.programs[sw]); err != nil {
+			return nil, fmt.Errorf("experiments: tenants: %w", err)
+		}
+		rec.EnablePathTrace([]netsim.NodeID{sw})
+		rec.Start()
+		if err := rec.RunSampled(400_000_000); err != nil {
+			return nil, fmt.Errorf("experiments: tenants: %w", err)
+		}
+		res.Timeline = rec.Timeline()
+	} else if err := nw.Run(400_000_000); err != nil {
 		return nil, fmt.Errorf("experiments: tenants: %w", err)
 	}
 
@@ -372,6 +394,7 @@ var tenantsRefCache sync.Map // TenantsConfig -> *TenantsResult
 
 func tenantsReference(cfg TenantsConfig) (*TenantsResult, error) {
 	cfg.VictimOnly = true
+	cfg.Telemetry = nil // the reference run is not recorded (and must cache-key cleanly)
 	if v, ok := tenantsRefCache.Load(cfg); ok {
 		return v.(*TenantsResult), nil
 	}

@@ -210,6 +210,11 @@ type Network struct {
 	// into the process-wide SimCounters (see arena.go).
 	accEvents uint64
 	accFrames uint64
+
+	// tracer, when non-nil, observes every transmit-side admission attempt
+	// (see tracer.go). Installed only while quiescent; read inline on the
+	// send path by domain goroutines.
+	tracer FrameTracer
 }
 
 // New creates an empty network over a fresh engine. seed drives all loss
@@ -342,11 +347,14 @@ func (nw *Network) send(hl *halfLink, class int, frame []byte) {
 	if hl.srcDom != nil {
 		eng = hl.srcDom.eng
 	}
+	size := len(frame)
 	if hl.down {
 		hl.stats.DropsDown++
+		if nw.tracer != nil {
+			nw.traceFrame(hl, class, size, eng.Now(), FrameDropDown, frame)
+		}
 		return
 	}
-	size := len(frame)
 	now := eng.Now()
 	hl.drainTo(now)
 
@@ -359,14 +367,23 @@ func (nw *Network) send(hl *halfLink, class int, frame []byte) {
 		if !hl.pool.admit(int(hl.poolSlot), class, size) {
 			hl.pool.rejected(class)
 			hl.stats.DropsPool++
+			if nw.tracer != nil {
+				nw.traceFrame(hl, class, size, now, FrameDropPool, frame)
+			}
 			return
 		}
 	} else if hl.queued+size > hl.cfg.QueueBytes {
 		hl.stats.DropsFull++
+		if nw.tracer != nil {
+			nw.traceFrame(hl, class, size, now, FrameDropFull, frame)
+		}
 		return
 	}
 	if hl.cfg.LossProb > 0 && hl.rng.Float64() < hl.cfg.LossProb {
 		hl.stats.DropsLoss++
+		if nw.tracer != nil {
+			nw.traceFrame(hl, class, size, now, FrameDropLoss, frame)
+		}
 		return
 	}
 
@@ -389,6 +406,13 @@ func (nw *Network) send(hl *halfLink, class int, frame []byte) {
 	hl.stats.TxBytes += uint64(size)
 	hl.txSeq++
 	eng.txFrames++
+	if nw.tracer != nil {
+		// Accepted attempts are traced after the charge, so the reported
+		// occupancy includes the frame itself — its position at the tail of
+		// the queue it just joined. Drop records report the occupancy the
+		// rejection was judged against.
+		nw.traceFrame(hl, class, size, now, FrameAccepted, frame)
+	}
 
 	arrival := done + Duration(hl.cfg.Propagation)
 	if hl.srcDom == nil || hl.dstDom == hl.srcDom {
