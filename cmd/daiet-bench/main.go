@@ -172,6 +172,7 @@ func run() error {
 		// aggregate indication.
 		var m0, m1 runtime.MemStats
 		ev0, fr0 := netsim.SimCounters()
+		sb0, sw0, si0 := netsim.SyncCounters()
 		runtime.ReadMemStats(&m0)
 		t0 := time.Now()
 		res, err := spec.Execute(experiments.RunConfig{
@@ -187,15 +188,19 @@ func run() error {
 		wall := time.Since(t0)
 		runtime.ReadMemStats(&m1)
 		ev1, fr1 := netsim.SimCounters()
+		sb1, sw1, si1 := netsim.SyncCounters()
 		var buf bytes.Buffer
 		res.WriteTable(&buf)
 		rec := benchfmt.FigureRecord{
-			Name:        spec.Name,
-			WallMS:      float64(wall.Microseconds()) / 1000,
-			Seeds:       res.Seeds,
-			Volatile:    spec.Volatile,
-			Metrics:     res.Headline(),
-			EventsTotal: ev1 - ev0,
+			Name:            spec.Name,
+			WallMS:          float64(wall.Microseconds()) / 1000,
+			Seeds:           res.Seeds,
+			Volatile:        spec.Volatile,
+			Metrics:         res.Headline(),
+			EventsTotal:     ev1 - ev0,
+			SyncBarriers:    sb1 - sb0,
+			SyncWindows:     sw1 - sw0,
+			SyncIdleWindows: si1 - si0,
 		}
 		if s := wall.Seconds(); s > 0 {
 			rec.EventsPerSec = float64(rec.EventsTotal) / s
@@ -274,6 +279,7 @@ func recordTimelines(dir string, simW int) ([]benchfmt.FigureRecord, error) {
 	for _, spec := range experiments.TimelineSpecs() {
 		var m0, m1 runtime.MemStats
 		ev0, fr0 := netsim.SimCounters()
+		sb0, sw0, si0 := netsim.SyncCounters()
 		runtime.ReadMemStats(&m0)
 		t0 := time.Now()
 		tl, err := spec.Run(experiments.Trial{Seed: *seed, Scale: *scale, SimWorkers: simW})
@@ -283,6 +289,7 @@ func recordTimelines(dir string, simW int) ([]benchfmt.FigureRecord, error) {
 		wall := time.Since(t0)
 		runtime.ReadMemStats(&m1)
 		ev1, fr1 := netsim.SimCounters()
+		sb1, sw1, si1 := netsim.SyncCounters()
 
 		path := filepath.Join(dir, spec.Name+"_timeline.txt")
 		f, err := os.Create(path)
@@ -300,11 +307,14 @@ func recordTimelines(dir string, simW int) ([]benchfmt.FigureRecord, error) {
 			path, len(tl.Records), len(tl.Engine))
 
 		rec := benchfmt.FigureRecord{
-			Name:        spec.Name + "_telemetry",
-			WallMS:      float64(wall.Microseconds()) / 1000,
-			Seeds:       1,
-			EventsTotal: ev1 - ev0,
-			Telemetry:   true,
+			Name:            spec.Name + "_telemetry",
+			WallMS:          float64(wall.Microseconds()) / 1000,
+			Seeds:           1,
+			EventsTotal:     ev1 - ev0,
+			SyncBarriers:    sb1 - sb0,
+			SyncWindows:     sw1 - sw0,
+			SyncIdleWindows: si1 - si0,
+			Telemetry:       true,
 		}
 		if s := wall.Seconds(); s > 0 {
 			rec.EventsPerSec = float64(rec.EventsTotal) / s

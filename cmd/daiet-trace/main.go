@@ -1,4 +1,4 @@
-// daiet-trace renders a recorded fabric timeline (the daiet-timeline v1
+// daiet-trace renders a recorded fabric timeline (the daiet-timeline v2
 // text format written by daiet-bench -telemetry or telemetry.Timeline's
 // WriteTo) into figure-ready forms:
 //
@@ -37,7 +37,7 @@ import (
 )
 
 var (
-	inPath   = flag.String("in", "", "input timeline (daiet-timeline v1 text, from daiet-bench -telemetry)")
+	inPath   = flag.String("in", "", "input timeline (daiet-timeline v2 text, from daiet-bench -telemetry)")
 	jsonPath = flag.String("json", "", "write Chrome trace-event JSON to this path")
 	csvPath  = flag.String("csv", "", "write flat per-record CSV to this path")
 )
@@ -172,6 +172,8 @@ func chromeTrace(tl *telemetry.Timeline) ([]byte, error) {
 			Args: map[string]any{
 				"domains": es.Domains, "frame_live": es.FrameLive, "frame_peak": es.FramePeak,
 				"timer_peak": es.TimerPeak, "arena_bytes": es.Bytes, "recuts": es.Recuts,
+				"sync_barriers": es.Barriers, "sync_windows": es.Windows,
+				"sync_idle_windows": es.IdleWindows, "mean_horizon_ns": int64(es.MeanHorizon),
 			},
 		})
 	}
@@ -180,7 +182,7 @@ func chromeTrace(tl *telemetry.Timeline) ([]byte, error) {
 		"traceEvents":     events,
 		"displayTimeUnit": "ns",
 		"otherData": map[string]any{
-			"format":          "daiet-timeline v1",
+			"format":          "daiet-timeline v2",
 			"cadence_ns":      int64(tl.Cadence),
 			"dropped_records": tl.Dropped,
 		},

@@ -29,8 +29,13 @@ import "github.com/daiet/daiet/internal/stats"
 // recorded timeline contributes a figure record (Telemetry: true, named
 // "<timeline>_telemetry") whose AllocsPerFrame measures the telemetry-ON
 // budget — gated absolutely via -gate-allocs next to the telemetry-OFF
-// megaincast contract.
-const Schema = 8
+// megaincast contract. Schema 9 added the partitioned engine's
+// synchronization counters (SyncBarriers, SyncWindows, SyncIdleWindows —
+// process-wide deltas around each figure) plus the syncproto figure
+// (global-min lookahead vs per-channel EIT horizons across cut-link
+// latency profiles), whose sync-counter metrics cmd/benchdiff gates via
+// -gate-drift.
+const Schema = 9
 
 // FigureRecord is one figure's entry: wall-clock plus every headline
 // metric as a mean with confidence bounds.
@@ -54,6 +59,16 @@ type FigureRecord struct {
 	EventsTotal    uint64  `json:"events_total"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	AllocsPerFrame float64 `json:"allocs_per_frame"`
+
+	// Partitioned-engine synchronization accounting (schema 9), measured
+	// like EventsTotal from the process-wide netsim counters: barriers
+	// reached, execution windows dispatched, and windows that dispatched
+	// zero events. All zero when every fabric in the figure ran the
+	// sequential engine. Deterministic for a pinned engine configuration,
+	// but cut-dependent — comparable only at matching -sim-workers.
+	SyncBarriers    uint64 `json:"sync_barriers"`
+	SyncWindows     uint64 `json:"sync_windows"`
+	SyncIdleWindows uint64 `json:"sync_idle_windows"`
 
 	// Telemetry marks a record produced by a recorded timeline run
 	// (schema 8): its AllocsPerFrame includes the recorder's fixed budget

@@ -79,6 +79,20 @@ type BigIncastConfig struct {
 	// (0 autotunes to min(rack units, GOMAXPROCS)); results are
 	// byte-identical at any value.
 	SimWorkers int
+	// CorePropagation, when non-zero, sets the propagation delay of every
+	// switch-to-switch link. The rack cut runs along the core tier, so this
+	// is the engine's synchronization-lookahead knob; zero keeps the
+	// historical zero-delay core of every earlier figure.
+	CorePropagation time.Duration
+	// ShortCutPropagation, when non-zero, shortens exactly one core link
+	// (the first leaf's first spine uplink) to this delay — the
+	// heterogeneous cut of the syncproto figure: one short synchronization
+	// channel among long ones.
+	ShortCutPropagation time.Duration
+	// SyncProtocol selects the partitioned engine's conservative
+	// synchronization scheme (default netsim.SyncEIT); results are
+	// byte-identical under either.
+	SyncProtocol netsim.SyncProtocol
 	// Recut enables measured-skew dynamic re-partitioning (zero value
 	// disables); results stay byte-identical under any re-cut schedule.
 	Recut topology.RecutConfig
@@ -167,6 +181,11 @@ type BigIncastResult struct {
 	Domains    int
 	Recuts     uint64
 
+	// Sync is the partitioned engine's synchronization diagnostics
+	// (barriers, windows, idle windows, horizon widths) — cut-dependent
+	// like ArenaStats, deterministic for a fixed configuration.
+	Sync netsim.SyncStats
+
 	// Timeline is the recorded fabric timeline, non-nil only when
 	// Cfg.Telemetry asked for one.
 	Timeline *telemetry.Timeline
@@ -181,6 +200,18 @@ func bigIncastPlan(cfg BigIncastConfig) (plan *topology.Plan, senders []netsim.N
 	plan.Name = fmt.Sprintf("bigincast-%ds-%dr", cfg.Senders, cfg.Racks)
 	senders = plan.Hosts[:cfg.Senders]
 	reducer = plan.Hosts[cfg.Racks*perRack] // first host of the reducer rack
+
+	if cfg.CorePropagation != 0 {
+		plan.SetCorePropagation(cfg.CorePropagation)
+	}
+	if cfg.ShortCutPropagation != 0 {
+		for i := range plan.Links {
+			if topology.IsSwitchID(plan.Links[i].A) && topology.IsSwitchID(plan.Links[i].B) {
+				plan.Links[i].Cfg.Propagation = cfg.ShortCutPropagation
+				break // the first core link: leaf 0's first spine uplink
+			}
+		}
+	}
 
 	ports := func(sw netsim.NodeID) int {
 		n := 0
@@ -237,6 +268,7 @@ func BigIncast(cfg BigIncastConfig) (*BigIncastResult, error) {
 	if err := fb.fab.PartitionsDynamic(cfg.SimWorkers, cfg.Recut); err != nil {
 		return nil, err
 	}
+	nw.SetSyncProtocol(cfg.SyncProtocol)
 	ctl := controller.New(fb.fab, fb.programs)
 	if err := ctl.InstallRouting(); err != nil {
 		return nil, err
@@ -365,6 +397,7 @@ func BigIncast(cfg BigIncastConfig) (*BigIncastResult, error) {
 	res.ArenaStats = nw.ArenaStats()
 	res.Domains = nw.Domains()
 	res.Recuts = nw.Recuts()
+	res.Sync = nw.SyncStats()
 	return res, nil
 }
 

@@ -91,11 +91,13 @@ func TestBigIncast256x4SimWorkersDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		// The knob itself and the engine-shape observability it implies
-		// (per-domain arena footprints, domain count) are the only allowed
-		// deltas; every workload counter must match byte-for-byte.
+		// (per-domain arena footprints, domain count, sync diagnostics) are
+		// the only allowed deltas; every workload counter must match
+		// byte-for-byte.
 		res.Cfg.SimWorkers = 0
 		res.ArenaStats = netsim.ArenaStats{}
 		res.Domains = 0
+		res.Sync = netsim.SyncStats{}
 		return fmt.Sprintf("%+v", *res)
 	}
 	seq := render(1)

@@ -22,6 +22,7 @@ func TestMegaIncastCrossPointIdentical(t *testing.T) {
 		c.ArenaStats = netsim.ArenaStats{}
 		c.Domains = 0
 		c.Recuts = 0
+		c.Sync = netsim.SyncStats{}
 		c.Cfg.SimWorkers = 0
 		c.Cfg.Recut = topology.RecutConfig{}
 		return fmt.Sprintf("%+v", c)

@@ -35,6 +35,7 @@ var wantSpecs = []string{
 	"megaincast",
 	"multirack",
 	"parallel-sim",
+	"syncproto",
 	"tenants",
 }
 

@@ -172,13 +172,30 @@ var (
 	simFrames atomic.Uint64
 )
 
+// simBarriers/simWindows/simIdleWindows are the process-wide totals of the
+// partitioned engine's synchronization diagnostics (SyncStats), published
+// the same way. cmd/daiet-bench reads deltas around each figure to report
+// sync_barriers, sync_windows and sync_idle_windows per record (schema 9).
+var (
+	simBarriers    atomic.Uint64
+	simWindows     atomic.Uint64
+	simIdleWindows atomic.Uint64
+)
+
 // SimCounters returns the process-wide totals of executed simulator
 // events and accepted (transmitted) frames.
 func SimCounters() (events, frames uint64) {
 	return simEvents.Load(), simFrames.Load()
 }
 
-// account publishes this network's event/frame progress into the
+// SyncCounters returns the process-wide totals of partitioned-engine
+// synchronization rounds: barriers (coordinator rounds), dispatched
+// execution windows, and idle windows (domain-rounds denied by a horizon).
+func SyncCounters() (barriers, windows, idleWindows uint64) {
+	return simBarriers.Load(), simWindows.Load(), simIdleWindows.Load()
+}
+
+// account publishes this network's event/frame/sync progress into the
 // process-wide counters. Called once per Run/RunUntil return.
 func (nw *Network) account() {
 	ev := nw.Processed()
@@ -187,6 +204,11 @@ func (nw *Network) account() {
 	fr := nw.framesScheduled()
 	simFrames.Add(fr - nw.accFrames)
 	nw.accFrames = fr
+	ss := nw.syncStats
+	simBarriers.Add(ss.Barriers - nw.accSync.Barriers)
+	simWindows.Add(ss.Windows - nw.accSync.Windows)
+	simIdleWindows.Add(ss.IdleWindows - nw.accSync.IdleWindows)
+	nw.accSync = ss
 }
 
 // framesScheduled sums accepted-frame counts over all engines (each

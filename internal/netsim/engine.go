@@ -145,23 +145,46 @@ func (h eventHeap) init() {
 }
 
 // budget is the event bound shared by every domain of a partitioned run:
-// the total executed across all domains may not exceed max. Domains charge
-// it per event, so the bound is honored exactly — a domain stops the moment
-// the fleet-wide count would pass max, well within one lookahead window.
+// the total executed across all domains may not exceed max. Domains draw
+// allowance in chunks (budgetChunk events at a time) and spend it with
+// plain local arithmetic, so the hot path touches the shared atomic once
+// per chunk instead of once per event; the unspent remainder is refunded
+// at the end of the window, which restores used == events actually
+// executed before the coordinator inspects the counter at the barrier —
+// the bound stays exact at the stop boundary.
 type budget struct {
 	used atomic.Uint64
 	max  uint64
 }
 
-// charge reserves one event against the budget, reporting false when the
-// budget is exhausted (the reservation is rolled back so the count equals
-// events actually executed).
-func (b *budget) charge() bool {
-	if b.used.Add(1) > b.max {
-		b.used.Add(^uint64(0)) // undo; this event will not run
-		return false
+// budgetChunk is the per-domain allowance drawn from the shared budget in
+// one reserve. Large enough to amortize the atomic across a window, small
+// enough that a near-exhausted budget still spreads over all domains.
+const budgetChunk = 256
+
+// reserve draws up to want events of allowance, clamped to what remains.
+// Returns 0 when the budget is spent.
+func (b *budget) reserve(want uint64) uint64 {
+	for {
+		u := b.used.Load()
+		if u >= b.max {
+			return 0
+		}
+		n := b.max - u
+		if n > want {
+			n = want
+		}
+		if b.used.CompareAndSwap(u, u+n) {
+			return n
+		}
 	}
-	return true
+}
+
+// refund returns unspent allowance, so used counts executed events again.
+func (b *budget) refund(n uint64) {
+	if n != 0 {
+		b.used.Add(^(n - 1))
+	}
 }
 
 // Engine is the discrete-event core: a clock, an ordered event queue, and
@@ -385,17 +408,32 @@ func (e *Engine) RunUntil(deadline Time) {
 }
 
 // runWindow executes every queued event strictly earlier than horizon,
-// charging each against the shared budget (nil = unlimited). It reports
-// whether the budget ran out mid-window. This is one domain's share of one
-// conservative lookahead window; the caller provides the barrier.
+// spending chunked allowance from the shared budget (nil = unlimited). It
+// reports whether the budget ran out mid-window; the caller re-checks the
+// counter at the barrier, after every domain's refund, because a reserve
+// that found the budget transiently drained may have been racing chunks
+// other domains were about to return. This is one domain's share of one
+// conservative horizon window; the caller provides the barrier.
 func (e *Engine) runWindow(horizon Time, bud *budget) (exhausted bool) {
-	for len(e.events) > 0 && e.events[0].at < horizon {
-		if bud != nil && !bud.charge() {
-			e.setOrigin(0)
-			return true
+	if bud == nil {
+		for len(e.events) > 0 && e.events[0].at < horizon {
+			e.Step()
 		}
+		e.setOrigin(0)
+		return false
+	}
+	var allow uint64
+	for len(e.events) > 0 && e.events[0].at < horizon {
+		if allow == 0 {
+			if allow = bud.reserve(budgetChunk); allow == 0 {
+				e.setOrigin(0)
+				return true
+			}
+		}
+		allow--
 		e.Step()
 	}
+	bud.refund(allow)
 	e.setOrigin(0)
 	return false
 }

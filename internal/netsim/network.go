@@ -95,9 +95,11 @@ type halfLink struct {
 	txSeq uint64
 
 	// srcDom/dstDom are the partition domains of the two endpoints, nil
-	// while the network is unpartitioned.
+	// while the network is unpartitioned. inCut marks membership in the
+	// network's maintained cut-link set (see rebuildLookaheads).
 	srcDom *domain
 	dstDom *domain
+	inCut  bool
 
 	// pool, when non-nil, is the shared buffer memory of the source node:
 	// admission charges it under the dynamic threshold instead of the
@@ -199,17 +201,32 @@ type Network struct {
 
 	// Partitioned mode (see partition.go). domains is nil until Partition
 	// is called with more than one group; nodeDom maps every node to its
-	// domain; lookahead is the conservative window width. recut, when
-	// non-nil, re-evaluates the cut at window barriers (see recut.go).
-	domains   []*domain
-	nodeDom   map[NodeID]*domain
-	lookahead Time
-	recut     *recutState
+	// domain. recut, when non-nil, re-evaluates the cut at window barriers
+	// (see recut.go).
+	domains []*domain
+	nodeDom map[NodeID]*domain
+	recut   *recutState
 
-	// accEvents/accFrames remember what this network already published
-	// into the process-wide SimCounters (see arena.go).
+	// Conservative synchronization state. la[i][j] is the per-pair
+	// lookahead (min in-flight latency over cut links from domain i to j,
+	// maxTime when none exist); lookahead is the global minimum SyncGlobal
+	// uses; cutHalf is the maintained cut-link set the matrix is rebuilt
+	// from (O(cut), not O(links), per re-cut) and nodeHalf the
+	// node→incident-links index the incremental rebind walks. workers is
+	// the persistent per-domain worker pool, spawned once at Partition.
+	la        [][]Time
+	lookahead Time
+	cutHalf   []*halfLink
+	nodeHalf  map[NodeID][]*halfLink
+	workers   *workerPool
+	syncProto SyncProtocol
+	syncStats SyncStats
+
+	// accEvents/accFrames/accSync remember what this network already
+	// published into the process-wide SimCounters/SyncCounters (arena.go).
 	accEvents uint64
 	accFrames uint64
+	accSync   SyncStats
 
 	// tracer, when non-nil, observes every transmit-side admission attempt
 	// (see tracer.go). Installed only while quiescent; read inline on the

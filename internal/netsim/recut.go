@@ -143,9 +143,11 @@ func (nw *Network) maybeRecut(next Time) error {
 // (groups[i] becomes domain i's node set; exactly one group per existing
 // domain, every node in exactly one group). It migrates pending events —
 // with their arena payloads — and per-node schedule counters to the
-// domains that now own them, rebinds every half-link, and recomputes the
-// lookahead. Ordering keys are never rewritten, so the total event order,
-// and therefore every simulation result, is unchanged.
+// domains that now own them, rebinds the moved nodes' incident half-links,
+// and refreshes the per-pair lookahead matrix from the maintained cut-link
+// set (O(moved × degree + cut links), not a full link rescan). Ordering
+// keys are never rewritten, so the total event order, and therefore every
+// simulation result, is unchanged.
 //
 // It may only be called while the network is quiescent: between Run /
 // RunUntil calls, or (internally) at a window barrier. Calling it with
@@ -165,8 +167,24 @@ func (nw *Network) Repartition(groups [][]NodeID) error {
 			}
 		}
 	}
+	// A re-cut can shrink a pair's lookahead, so it is only safe at an
+	// aligned barrier: every pending event at or beyond every domain clock.
+	// Between Run/RunUntil calls this always holds (advanceTo equalizes the
+	// clocks); the internal path aligns the fabric before calling here.
+	var maxClock Time
+	for _, d := range nw.domains {
+		if d.eng.now > maxClock {
+			maxClock = d.eng.now
+		}
+	}
+	for _, d := range nw.domains {
+		if at, ok := d.eng.next(); ok && at < maxClock {
+			return fmt.Errorf("netsim: Repartition at a skewed barrier (event at %v behind clock %v)",
+				at, maxClock)
+		}
+	}
 	nodeDom := make(map[NodeID]*domain, len(nw.nodes))
-	changed := false
+	var movedNodes []NodeID
 	for i, g := range groups {
 		d := nw.domains[i]
 		for _, id := range g {
@@ -178,14 +196,14 @@ func (nw *Network) Repartition(groups [][]NodeID) error {
 			}
 			nodeDom[id] = d
 			if nw.nodeDom[id] != d {
-				changed = true
+				movedNodes = append(movedNodes, id)
 			}
 		}
 	}
 	if len(nodeDom) != len(nw.nodes) {
 		return fmt.Errorf("netsim: re-cut covers %d of %d nodes", len(nodeDom), len(nw.nodes))
 	}
-	if !changed {
+	if len(movedNodes) == 0 {
 		return nil
 	}
 
@@ -239,11 +257,12 @@ func (nw *Network) Repartition(groups [][]NodeID) error {
 		}
 	}
 
-	// Rebind node sets, the node->domain index, links and lookahead.
+	// Rebind node sets, the node->domain index, and — incrementally, only
+	// the moved nodes' incident links — the cut set and lookahead matrix.
 	for i, d := range nw.domains {
 		d.nodes = append(d.nodes[:0], groups[i]...)
 	}
 	nw.nodeDom = nodeDom
-	nw.bindDomains(nodeDom)
+	nw.rebindDomains(movedNodes, nodeDom)
 	return nil
 }

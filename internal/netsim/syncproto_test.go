@@ -1,0 +1,375 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// ---- per-channel synchronization tests ----
+//
+// The EIT protocol's motivating regime is a heterogeneous cut: one short
+// link between two domains next to many long ones. The global scheme pays
+// the shortest cut link fleet-wide — every domain synchronizes at the
+// global minimum plus ~the short latency — while per-channel horizons
+// confine the cost to the channel that has it. The tests here pin three
+// properties: results stay byte-identical under either protocol (and equal
+// to the sequential run), the diagnostics are deterministic, and EIT
+// measurably beats global on the heterogeneous cut (wider windows, fewer
+// barriers).
+
+// hetWorld builds three 4-node islands of chatter nodes. Islands are
+// internally dense (short intra-links, which the cut never touches), and
+// the island pairs are bridged by exactly one link each: 0-1 by a SHORT
+// link, 0-2 and 1-2 by long ones. Partitioning by island makes the 0→1
+// channel the throttle the global protocol pays everywhere.
+func hetWorld(t *testing.T, seed int64, short time.Duration) (*Network, []*chatter, [][]NodeID) {
+	t.Helper()
+	const perIsland, islands = 4, 3
+	nw := New(uint64(seed))
+	nodes := make([]*chatter, perIsland*islands)
+	groups := make([][]NodeID, islands)
+	for i := range nodes {
+		nodes[i] = &chatter{}
+		id := NodeID(i + 1)
+		nw.AddNode(id, nodes[i])
+		groups[i/perIsland] = append(groups[i/perIsland], id)
+	}
+	intra := LinkConfig{Propagation: 300 * time.Nanosecond, QueueBytes: 64 << 10}
+	for g := 0; g < islands; g++ {
+		base := NodeID(g*perIsland + 1)
+		for k := 0; k < perIsland; k++ {
+			nw.Connect(base+NodeID(k), base+NodeID((k+1)%perIsland), intra)
+		}
+	}
+	long := LinkConfig{Propagation: 20 * time.Microsecond, QueueBytes: 64 << 10}
+	shortCfg := LinkConfig{Propagation: short, QueueBytes: 64 << 10}
+	nw.Connect(groups[0][0], groups[1][0], shortCfg) // the throttle channel
+	nw.Connect(groups[0][1], groups[2][0], long)
+	nw.Connect(groups[1][1], groups[2][1], long)
+	return nw, nodes, groups
+}
+
+func runHetWorld(t *testing.T, seed int64, short time.Duration, partition bool, proto SyncProtocol) (string, SyncStats) {
+	t.Helper()
+	nw, nodes, groups := hetWorld(t, seed, short)
+	if partition {
+		if err := nw.Partition(groups); err != nil {
+			t.Fatal(err)
+		}
+		nw.SetSyncProtocol(proto)
+	}
+	inject(nw, nodes, seed)
+	if err := nw.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return fingerprint(nw, nodes), nw.SyncStats()
+}
+
+// TestSyncProtocolConformance: on the heterogeneous cut (one short link,
+// two long ones), both protocols replay byte-identically to the sequential
+// run, and their SyncStats diagnostics are themselves deterministic across
+// repeated runs.
+func TestSyncProtocolConformance(t *testing.T) {
+	for _, short := range []time.Duration{50 * time.Nanosecond, time.Microsecond} {
+		short := short
+		t.Run(short.String(), func(t *testing.T) {
+			t.Parallel()
+			const seed = 31337
+			seq, _ := runHetWorld(t, seed, short, false, SyncEIT)
+			for _, proto := range []SyncProtocol{SyncEIT, SyncGlobal} {
+				got, stats := runHetWorld(t, seed, short, true, proto)
+				if got != seq {
+					t.Fatalf("protocol %d diverged from sequential:\n%s\nvs\n%s", proto, got, seq)
+				}
+				again, stats2 := runHetWorld(t, seed, short, true, proto)
+				if again != seq {
+					t.Fatalf("protocol %d: repeated run diverged", proto)
+				}
+				if stats != stats2 {
+					t.Fatalf("protocol %d: diagnostics not deterministic:\n%+v\nvs\n%+v",
+						proto, stats, stats2)
+				}
+				if stats.Barriers == 0 || stats.Windows == 0 {
+					t.Fatalf("protocol %d: no synchronization recorded: %+v", proto, stats)
+				}
+			}
+		})
+	}
+}
+
+// TestSyncEITBeatsGlobal pins the performance claim behind the redesign:
+// with one short cut link among long ones, per-channel horizons execute
+// fewer, wider windows than the global scheme — the short channel's cost
+// stays on its channel instead of throttling the fleet.
+func TestSyncEITBeatsGlobal(t *testing.T) {
+	const seed = 777
+	_, eit := runHetWorld(t, seed, 50*time.Nanosecond, true, SyncEIT)
+	_, global := runHetWorld(t, seed, 50*time.Nanosecond, true, SyncGlobal)
+
+	if eit.Barriers >= global.Barriers {
+		t.Errorf("EIT barriers %d, global %d: want fewer", eit.Barriers, global.Barriers)
+	}
+	if eit.Windows >= global.Windows {
+		t.Errorf("EIT windows %d, global %d: want fewer", eit.Windows, global.Windows)
+	}
+	if eit.MeanHorizon() <= global.MeanHorizon() {
+		t.Errorf("EIT mean horizon %v, global %v: want wider",
+			eit.MeanHorizon(), global.MeanHorizon())
+	}
+	t.Logf("EIT:    %+v (mean horizon %v)", eit, eit.MeanHorizon())
+	t.Logf("global: %+v (mean horizon %v)", global, global.MeanHorizon())
+}
+
+// TestDomainSyncAccounting checks the per-domain window/idle split sums to
+// the fabric totals.
+func TestDomainSyncAccounting(t *testing.T) {
+	nw, nodes, groups := hetWorld(t, 4242, 50*time.Nanosecond)
+	if err := nw.Partition(groups); err != nil {
+		t.Fatal(err)
+	}
+	inject(nw, nodes, 4242)
+	if err := nw.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	windows, idle := nw.DomainSync()
+	if len(windows) != 3 || len(idle) != 3 {
+		t.Fatalf("DomainSync lengths %d/%d, want 3/3", len(windows), len(idle))
+	}
+	var w, id uint64
+	for i := range windows {
+		w += windows[i]
+		id += idle[i]
+	}
+	st := nw.SyncStats()
+	if w != st.Windows || id != st.IdleWindows {
+		t.Fatalf("per-domain sums (%d, %d) != totals (%d, %d)", w, id, st.Windows, st.IdleWindows)
+	}
+}
+
+// TestRebindLookaheadsMatchesFullRebuild pins the incremental Repartition
+// path: after a series of re-cuts, the maintained cut set and path-closed
+// lookahead matrix must equal a from-scratch recomputation over every link.
+func TestRebindLookaheadsMatchesFullRebuild(t *testing.T) {
+	const seed, n = 9090, 12
+	nw, nodes := chatterWorld(t, seed, n)
+	if err := nw.Partition(randomGroups(n, 3, seed)); err != nil {
+		t.Fatal(err)
+	}
+	inject(nw, nodes, seed)
+	for step := 1; step <= 6; step++ {
+		if err := nw.RunUntil(Time(step) * Duration(2*time.Microsecond)); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.Repartition(randomGroups(n, 3, seed+int64(step))); err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference: direct per-pair minima over ALL half-links, then the
+		// same min-plus closure.
+		nd := len(nw.domains)
+		ref := make([][]Time, nd)
+		for i := range ref {
+			ref[i] = make([]Time, nd)
+			for j := range ref[i] {
+				ref[i][j] = maxTime
+			}
+		}
+		refGlobal := maxTime
+		for _, hl := range nw.half {
+			src, dst := nw.nodeDom[hl.srcNode], nw.nodeDom[hl.dstNode]
+			if src == dst {
+				if hl.inCut {
+					t.Fatalf("step %d: internal link still flagged inCut", step)
+				}
+				continue
+			}
+			la := 1 + Duration(hl.cfg.Propagation)
+			if la < ref[src.idx][dst.idx] {
+				ref[src.idx][dst.idx] = la
+			}
+			if la < refGlobal {
+				refGlobal = la
+			}
+		}
+		if nw.lookahead != refGlobal {
+			t.Fatalf("step %d: cached global lookahead %v, reference %v", step, nw.lookahead, refGlobal)
+		}
+		for k := 0; k < nd; k++ {
+			for i := 0; i < nd; i++ {
+				if ref[i][k] == maxTime {
+					continue
+				}
+				for j := 0; j < nd; j++ {
+					if ref[k][j] != maxTime && ref[i][k]+ref[k][j] < ref[i][j] {
+						ref[i][j] = ref[i][k] + ref[k][j]
+					}
+				}
+			}
+		}
+		for i := 0; i < nd; i++ {
+			for j := 0; j < nd; j++ {
+				if nw.la[i][j] != ref[i][j] {
+					t.Fatalf("step %d: la[%d][%d] = %v, reference %v",
+						step, i, j, nw.la[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionBudgetChunkBoundaries sweeps budgets around the chunk size
+// the shared counter is drawn in: exactness must not depend on where the
+// stop lands inside a chunk.
+func TestPartitionBudgetChunkBoundaries(t *testing.T) {
+	build := func() *Network {
+		nw := New(7)
+		for i := 0; i < 4; i++ {
+			nw.AddNode(NodeID(i+1), &chatter{})
+		}
+		cfg := LinkConfig{QueueBytes: 1 << 20}
+		for i := 0; i < 4; i++ {
+			nw.Connect(NodeID(i+1), NodeID((i+1)%4+1), cfg)
+		}
+		nw.Partition([][]NodeID{{1, 2}, {3, 4}})
+		for i := 0; i < 4; i++ {
+			frame := make([]byte, 32)
+			frame[0] = 14 // TTL: a cascade of a few thousand events
+			nw.Send(NodeID(i+1), 0, frame)
+		}
+		return nw
+	}
+	nw := build()
+	if err := nw.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	total := nw.Processed()
+	if total < 3*budgetChunk {
+		t.Fatalf("cascade too small for chunk boundaries: %d events", total)
+	}
+	for _, b := range []uint64{budgetChunk - 1, budgetChunk, budgetChunk + 1,
+		2*budgetChunk - 1, 2 * budgetChunk, total - 1} {
+		nw := build()
+		if err := nw.Run(b); err == nil {
+			t.Fatalf("budget %d of %d: want exhaustion error", b, total)
+		}
+		if got := nw.Processed(); got != b {
+			t.Fatalf("budget %d: executed %d events, want exactly the budget", b, got)
+		}
+	}
+}
+
+// BenchmarkPartitionRunUntilCadence measures the per-control-point cost of
+// a partitioned fabric driven at telemetry's RunSampled cadence: many short
+// RunUntil windows. This is the loop the persistent worker pool exists for —
+// before it, every window paid one goroutine spawn per domain per call.
+func BenchmarkPartitionRunUntilCadence(b *testing.B) {
+	const domains = 4
+	nw := New(1)
+	var reps []NodeID
+	for d := 0; d < domains; d++ {
+		a, z := NodeID(2*d+1), NodeID(2*d+2)
+		nw.AddNode(a, &fwdNode{})
+		nw.AddNode(z, &fwdNode{})
+		nw.Connect(a, z, LinkConfig{Propagation: time.Microsecond, QueueBytes: 64 << 10})
+		reps = append(reps, a)
+	}
+	for d := 0; d < domains; d++ { // ring of long cut links between domains
+		nw.Connect(reps[d], reps[(d+1)%domains],
+			LinkConfig{Propagation: 5 * time.Microsecond, QueueBytes: 64 << 10})
+	}
+	groups := make([][]NodeID, domains)
+	for d := 0; d < domains; d++ {
+		groups[d] = []NodeID{NodeID(2*d + 1), NodeID(2*d + 2)}
+	}
+	if err := nw.Partition(groups); err != nil {
+		b.Fatal(err)
+	}
+	frame := make([]byte, 128)
+	for d := 0; d < domains; d++ { // one frame ping-pongs forever per domain
+		nw.Send(NodeID(2*d+1), 0, frame)
+	}
+	cadence := Duration(500 * time.Nanosecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nw.RunUntil(Time(i+1) * cadence); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMegaIncastDomains is BenchmarkMegaIncast cut into domains along
+// the rack uplinks (the long-link case): 16 racks dealt into 4 domains,
+// root and spines in the first. Wall-clock here against BenchmarkMegaIncast
+// is the engine-level speedup figure of the per-channel horizon protocol.
+func BenchmarkMegaIncastDomains(b *testing.B) {
+	const (
+		racks   = 16
+		spines  = 2
+		perRack = 64 // 1024 senders
+		domains = 4
+	)
+	nw := New(1)
+	root := NodeID(1)
+	sink := &countSink{}
+	nw.AddNode(root, sink)
+	groups := make([][]NodeID, domains)
+	groups[0] = append(groups[0], root)
+	spineIDs := make([]NodeID, spines)
+	for i := range spineIDs {
+		spineIDs[i] = NodeID(2 + i)
+		nw.AddNode(spineIDs[i], &fwdNode{})
+		nw.Connect(spineIDs[i], root, LinkConfig{}) // uplink first: port 0
+		nw.SetNodePool(spineIDs[i], PoolConfig{TotalBytes: 1 << 20, ReserveBytes: 2 << 10, Alpha: 2})
+		groups[0] = append(groups[0], spineIDs[i])
+	}
+	uplink := LinkConfig{Propagation: 2 * time.Microsecond} // the domain cut
+	hosts := make([]NodeID, 0, racks*perRack)
+	for r := 0; r < racks; r++ {
+		dom := 1 + r%(domains-1)
+		leaf := NodeID(10 + r)
+		nw.AddNode(leaf, &fwdNode{})
+		nw.Connect(leaf, spineIDs[r%spines], uplink) // uplink first: port 0
+		nw.SetNodePool(leaf, PoolConfig{TotalBytes: 512 << 10, ReserveBytes: 2 << 10, Alpha: 2})
+		groups[dom] = append(groups[dom], leaf)
+		for h := 0; h < perRack; h++ {
+			id := NodeID(100 + r*perRack + h)
+			nw.AddNode(id, &countSink{}) // hosts only transmit here
+			nw.Connect(id, leaf, LinkConfig{})
+			hosts = append(hosts, id)
+			groups[dom] = append(groups[dom], id)
+		}
+	}
+	if err := nw.Partition(groups); err != nil {
+		b.Fatal(err)
+	}
+	frame := make([]byte, 256)
+	// Warm the arenas and pool state through one full round.
+	for _, h := range hosts {
+		nw.Send(h, 0, frame)
+	}
+	if err := nw.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Send(hosts[i%len(hosts)], 0, frame)
+		if i%len(hosts) == len(hosts)-1 {
+			if err := nw.Run(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if err := nw.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	if sink.n == 0 {
+		b.Fatal("no frame reached the root")
+	}
+	if nw.Domains() != domains {
+		b.Fatalf("domains = %d", nw.Domains())
+	}
+}

@@ -79,10 +79,12 @@ type Recorder struct {
 }
 
 // EngineSample is one control-point engine-diagnostics reading. It is the
-// timeline's deliberately cut-DEPENDENT section: arena occupancy is
-// per-domain state whose sum changes with the cut, so these samples are
-// excluded from the byte-identity comparison, exactly as the figure
-// framework excludes Volatile metrics.
+// timeline's deliberately cut-DEPENDENT section: arena occupancy and the
+// synchronization counters are per-domain state that changes with the cut,
+// the protocol and the re-cut schedule, so these samples are excluded from
+// the byte-identity comparison, exactly as the figure framework excludes
+// Volatile metrics. For a fixed configuration every field is nonetheless
+// deterministic.
 type EngineSample struct {
 	At        netsim.Time
 	Domains   int
@@ -91,6 +93,14 @@ type EngineSample struct {
 	TimerPeak int
 	Bytes     int64
 	Recuts    uint64
+
+	// Cumulative synchronization diagnostics of the partitioned engine
+	// (netsim.SyncStats): coordinator barriers, dispatched and idle
+	// execution windows, and the mean bounded-window width so far.
+	Barriers    uint64
+	Windows     uint64
+	IdleWindows uint64
+	MeanHorizon netsim.Time
 }
 
 // NewRecorder creates a recorder over nw. Watch switches and enable path
@@ -218,14 +228,19 @@ func (r *Recorder) SampleControl() {
 	r.control.append(Record{At: now, Kind: KindControl,
 		V0: int64(r.nw.Pending()), V1: int64(r.nw.Processed())})
 	as := r.nw.ArenaStats()
+	ss := r.nw.SyncStats()
 	r.engine = append(r.engine, EngineSample{
-		At:        now,
-		Domains:   r.nw.Domains(),
-		FrameLive: as.FrameLive,
-		FramePeak: as.FramePeak,
-		TimerPeak: as.TimerPeak,
-		Bytes:     as.Bytes,
-		Recuts:    r.nw.Recuts(),
+		At:          now,
+		Domains:     r.nw.Domains(),
+		FrameLive:   as.FrameLive,
+		FramePeak:   as.FramePeak,
+		TimerPeak:   as.TimerPeak,
+		Bytes:       as.Bytes,
+		Recuts:      r.nw.Recuts(),
+		Barriers:    ss.Barriers,
+		Windows:     ss.Windows,
+		IdleWindows: ss.IdleWindows,
+		MeanHorizon: ss.MeanHorizon(),
 	})
 }
 

@@ -75,7 +75,8 @@ func TestTimelineRoundTrip(t *testing.T) {
 			{At: 4, Origin: 0, Seq: 2, Kind: KindMonitor, Node: 7, V0: 8, Note: `link-dead with "spaces"`},
 		},
 		Engine: []EngineSample{
-			{At: 4, Domains: 2, FrameLive: 1, FramePeak: 9, TimerPeak: 3, Bytes: 4096, Recuts: 1},
+			{At: 4, Domains: 2, FrameLive: 1, FramePeak: 9, TimerPeak: 3, Bytes: 4096, Recuts: 1,
+				Barriers: 17, Windows: 30, IdleWindows: 4, MeanHorizon: 1500},
 		},
 	}
 	var buf bytes.Buffer

@@ -40,17 +40,19 @@ func sortRecords(recs []Record) {
 }
 
 // timelineMagic heads the text serialization; the version suffix gates
-// format evolution like benchfmt.Schema gates the figure schema.
-const timelineMagic = "daiet-timeline v1"
+// format evolution like benchfmt.Schema gates the figure schema. v2 added
+// the synchronization counters (barriers, windows, idle windows, mean
+// horizon) to engine lines.
+const timelineMagic = "daiet-timeline v2"
 
 // WriteTo serializes the timeline in its line-oriented text format:
 //
-//	daiet-timeline v1
+//	daiet-timeline v2
 //	cadence <ns>
 //	dropped <n>
 //	r <at> <origin> <seq> <kind> <node> <k> <v0> <v1> <v2> <v3> <v4> <"note">
 //	...
-//	engine <at> <domains> <framelive> <framepeak> <timerpeak> <bytes> <recuts>
+//	engine <at> <domains> <framelive> <framepeak> <timerpeak> <bytes> <recuts> <barriers> <windows> <idlewindows> <meanhorizon>
 //	...
 //
 // Record lines come first, in (At, Origin, Seq) order; engine lines last.
@@ -72,8 +74,9 @@ func (tl *Timeline) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	for _, e := range tl.Engine {
-		if err := count(fmt.Fprintf(bw, "engine %d %d %d %d %d %d %d\n",
-			e.At, e.Domains, e.FrameLive, e.FramePeak, e.TimerPeak, e.Bytes, e.Recuts)); err != nil {
+		if err := count(fmt.Fprintf(bw, "engine %d %d %d %d %d %d %d %d %d %d %d\n",
+			e.At, e.Domains, e.FrameLive, e.FramePeak, e.TimerPeak, e.Bytes, e.Recuts,
+			e.Barriers, e.Windows, e.IdleWindows, e.MeanHorizon)); err != nil {
 			return n, err
 		}
 	}
@@ -127,8 +130,9 @@ func ReadTimeline(r io.Reader) (*Timeline, error) {
 			err = parseRecordLine(rest, tl)
 		case "engine":
 			var e EngineSample
-			_, err = fmt.Sscanf(rest, "%d %d %d %d %d %d %d",
-				&e.At, &e.Domains, &e.FrameLive, &e.FramePeak, &e.TimerPeak, &e.Bytes, &e.Recuts)
+			_, err = fmt.Sscanf(rest, "%d %d %d %d %d %d %d %d %d %d %d",
+				&e.At, &e.Domains, &e.FrameLive, &e.FramePeak, &e.TimerPeak, &e.Bytes, &e.Recuts,
+				&e.Barriers, &e.Windows, &e.IdleWindows, &e.MeanHorizon)
 			tl.Engine = append(tl.Engine, e)
 		default:
 			err = fmt.Errorf("unknown verb %q", verb)

@@ -14,6 +14,7 @@ package topology
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"time"
@@ -218,6 +219,60 @@ func (p *Plan) PartitionGroups(n int) [][]netsim.NodeID {
 		}
 	}
 	return bins
+}
+
+// SetCorePropagation sets the propagation delay of every switch-to-switch
+// link of the plan, leaving host links untouched. Rack cuts run along the
+// core tier, so this is the knob that widens (or narrows) the partitioned
+// engine's synchronization lookahead: the syncproto figure sweeps it to
+// contrast short- and long-haul cut channels.
+func (p *Plan) SetCorePropagation(d time.Duration) {
+	for i := range p.Links {
+		if IsSwitchID(p.Links[i].A) && IsSwitchID(p.Links[i].B) {
+			p.Links[i].Cfg.Propagation = d
+		}
+	}
+}
+
+// NoCutLink marks a domain pair with no direct cut link in the matrix
+// CutLookaheads returns.
+const NoCutLink = time.Duration(math.MaxInt64)
+
+// CutLookaheads extracts, for a prospective grouping, the minimum
+// propagation delay over the cut links between every ordered domain pair —
+// the direct per-channel lookahead structure the partitioned engine will
+// synchronize on (the engine adds one serialization tick per link and
+// closes the matrix over relay paths). Pairs with no direct cut link hold
+// NoCutLink; the diagonal always does. Tests and figures use it to confirm
+// a topology really has the heterogeneous cut (one short channel among
+// long ones) a sync-protocol comparison needs.
+func (p *Plan) CutLookaheads(groups [][]netsim.NodeID) [][]time.Duration {
+	dom := make(map[netsim.NodeID]int, len(p.Hosts)+len(p.Switches))
+	for g, ids := range groups {
+		for _, id := range ids {
+			dom[id] = g
+		}
+	}
+	la := make([][]time.Duration, len(groups))
+	for i := range la {
+		la[i] = make([]time.Duration, len(groups))
+		for j := range la[i] {
+			la[i][j] = NoCutLink
+		}
+	}
+	for _, l := range p.Links {
+		a, aok := dom[l.A]
+		b, bok := dom[l.B]
+		if !aok || !bok || a == b {
+			continue
+		}
+		// Links realize bidirectionally, so the channel exists both ways.
+		if l.Cfg.Propagation < la[a][b] {
+			la[a][b] = l.Cfg.Propagation
+			la[b][a] = l.Cfg.Propagation
+		}
+	}
+	return la
 }
 
 // lptPack is the one LPT bin-packing implementation shared by the static

@@ -638,3 +638,79 @@ func TestPartitionsDynamicRuns(t *testing.T) {
 		t.Fatalf("sequential diverged:\nstatic: %s\nsequential: %s", static, seq)
 	}
 }
+
+// TestSetCorePropagation: only switch-to-switch links change; host access
+// links keep their configured delay.
+func TestSetCorePropagation(t *testing.T) {
+	p := LeafSpine(4, 2, 3, netsim.LinkConfig{Propagation: 500 * time.Nanosecond})
+	p.SetCorePropagation(20 * time.Microsecond)
+	core, access := 0, 0
+	for _, l := range p.Links {
+		if IsSwitchID(l.A) && IsSwitchID(l.B) {
+			core++
+			if l.Cfg.Propagation != 20*time.Microsecond {
+				t.Fatalf("core link %v-%v propagation %v", l.A, l.B, l.Cfg.Propagation)
+			}
+		} else {
+			access++
+			if l.Cfg.Propagation != 500*time.Nanosecond {
+				t.Fatalf("access link %v-%v propagation changed to %v", l.A, l.B, l.Cfg.Propagation)
+			}
+		}
+	}
+	if core != 4*2 || access != 4*3 {
+		t.Fatalf("saw %d core and %d access links", core, access)
+	}
+}
+
+// TestCutLookaheads pins the per-pair extraction: minimum over the cut
+// links of each pair, NoCutLink where no direct link crosses, symmetric,
+// NoCutLink diagonal.
+func TestCutLookaheads(t *testing.T) {
+	p := LeafSpine(2, 2, 2, netsim.LinkConfig{Propagation: 10 * time.Microsecond})
+	// One short core link: leaf 0 to spine 0.
+	short := 100 * time.Nanosecond
+	leaf0, spine0 := p.Switches[0], p.Switches[2]
+	found := false
+	for i := range p.Links {
+		if p.Links[i].A == leaf0 && p.Links[i].B == spine0 {
+			p.Links[i].Cfg.Propagation = short
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no leaf0-spine0 link in the plan")
+	}
+
+	// Three groups: leaf0 rack, leaf1 rack, the two spines.
+	groups := [][]netsim.NodeID{
+		{p.Switches[0], p.Hosts[0], p.Hosts[1]},
+		{p.Switches[1], p.Hosts[2], p.Hosts[3]},
+		{p.Switches[2], p.Switches[3]},
+	}
+	la := p.CutLookaheads(groups)
+	if len(la) != 3 {
+		t.Fatalf("matrix rank %d", len(la))
+	}
+	for i := range la {
+		if la[i][i] != NoCutLink {
+			t.Fatalf("diagonal [%d][%d] = %v", i, i, la[i][i])
+		}
+		for j := range la {
+			if la[i][j] != la[j][i] {
+				t.Fatalf("asymmetric: [%d][%d]=%v [%d][%d]=%v", i, j, la[i][j], j, i, la[j][i])
+			}
+		}
+	}
+	// Racks never link to each other directly; both reach the spine group,
+	// rack 0 through the shortened link.
+	if la[0][1] != NoCutLink {
+		t.Fatalf("rack-rack channel %v, want NoCutLink", la[0][1])
+	}
+	if la[0][2] != short {
+		t.Fatalf("rack0-spine channel %v, want %v", la[0][2], short)
+	}
+	if la[1][2] != 10*time.Microsecond {
+		t.Fatalf("rack1-spine channel %v, want %v", la[1][2], 10*time.Microsecond)
+	}
+}
